@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper exhibit end to end (all 19
+workloads at the experiment-suite trace length), prints the rows/series
+the paper reports (visible with ``pytest -s``), and asserts the
+paper-shape invariants so a regression in reproduction quality fails
+the bench.  Timing is one round per exhibit — these are reproduction
+harnesses, not micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run a figure regenerator once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run
+
+
+def emit(result) -> None:
+    """Print a rendered exhibit below the benchmark table."""
+    print()
+    print(result.render() if hasattr(result, "render") else result)

@@ -1,0 +1,48 @@
+"""Ablation: analytic ThroughputEngine vs event-driven DetailedEngine.
+
+The figure sweeps run on the vectorized epoch model; this ablation
+validates it against the request-level event-driven engine on every
+workload and the three Section 3 policies: the two engines must agree
+on the policy ranking everywhere and on magnitude within a tolerance.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.core.experiment import run_experiment
+from repro.workloads import workload_names
+
+POLICIES = ("LOCAL", "INTERLEAVE", "BW-AWARE")
+ACCESSES = 60_000
+
+
+def _sweep():
+    agreements = []
+    rows = []
+    for name in workload_names():
+        times = {}
+        for engine in ("throughput", "detailed"):
+            times[engine] = [
+                run_experiment(name, policy=policy, engine=engine,
+                               trace_accesses=ACCESSES).time_ns
+                for policy in POLICIES
+            ]
+        rank_fast = np.argsort(times["throughput"]).tolist()
+        rank_slow = np.argsort(times["detailed"]).tolist()
+        errors = [
+            abs(f - d) / d
+            for f, d in zip(times["throughput"], times["detailed"])
+        ]
+        agreements.append((name, rank_fast == rank_slow, max(errors)))
+        rows.append(f"{name:>12} same-rank={rank_fast == rank_slow} "
+                    f"max-err={max(errors):.1%}")
+    return agreements, "\n".join(rows)
+
+
+def test_ablation_engine_agreement(regenerate):
+    agreements, report = regenerate(_sweep)
+    emit("ablation: throughput vs detailed engine\n" + report)
+    mismatched = [name for name, same, _ in agreements if not same]
+    assert not mismatched, mismatched
+    worst = max(error for _, _, error in agreements)
+    assert worst < 0.25, f"engines diverge by {worst:.1%}"

@@ -1,0 +1,25 @@
+"""Extension bench: adaptive vs static BW-AWARE under CPU co-tenancy."""
+
+from conftest import emit
+from repro.experiments import ext_cpu_contention
+
+
+def test_ext_cpu_contention(regenerate):
+    figure = regenerate(ext_cpu_contention.run_contention)
+    emit(figure)
+    static = figure.get("BW-AWARE-static-30C")
+    adaptive = figure.get("BW-AWARE-adaptive")
+
+    # Uncontended, the two are the same policy.
+    assert abs(static.y_at(0.0) - adaptive.y_at(0.0)) < 0.03
+    # As the CPU eats the CO pool, the static firmware ratio keeps
+    # oversubscribing it and collapses far below LOCAL...
+    assert static.y_at(72.0) < 0.5
+    # ...while the adaptive ratio degrades gracefully toward LOCAL
+    # (a small residual remote share still taxes the latency-bound
+    # outlier, hence the few-percent allowance).
+    assert adaptive.y_at(72.0) >= 0.85
+    assert adaptive.y_at(40.0) >= 1.0
+    # Dynamic bandwidth discovery is worth a large margin at heavy
+    # contention.
+    assert figure.notes["adaptive_vs_static_at_max_load"] > 2.0

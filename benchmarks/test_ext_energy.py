@@ -1,0 +1,17 @@
+"""Extension bench: memory-system energy by placement policy."""
+
+from conftest import emit
+from repro.experiments import ext_energy
+
+
+def test_ext_energy(regenerate):
+    table = regenerate(ext_energy.run_energy)
+    emit(table)
+    # BW-AWARE shifts ~30% of traffic to the cheaper DDR4 pool: DRAM
+    # energy per byte falls well below LOCAL...
+    assert table.notes["bwaware_dram_pj_per_byte_vs_local"] < 0.90
+    # ...while the interconnect tax makes total energy a wash.
+    assert 0.95 <= table.notes["bwaware_pj_per_byte_vs_local"] <= 1.10
+    # LOCAL burns the GDDR5 rate on every byte.
+    for value in table.column("LOCAL"):
+        assert abs(value - 112.0) < 0.5  # 14 pJ/bit * 8

@@ -1,0 +1,20 @@
+"""Extension bench: link-bandwidth sensitivity of placement gains."""
+
+from conftest import emit
+from repro.experiments import ext_interconnect
+
+
+def test_ext_interconnect(regenerate):
+    figure = regenerate(ext_interconnect.run_links)
+    emit(figure)
+    bwaware = figure.get("BW-AWARE")
+    interleave = figure.get("INTERLEAVE")
+    # Gains grow with link bandwidth and saturate once the link stops
+    # binding (the CO pool itself is 80 GB/s).
+    assert bwaware.y_at(16.0) < bwaware.y_at(80.0)
+    assert abs(bwaware.y_at(150.0) - bwaware.y_at(1000.0)) < 0.01
+    # A PCIe3-class link leaves almost nothing for placement to win,
+    # but a link-aware SBIT keeps BW-AWARE from falling off a cliff.
+    assert bwaware.y_at(16.0) > 0.90
+    # INTERLEAVE, blind to the link, collapses on it.
+    assert interleave.y_at(16.0) < 0.5

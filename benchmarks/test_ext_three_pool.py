@@ -1,0 +1,17 @@
+"""Extension bench: BW-AWARE generalization to three memory pools."""
+
+from conftest import emit
+from repro.experiments import ext_three_pool
+
+
+def test_ext_three_pool(regenerate):
+    table = regenerate(ext_three_pool.run_three_pool)
+    emit(table)
+    # Section 3.1's generalization claim: the three-way bandwidth-ratio
+    # split beats LOCAL, INTERLEAVE and both two-pool restrictions.
+    assert table.notes["bwaware_vs_local"] > 1.15
+    assert table.notes["bwaware_vs_interleave"] > 1.25
+    assert table.notes["bwaware_vs_best_two_pool"] > 1.02
+    # The random draw lands within a few percent of the exact
+    # three-way ratio.
+    assert table.notes["max_split_error"] < 0.05

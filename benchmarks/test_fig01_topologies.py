@@ -1,0 +1,15 @@
+"""Figure 1 regenerator: BW ratios of likely heterogeneous systems."""
+
+from conftest import emit
+from repro.experiments import fig01_topologies
+
+
+def test_fig1(regenerate):
+    table = regenerate(fig01_topologies.run)
+    emit(table)
+    ratios = dict(zip(table.row_labels(), table.column("BW ratio")))
+    # Paper: ratios "as low as 2x or as high as 8x" and beyond across
+    # mobile / desktop / HPC designs.
+    assert 2.0 <= ratios["simulated-baseline"] <= 3.0
+    assert 3.0 <= ratios["mobile"] <= 3.5
+    assert ratios["hpc"] > 10.0

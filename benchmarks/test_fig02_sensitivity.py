@@ -1,0 +1,29 @@
+"""Figure 2 regenerator: bandwidth and latency sensitivity, 19 workloads."""
+
+from conftest import emit
+from repro.experiments import fig02_sensitivity
+
+
+def test_fig2a_bandwidth_sensitivity(regenerate):
+    figure = regenerate(fig02_sensitivity.run_bandwidth)
+    emit(figure)
+    # Streaming workloads track bandwidth nearly linearly.
+    for name in ("lbm", "stencil", "hotspot"):
+        assert figure.get(name).y_at(2.0) > 1.7, name
+        assert figure.get(name).y_at(0.5) < 0.6, name
+    # The controls: comd compute bound, sgemm latency bound.
+    assert figure.get("comd").y_at(2.0) < 1.1
+    assert figure.get("sgemm").y_at(2.0) < 1.1
+    # Most of the suite is bandwidth sensitive (Figure 2a's message).
+    sensitive = sum(1 for s in figure.series if s.y_at(2.0) > 1.1)
+    assert sensitive >= 15
+
+
+def test_fig2b_latency_sensitivity(regenerate):
+    figure = regenerate(fig02_sensitivity.run_latency)
+    emit(figure)
+    # "only sgemm stands out as highly latency sensitive".
+    assert figure.get("sgemm").y_at(200.0) < 0.6
+    tolerant = [s.label for s in figure.series
+                if s.label != "sgemm" and s.y_at(200.0) > 0.75]
+    assert len(tolerant) == 18, tolerant

@@ -1,0 +1,31 @@
+"""Figure 3 regenerator: the xC-yB placement ratio sweep, 19 workloads.
+
+The headline result of the paper: BW-AWARE (30C-70B on the Table 1
+system) beats the Linux LOCAL policy by ~18% and INTERLEAVE by ~35% on
+average.  Our simulator reproduces the ordering and approximate factors
+(see EXPERIMENTS.md for measured-vs-paper numbers).
+"""
+
+from conftest import emit
+from repro.experiments import fig03_ratio_sweep
+
+
+def test_fig3_ratio_sweep(regenerate):
+    table = regenerate(fig03_ratio_sweep.run)
+    emit(table)
+
+    mean = dict(zip(table.columns, table.row("geomean")))
+    # The geomean peaks at the BW-AWARE ratio (30C-70B).
+    assert mean["30C-70B"] == max(mean.values())
+    # BW-AWARE vs LOCAL: paper +18%, accept the 10-35% band.
+    assert 1.10 <= table.notes["bwaware_vs_local"] <= 1.35
+    # BW-AWARE vs INTERLEAVE: paper +35%, accept the 25-65% band.
+    assert 1.25 <= table.notes["bwaware_vs_interleave"] <= 1.65
+    # The latency-sensitive control prefers LOCAL; worst-case loss for
+    # BW-AWARE stays moderate (paper: -12%).
+    sgemm = dict(zip(table.columns, table.row("sgemm")))
+    assert sgemm["0C-100B"] == max(sgemm.values())
+    assert sgemm["30C-70B"] >= 0.75
+    # The insensitive control does not care.
+    comd = table.row("comd")
+    assert max(comd) / min(comd) < 1.15

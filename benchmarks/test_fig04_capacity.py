@@ -1,0 +1,19 @@
+"""Figure 4 regenerator: BW-AWARE vs shrinking BO capacity."""
+
+from conftest import emit
+from repro.experiments import fig04_capacity
+
+
+def test_fig4_capacity_sweep(regenerate):
+    figure = regenerate(fig04_capacity.run)
+    emit(figure)
+    mean = figure.get("geomean")
+    # Near-peak performance down to 70% of the footprint in BO: the
+    # "30% effective extra capacity" claim.
+    assert mean.y_at(1.0) >= 0.99
+    assert mean.y_at(0.7) >= 0.95
+    # Falloff below the 70% knee.
+    assert mean.y_at(0.5) < mean.y_at(0.7)
+    assert mean.y_at(0.1) < 0.6
+    # Memory-insensitive workloads hold their performance (comd).
+    assert figure.get("comd").y_at(0.1) > 0.9

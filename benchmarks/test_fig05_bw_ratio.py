@@ -1,0 +1,29 @@
+"""Figure 5 regenerator: policy comparison across CO bandwidths."""
+
+from conftest import emit
+from repro.experiments import fig05_bw_ratio
+
+
+def test_fig5_bandwidth_ratio_sweep(regenerate):
+    figure = regenerate(fig05_bw_ratio.run)
+    emit(figure)
+    local = figure.get("LOCAL")
+    interleave = figure.get("INTERLEAVE")
+    bwaware = figure.get("BW-AWARE")
+
+    # LOCAL never uses CO bandwidth: flat reference at 1.0.
+    assert all(abs(y - 1.0) < 1e-9 for y in local.y)
+    # INTERLEAVE collapses when the CO pool is weak...
+    assert interleave.y_at(10.0) < 0.3
+    # ...and crosses LOCAL somewhere below the symmetric point.
+    assert interleave.y_at(200.0) > 1.0
+    # BW-AWARE exploits any extra bandwidth: monotone increasing...
+    assert all(a <= b + 0.02 for a, b in zip(bwaware.y, bwaware.y[1:]))
+    # ...and never falls meaningfully below LOCAL.
+    assert min(bwaware.y) > 0.92
+    # At the symmetric point BW-AWARE ~= INTERLEAVE (same 50/50 split;
+    # random draws vs round-robin differ only by sampling noise).
+    assert figure.notes["bwaware_vs_interleave_at_symmetric"] > 0.90
+    # BW-AWARE strictly better than INTERLEAVE in heterogeneous cases.
+    for x in (10.0, 40.0, 80.0, 120.0):
+        assert bwaware.y_at(x) > interleave.y_at(x), x

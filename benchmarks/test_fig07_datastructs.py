@@ -1,0 +1,32 @@
+"""Figure 7 regenerator: CDF vs data-structure layout case studies."""
+
+from conftest import emit
+from repro.experiments import fig07_datastructs
+
+
+def test_fig7_structure_breakdowns(regenerate):
+    results = regenerate(fig07_datastructs.run)
+    for breakdown in results.values():
+        emit(breakdown)
+
+    bfs = results["bfs"]
+    # 7a: three structures consume ~80% of bandwidth in ~20% of pages.
+    hot = bfs.hottest_structures(0.75)
+    assert set(hot) <= {"d_graph_visited", "d_updating_graph_mask",
+                        "d_cost"}
+    assert bfs.footprint_of(hot) <= 0.25
+
+    # 7b: mummergpu hotness is not structure aligned — covering 80% of
+    # traffic needs most of the footprint, and some ranges are never
+    # touched.
+    mummer = results["mummergpu"]
+    hot = mummer.hottest_structures(0.8)
+    assert mummer.footprint_of(hot) > 0.6
+    assert mummer.never_accessed_pages > 0.1 * mummer.profile.footprint_pages
+
+    # 7c: needle's hotness varies within the score matrix; the matrix
+    # dominates traffic but its pages span the whole hotness range.
+    needle = results["needle"]
+    assert needle.traffic_shares["score_matrix"] > 0.4
+    structures_seen = {p.structure for p in needle.scatter[:40]}
+    assert "score_matrix" in structures_seen

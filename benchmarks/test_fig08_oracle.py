@@ -1,0 +1,29 @@
+"""Figure 8 regenerator: oracle vs BW-AWARE, constrained and not."""
+
+from repro.core.metrics import geomean
+
+from conftest import emit
+from repro.experiments import fig08_oracle
+
+
+def test_fig8_oracle(regenerate):
+    table = regenerate(fig08_oracle.run)
+    emit(table)
+
+    # Unconstrained: oracle merely matches BW-AWARE (both reach the
+    # ideal bandwidth split).
+    unconstrained = table.column("ORACLE")
+    assert 0.9 <= geomean(unconstrained) <= 1.1
+
+    rows = {label: dict(zip(table.columns, table.row(label)))
+            for label in table.row_labels()}
+    # 10% capacity: the oracle "can nearly double the performance of
+    # the BW-AWARE policy for applications with highly skewed CDFs".
+    for name in ("bfs", "xsbench"):
+        assert rows[name]["ORACLE-10%"] >= 1.8 * rows[name]["BW-AWARE-10%"]
+    # "it outperforms BW-AWARE placement in all cases".
+    for name, row in rows.items():
+        assert row["ORACLE-10%"] >= row["BW-AWARE-10%"] - 0.02, name
+    # "on average ... nearly 60% the application throughput of a system
+    # for which there is no capacity constraint".
+    assert 0.45 <= table.notes["oracle10_vs_unconstrained"] <= 0.80

@@ -1,0 +1,27 @@
+"""Figure 9 regenerator: annotated allocation code from a profile."""
+
+from conftest import emit
+from repro.experiments import fig09_annotation
+from repro.policies.annotated import PlacementHint
+
+
+def test_fig9_annotated_code(regenerate):
+    program = regenerate(fig09_annotation.run, "bfs")
+    emit(program)
+
+    # The Figure 9b shape: hoisted arrays + GetAllocation + hinted
+    # cudaMalloc per data structure.
+    assert "GetAllocation(size[], hotness[])" in program.annotated_code
+    assert program.annotated_code.count("cudaMalloc") == (
+        program.original_code.count("cudaMalloc")
+    )
+    # Under the 10% constraint the hot bfs structures get BO hints and
+    # the big cold edge list stays CO.
+    hints = dict(zip(
+        ("d_graph_nodes", "d_graph_edges", "d_graph_mask",
+         "d_updating_graph_mask", "d_graph_visited", "d_cost"),
+        program.hints,
+    ))
+    assert hints["d_graph_visited"] == PlacementHint.BANDWIDTH_OPTIMIZED.value
+    assert hints["d_cost"] == PlacementHint.BANDWIDTH_OPTIMIZED.value
+    assert hints["d_graph_edges"] == PlacementHint.CAPACITY_OPTIMIZED.value

@@ -1,0 +1,14 @@
+"""Table 1 regenerator: the simulated system configuration."""
+
+from conftest import emit
+from repro.experiments import tab01_config
+
+
+def test_table1(regenerate):
+    table = regenerate(tab01_config.run)
+    emit(tab01_config.render(table))
+    assert table["GPU Cores"] == "15 SMs @ 1.4Ghz"
+    assert "8-channels, 200GB/sec" in table["GPU-Local"]
+    assert "4-channels, 80GB/sec" in table["GPU-Remote"]
+    assert table["DRAM Timings"] == "RCD=12,RP=12,RC=40,CL=12,WR=12"
+    assert table["GPU-CPU Interconnect Latency"] == "100 GPU core cycles"

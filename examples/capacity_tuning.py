@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Capacity tuning: how small can the fast memory get? (Figure 4)
+
+GPU programmers traditionally size problems to fit GPU-attached memory
+entirely.  With BW-AWARE placement only ~70% of pages live in the
+bandwidth-optimized pool, so the same GPU can run a ~1.4x larger
+problem at near-peak speed.  This example sweeps BO capacity as a
+fraction of the application footprint and reports where performance
+falls off — and what the oracle/annotated policies recover below the
+knee.
+
+Run:  python examples/capacity_tuning.py [workload]
+"""
+
+import sys
+
+from repro import run_experiment
+from repro.core.metrics import percent_gain
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "xsbench"
+    unconstrained = run_experiment(workload, policy="BW-AWARE")
+
+    print(f"{workload}: BW-AWARE performance vs BO capacity "
+          "(1.0 = unconstrained)\n")
+    print(f"{'BO capacity':>12} {'BW-AWARE':>9}")
+    for fraction in (1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.3, 0.1):
+        constrained = run_experiment(
+            workload, policy="BW-AWARE", bo_capacity_fraction=fraction
+        )
+        relative = constrained.throughput / unconstrained.throughput
+        marker = "  <- knee" if 0.65 <= fraction <= 0.75 else ""
+        print(f"{fraction:>11.0%} {relative:>9.3f}{marker}")
+
+    print("\nBelow the knee, hotness-aware placement recovers "
+          "performance (Figure 8/10):")
+    print(f"{'policy':>12} {'perf @10% BO':>13}")
+    for policy in ("BW-AWARE", "ANNOTATED", "ORACLE"):
+        result = run_experiment(workload, policy=policy,
+                                bo_capacity_fraction=0.1)
+        relative = result.throughput / unconstrained.throughput
+        print(f"{policy:>12} {relative:>13.3f}")
+
+    annotated = run_experiment(workload, policy="ANNOTATED",
+                               bo_capacity_fraction=0.1)
+    agnostic = run_experiment(workload, policy="BW-AWARE",
+                              bo_capacity_fraction=0.1)
+    gain = percent_gain(annotated.throughput / agnostic.throughput)
+    print(f"\nannotation gain over application-agnostic placement "
+          f"at 10% BO: {gain:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Model, profile and place a *new* workload with the public API.
+
+Shows the extension path a downstream user takes: subclass
+TraceWorkload with your application's data structures and access
+patterns, then reuse the whole pipeline — profiler, CDF analytics,
+GetAllocation and the experiment runner — unchanged.
+
+The example models a toy graph-analytics kernel (PageRank-flavored):
+a large edge list streamed per iteration, a hot rank vector gathered
+with power-law locality, and a scratch buffer that is mostly idle.
+
+Run:  python examples/profile_new_workload.py
+"""
+
+from repro import PageAccessProfiler, run_experiment
+from repro.profiling.cdf import AccessCdf
+from repro.workloads.base import DataStructureSpec, TraceWorkload, mib
+
+
+class PageRankWorkload(TraceWorkload):
+    """Toy PageRank: streaming edges + power-law rank gathers."""
+
+    name = "pagerank-example"
+    suite = "custom"
+    description = "toy PageRank kernel defined outside the library"
+    parallelism = 384.0
+    compute_ns_per_access = 0.10
+
+    def define_structures(self, dataset="default"):
+        self._check_dataset(dataset)
+        return (
+            DataStructureSpec(
+                "edge_list", mib(48), traffic_weight=45.0,
+                pattern="sequential", read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "rank_vector", mib(4), traffic_weight=40.0,
+                pattern="zipf", pattern_params={"alpha": 1.1},
+                read_fraction=0.8,
+            ),
+            DataStructureSpec(
+                "scratch", mib(16), traffic_weight=15.0,
+                pattern="partial", pattern_params={"used_fraction": 0.3},
+                read_fraction=0.5,
+            ),
+        )
+
+
+def main() -> None:
+    workload = PageRankWorkload()
+    profile = PageAccessProfiler().profile(workload)
+    cdf = AccessCdf.from_counts(profile.page_counts)
+
+    print(f"{workload.name}: footprint "
+          f"{workload.footprint_pages()} pages")
+    print(f"traffic from hottest 10% of pages: "
+          f"{cdf.traffic_at_footprint(0.1):.0%}")
+    print(f"CDF skew coefficient: {cdf.skew():.2f}")
+    print(f"pages needed for 71% of traffic (the BO target share): "
+          f"{cdf.footprint_for_traffic(200 / 280):.0%} of footprint")
+    if cdf.is_skewed():
+        print("=> skewed: annotation/oracle placement has headroom "
+              "under capacity pressure\n")
+    else:
+        print("=> near-linear: BW-AWARE is already close to optimal\n")
+
+    print("policy comparison at 10% BO capacity:")
+    baseline = None
+    for policy in ("INTERLEAVE", "BW-AWARE", "ANNOTATED", "ORACLE"):
+        result = run_experiment(workload, policy=policy,
+                                bo_capacity_fraction=0.1)
+        if baseline is None:
+            baseline = result.throughput
+        print(f"  {policy:11s} {result.throughput / baseline:6.3f}x "
+              f"vs INTERLEAVE")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Explore BW-AWARE placement across the Figure 1 system classes.
+
+The same policy binary serves an HPC node (4 HBM stacks + DDR
+expanders, ~12.5x BW ratio), a desktop (GDDR5 + DDR4, 2.5x) and a
+mobile SoC (WIO2 + LPDDR4, ~3.2x): BW-AWARE reads each machine's SBIT
+and re-derives the optimal split, while LOCAL and INTERLEAVE are blind
+to the ratio.
+
+Run:  python examples/topology_explorer.py [workload]
+"""
+
+import sys
+
+from repro import enumerate_tables, figure1_systems, run_experiment
+from repro.core.metrics import normalize
+from repro.policies.bwaware import ratio_label
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "stencil"
+    print(f"workload: {workload}\n")
+    for topology in figure1_systems():
+        tables = enumerate_tables(topology)
+        label = ratio_label(tables.sbit.fractions())
+        print(f"{topology.name}: BO:CO bandwidth ratio "
+              f"{topology.bw_ratio():.1f}x -> BW-AWARE places {label}")
+        throughputs = {}
+        for policy in ("LOCAL", "INTERLEAVE", "BW-AWARE"):
+            result = run_experiment(workload, policy=policy,
+                                    topology=topology)
+            throughputs[policy] = result.throughput
+        normalized = normalize(throughputs, "LOCAL")
+        for policy, value in normalized.items():
+            print(f"    {policy:11s} {value:6.3f}x vs LOCAL")
+        print()
+
+    print("note how INTERLEAVE's fixed 50/50 split hurts most on the "
+          "HPC system,\nwhere the CO pool provides just 8% of the "
+          "bandwidth but would receive half\nthe traffic.")
+
+
+if __name__ == "__main__":
+    main()

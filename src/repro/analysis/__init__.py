@@ -1,0 +1,5 @@
+"""Result tabulation and rendering."""
+
+from repro.analysis.report import FigureResult, Series, TableResult
+
+__all__ = ["FigureResult", "Series", "TableResult"]

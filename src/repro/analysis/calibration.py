@@ -1,0 +1,151 @@
+"""Reproduction scorecard: measured headline numbers vs paper targets.
+
+The paper's evaluation reduces to a handful of headline claims (BW-AWARE
++18% over LOCAL, annotated ~90% of oracle, ...).  This module measures
+each claim on the live simulator and scores it against the published
+value with an acceptance band — the repository's continuously checkable
+statement of reproduction quality, also exposed as ``repro calibrate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.core.metrics import geomean
+from repro.experiments.common import throughput
+from repro.workloads.suite import workload_names
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One headline claim: a paper value with an acceptance band."""
+
+    name: str
+    paper_value: float
+    lower: float
+    upper: float
+    measure: Callable[[Sequence[str]], float]
+
+    def evaluate(self, workloads: Sequence[str]) -> "ClaimResult":
+        measured = self.measure(workloads)
+        return ClaimResult(
+            name=self.name,
+            paper_value=self.paper_value,
+            measured=measured,
+            lower=self.lower,
+            upper=self.upper,
+        )
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    name: str
+    paper_value: float
+    measured: float
+    lower: float
+    upper: float
+
+    @property
+    def within_band(self) -> bool:
+        return self.lower <= self.measured <= self.upper
+
+    @property
+    def relative_error(self) -> float:
+        return (self.measured - self.paper_value) / self.paper_value
+
+    def render(self) -> str:
+        status = "OK " if self.within_band else "OUT"
+        return (f"[{status}] {self.name:<38} paper={self.paper_value:6.3f} "
+                f"measured={self.measured:6.3f} "
+                f"band=[{self.lower:.2f},{self.upper:.2f}] "
+                f"err={self.relative_error:+.1%}")
+
+
+def _geomean_ratio(numerator_policy: str, denominator_policy: str,
+                   capacity: Optional[float] = None):
+    def measure(workloads: Sequence[str]) -> float:
+        ratios = []
+        for name in workloads:
+            num = throughput(name, numerator_policy,
+                             bo_capacity_fraction=capacity)
+            den = throughput(name, denominator_policy,
+                             bo_capacity_fraction=capacity)
+            ratios.append(num / den)
+        return geomean(ratios)
+
+    return measure
+
+
+def _sgemm_worst_case(workloads: Sequence[str]) -> float:
+    return (throughput("sgemm", "BW-AWARE")
+            / throughput("sgemm", "LOCAL"))
+
+
+def _capacity_knee(workloads: Sequence[str]) -> float:
+    ratios = []
+    for name in workloads:
+        full = throughput(name, "BW-AWARE")
+        constrained = throughput(name, "BW-AWARE",
+                                 bo_capacity_fraction=0.7)
+        ratios.append(constrained / full)
+    return geomean(ratios)
+
+
+def paper_claims() -> tuple[Claim, ...]:
+    """The headline claims this reproduction is scored on."""
+    return (
+        Claim("BW-AWARE vs LOCAL (unconstrained)", 1.18, 1.05, 1.35,
+              _geomean_ratio("BW-AWARE", "LOCAL")),
+        Claim("BW-AWARE vs INTERLEAVE (unconstrained)", 1.35, 1.20,
+              1.70, _geomean_ratio("BW-AWARE", "INTERLEAVE")),
+        Claim("sgemm: BW-AWARE vs LOCAL worst case", 0.88, 0.75, 1.00,
+              _sgemm_worst_case),
+        Claim("BW-AWARE at 70% BO capacity vs peak", 1.00, 0.93, 1.01,
+              _capacity_knee),
+        Claim("ORACLE vs BW-AWARE at 10% capacity", 2.00, 1.20, 3.50,
+              _geomean_ratio("ORACLE", "BW-AWARE", capacity=0.1)),
+        Claim("ANNOTATED vs INTERLEAVE at 10% capacity", 1.19, 1.05,
+              1.45, _geomean_ratio("ANNOTATED", "INTERLEAVE",
+                                   capacity=0.1)),
+        Claim("ANNOTATED vs BW-AWARE at 10% capacity", 1.14, 1.05,
+              1.45, _geomean_ratio("ANNOTATED", "BW-AWARE",
+                                   capacity=0.1)),
+        Claim("ANNOTATED vs ORACLE at 10% capacity", 0.90, 0.80, 1.02,
+              _geomean_ratio("ANNOTATED", "ORACLE", capacity=0.1)),
+    )
+
+
+@dataclass(frozen=True)
+class Scorecard:
+    """All claim evaluations of one calibration run."""
+
+    results: tuple[ClaimResult, ...]
+    workloads: tuple[str, ...]
+
+    @property
+    def all_within_band(self) -> bool:
+        return all(result.within_band for result in self.results)
+
+    @property
+    def out_of_band(self) -> tuple[str, ...]:
+        return tuple(r.name for r in self.results if not r.within_band)
+
+    def render(self) -> str:
+        lines = [f"reproduction scorecard over {len(self.workloads)} "
+                 "workloads:"]
+        lines += [result.render() for result in self.results]
+        verdict = ("all claims within band" if self.all_within_band
+                   else f"OUT OF BAND: {', '.join(self.out_of_band)}")
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def run_scorecard(workloads: Optional[Sequence[str]] = None) -> Scorecard:
+    """Evaluate every headline claim (full suite by default)."""
+    picked = tuple(workloads) if workloads else workload_names()
+    return Scorecard(
+        results=tuple(claim.evaluate(picked)
+                      for claim in paper_claims()),
+        workloads=picked,
+    )

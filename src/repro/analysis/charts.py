@@ -1,0 +1,91 @@
+"""ASCII chart rendering for figure results.
+
+The regenerators print numeric tables; for eyeballing *shape* — the
+knee in Figure 4, the crossover in Figure 5 — a terminal plot is worth
+a hundred rows.  :func:`ascii_chart` renders a :class:`FigureResult`'s
+series onto a character grid with one marker per series, no plotting
+dependency required (the environment is offline).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import FigureResult
+from repro.core.errors import ReproError
+
+#: series markers, assigned in order.
+MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(figure: FigureResult, width: int = 60,
+                height: int = 16) -> str:
+    """Render a FigureResult as an ASCII scatter/line chart."""
+    if width < 10 or height < 4:
+        raise ReproError("chart needs at least 10x4 characters")
+    shown = figure.series
+    truncated = 0
+    if len(shown) > len(MARKERS):
+        # Keep the summary series (geomean) if present, then an even
+        # sample of the rest; note the truncation in the legend.
+        keep = [s for s in shown if s.label == "geomean"]
+        others = [s for s in shown if s.label != "geomean"]
+        budget = len(MARKERS) - len(keep)
+        step = max(1, len(others) // budget)
+        keep += others[::step][:budget]
+        truncated = len(shown) - len(keep)
+        shown = tuple(keep)
+    figure = FigureResult(
+        figure_id=figure.figure_id, title=figure.title,
+        x_label=figure.x_label, y_label=figure.y_label,
+        series=shown, notes=figure.notes,
+    )
+    xs = [x for series in figure.series for x in series.x]
+    ys = [y for series in figure.series for y in series.y]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    for series, marker in zip(figure.series, MARKERS):
+        # Linear interpolation between points for a line-ish look.
+        for (x0, y0), (x1, y1) in zip(zip(series.x, series.y),
+                                      zip(series.x[1:], series.y[1:])):
+            steps = max(2, width // max(len(series.x) - 1, 1))
+            for step in range(steps + 1):
+                t = step / steps
+                place(x0 + (x1 - x0) * t, y0 + (y1 - y0) * t, marker)
+        for x, y in zip(series.x, series.y):
+            place(x, y, marker)
+
+    lines = [f"{figure.figure_id}: {figure.title}"]
+    top_label = f"{y_max:.3g}"
+    bottom_label = f"{y_min:.3g}"
+    pad = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(pad)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append(f"{label} |{''.join(row)}|")
+    x_axis = f"{x_min:.3g}".ljust(width - 6) + f"{x_max:.3g}".rjust(6)
+    lines.append(" " * pad + "  " + x_axis)
+    lines.append(" " * pad + f"  x = {figure.x_label}, "
+                 f"y = {figure.y_label}")
+    legend = "  ".join(
+        f"{marker}={series.label}"
+        for series, marker in zip(figure.series, MARKERS)
+    )
+    if truncated:
+        legend += f"  (+{truncated} series not shown)"
+    lines.append(" " * pad + "  " + legend)
+    return "\n".join(lines)

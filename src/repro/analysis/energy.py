@@ -1,0 +1,102 @@
+"""DRAM and interconnect energy accounting.
+
+Section 2.1 motivates heterogeneous memory partly on energy: GDDR5
+costs significantly more energy per access than DDR4/LPDDR4, and
+on-package stacks (HBM/WIO2) cost less still.  The placement policies
+therefore shift not just bandwidth but energy: BW-AWARE moves ~30% of
+traffic from GDDR5 (~14 pJ/bit) to DDR4 (~6 pJ/bit), cutting DRAM
+energy per byte even as it raises performance — at the price of
+interconnect transfer energy for the remote share.
+
+:func:`energy_report` turns a simulation result into per-zone DRAM
+picojoules plus interconnect energy for hop-crossing traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.errors import ConfigError
+from repro.gpu.trace import SimResult
+from repro.memory.topology import SystemTopology
+
+#: energy to move one bit across the coherent GPU-CPU link, pJ.
+#: NVLink-class links are commonly quoted near 8-10 pJ/bit end to end;
+#: we charge it only to zones behind a hop.
+LINK_PJ_PER_BIT = 10.0
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one simulated execution."""
+
+    dram_pj_by_zone: tuple[float, ...]
+    link_pj: float
+    total_bytes: float
+
+    @property
+    def dram_pj(self) -> float:
+        return sum(self.dram_pj_by_zone)
+
+    @property
+    def total_pj(self) -> float:
+        return self.dram_pj + self.link_pj
+
+    @property
+    def pj_per_byte(self) -> float:
+        """Average memory-system energy per DRAM byte moved."""
+        if self.total_bytes <= 0:
+            raise ConfigError("no traffic to normalize energy by")
+        return self.total_pj / self.total_bytes
+
+    @property
+    def dram_pj_per_byte(self) -> float:
+        """DRAM-only energy per byte (excluding the link tax)."""
+        if self.total_bytes <= 0:
+            raise ConfigError("no traffic to normalize energy by")
+        return self.dram_pj / self.total_bytes
+
+    def render(self) -> str:
+        zones = ", ".join(
+            f"z{idx}={pj / 1e6:.2f}uJ"
+            for idx, pj in enumerate(self.dram_pj_by_zone)
+        )
+        return (f"energy: {self.total_pj / 1e6:.2f} uJ total "
+                f"({zones}; link {self.link_pj / 1e6:.2f} uJ), "
+                f"{self.pj_per_byte:.2f} pJ/B")
+
+
+def energy_report(sim: SimResult,
+                  topology: SystemTopology,
+                  link_pj_per_bit: float = LINK_PJ_PER_BIT
+                  ) -> EnergyReport:
+    """Account DRAM + link energy for a simulation result."""
+    if link_pj_per_bit < 0:
+        raise ConfigError("link_pj_per_bit must be >= 0")
+    if len(sim.bytes_by_zone) != len(topology):
+        raise ConfigError(
+            "result covers a different zone count than the topology"
+        )
+    dram = []
+    link = 0.0
+    for zone, n_bytes in zip(topology, sim.bytes_by_zone):
+        bits = float(n_bytes) * 8.0
+        dram.append(bits * zone.technology.energy_pj_per_bit)
+        if zone.hop_cycles > 0:
+            link += bits * link_pj_per_bit
+    return EnergyReport(
+        dram_pj_by_zone=tuple(dram),
+        link_pj=link,
+        total_bytes=float(sim.bytes_by_zone.sum()),
+    )
+
+
+def efficiency_gbps_per_watt(sim: SimResult,
+                             topology: SystemTopology) -> float:
+    """Memory-system bandwidth efficiency of one run, GB/s per watt."""
+    report = energy_report(sim, topology)
+    power_w = report.total_pj * 1e-12 / (sim.total_time_ns * 1e-9)
+    if power_w <= 0:
+        raise ConfigError("zero memory power")
+    return sim.achieved_bandwidth / 1e9 / power_w

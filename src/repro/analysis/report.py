@@ -1,0 +1,197 @@
+"""Result containers and ASCII rendering for the figure regenerators.
+
+Every experiment module in :mod:`repro.experiments` returns either a
+:class:`FigureResult` (series over a swept parameter — the line plots)
+or a :class:`TableResult` (per-workload columns — the bar charts), both
+of which render to fixed-width text so benches and examples can print
+exactly the rows/series the paper's figures report.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labeled line of a figure."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ReproError(f"series {self.label!r}: x/y length mismatch")
+        if not self.x:
+            raise ReproError(f"series {self.label!r} is empty")
+
+    def y_at(self, x_value: float) -> float:
+        """The y value at an exact swept x point."""
+        for xi, yi in zip(self.x, self.y):
+            if xi == x_value:
+                return yi
+        raise ReproError(f"series {self.label!r} has no point x={x_value}")
+
+    def peak_x(self) -> float:
+        """The x position of the maximum y value."""
+        best = max(range(len(self.y)), key=self.y.__getitem__)
+        return self.x[best]
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """A line-plot figure: several series over one swept axis."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: tuple[Series, ...]
+    notes: Mapping[str, float] = field(default_factory=dict)
+
+    def get(self, label: str) -> Series:
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise ReproError(f"{self.figure_id}: no series {label!r}")
+
+    def labels(self) -> tuple[str, ...]:
+        return tuple(series.label for series in self.series)
+
+    def render(self, precision: int = 3) -> str:
+        """Fixed-width table: one row per x point, one column per series."""
+        width = max(12, *(len(s.label) + 2 for s in self.series))
+        lines = [f"{self.figure_id}: {self.title}",
+                 f"  x = {self.x_label}, y = {self.y_label}"]
+        header = f"{self.x_label[:14]:>14} " + " ".join(
+            f"{s.label[:width]:>{width}}" for s in self.series
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        xs = self.series[0].x
+        for series in self.series:
+            if series.x != xs:
+                raise ReproError(
+                    f"{self.figure_id}: series have mismatched x axes"
+                )
+        for i, x in enumerate(xs):
+            row = f"{x:>14.4g} " + " ".join(
+                f"{s.y[i]:>{width}.{precision}f}" for s in self.series
+            )
+            lines.append(row)
+        if self.notes:
+            lines.append("notes: " + ", ".join(
+                f"{key}={value:.3f}" for key, value in self.notes.items()
+            ))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Plot-ready CSV: x column followed by one column per series."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow([self.x_label] + [s.label for s in self.series])
+        xs = self.series[0].x
+        for series in self.series:
+            if series.x != xs:
+                raise ReproError(
+                    f"{self.figure_id}: series have mismatched x axes"
+                )
+        for i, x in enumerate(xs):
+            writer.writerow([x] + [series.y[i] for series in self.series])
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """Structured JSON with axes, series and headline notes."""
+        return json.dumps({
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": [
+                {"label": s.label, "x": list(s.x), "y": list(s.y)}
+                for s in self.series
+            ],
+            "notes": dict(self.notes),
+        })
+
+
+@dataclass(frozen=True)
+class TableResult:
+    """A bar-chart figure: one row per workload, one column per config."""
+
+    figure_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[str, tuple[float, ...]], ...]
+    notes: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for label, values in self.rows:
+            if len(values) != len(self.columns):
+                raise ReproError(
+                    f"{self.figure_id}: row {label!r} has {len(values)} "
+                    f"values for {len(self.columns)} columns"
+                )
+
+    def row(self, label: str) -> tuple[float, ...]:
+        for row_label, values in self.rows:
+            if row_label == label:
+                return values
+        raise ReproError(f"{self.figure_id}: no row {label!r}")
+
+    def column(self, name: str) -> tuple[float, ...]:
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise ReproError(f"{self.figure_id}: no column {name!r}")
+        return tuple(values[index] for _, values in self.rows)
+
+    def row_labels(self) -> tuple[str, ...]:
+        return tuple(label for label, _ in self.rows)
+
+    def render(self, precision: int = 3) -> str:
+        width = max(12, *(len(c) + 2 for c in self.columns))
+        lines = [f"{self.figure_id}: {self.title}"]
+        header = f"{'workload':>12} " + " ".join(
+            f"{c[:width]:>{width}}" for c in self.columns
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for label, values in self.rows:
+            lines.append(f"{label:>12} " + " ".join(
+                f"{v:>{width}.{precision}f}" for v in values
+            ))
+        if self.notes:
+            lines.append("notes: " + ", ".join(
+                f"{key}={value:.3f}" for key, value in self.notes.items()
+            ))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Plot-ready CSV: workload column + one column per config."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["workload"] + list(self.columns))
+        for label, values in self.rows:
+            writer.writerow([label] + list(values))
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """Structured JSON with columns, rows and headline notes."""
+        return json.dumps({
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [
+                {"label": label, "values": list(values)}
+                for label, values in self.rows
+            ],
+            "notes": dict(self.notes),
+        })

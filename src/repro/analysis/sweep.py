@@ -1,0 +1,155 @@
+"""Generic experiment sweeps.
+
+The figure regenerators hand-roll their loops; downstream users usually
+want "run this workload set against these policies on these systems and
+tabulate".  :class:`SweepRunner` does exactly that: a cartesian sweep
+over (workload, policy, topology[, capacity]) with normalized output,
+reusing the memoized trace layer so large sweeps stay fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.analysis.report import TableResult
+from repro.core.errors import ConfigError
+from repro.core.experiment import ExperimentResult, run_experiment
+from repro.core.metrics import geomean
+from repro.memory.topology import SystemTopology, simulated_baseline
+from repro.policies.base import PlacementPolicy
+from repro.workloads.base import TraceWorkload
+from repro.workloads.suite import get_workload
+
+PolicySpec = Union[str, PlacementPolicy]
+WorkloadSpec = Union[str, TraceWorkload]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One completed sweep point."""
+
+    workload: str
+    policy: str
+    topology: str
+    capacity: Optional[float]
+    result: ExperimentResult
+
+
+class SweepRunner:
+    """Cartesian (workload x policy x topology x capacity) sweeps."""
+
+    def __init__(self,
+                 workloads: Sequence[WorkloadSpec],
+                 policies: Sequence[PolicySpec],
+                 topologies: Optional[Mapping[str, SystemTopology]] = None,
+                 capacities: Sequence[Optional[float]] = (None,),
+                 trace_accesses: Optional[int] = None,
+                 seed: int = 0) -> None:
+        if not workloads:
+            raise ConfigError("sweep needs at least one workload")
+        if not policies:
+            raise ConfigError("sweep needs at least one policy")
+        if not capacities:
+            raise ConfigError("sweep needs at least one capacity point")
+        self.workloads = tuple(
+            w if isinstance(w, TraceWorkload) else get_workload(w)
+            for w in workloads
+        )
+        self.policies = tuple(policies)
+        self.topologies = dict(
+            topologies if topologies is not None
+            else {"baseline": simulated_baseline()}
+        )
+        if not self.topologies:
+            raise ConfigError("sweep needs at least one topology")
+        self.capacities = tuple(capacities)
+        self.trace_accesses = trace_accesses
+        self.seed = seed
+        self._cells: list[SweepCell] = []
+
+    @staticmethod
+    def _policy_label(policy: PolicySpec) -> str:
+        return policy if isinstance(policy, str) else policy.name
+
+    def run(self) -> tuple[SweepCell, ...]:
+        """Execute the full sweep (idempotent; cached afterwards)."""
+        if self._cells:
+            return tuple(self._cells)
+        for workload in self.workloads:
+            for topo_name, topology in self.topologies.items():
+                for capacity in self.capacities:
+                    for policy in self.policies:
+                        result = run_experiment(
+                            workload,
+                            policy=policy,
+                            topology=topology,
+                            bo_capacity_fraction=capacity,
+                            trace_accesses=self.trace_accesses,
+                            seed=self.seed,
+                        )
+                        self._cells.append(SweepCell(
+                            workload=workload.name,
+                            policy=self._policy_label(policy),
+                            topology=topo_name,
+                            capacity=capacity,
+                            result=result,
+                        ))
+        return tuple(self._cells)
+
+    def cell(self, workload: str, policy: str,
+             topology: Optional[str] = None,
+             capacity: Optional[float] = None) -> SweepCell:
+        """Look one point up (runs the sweep if needed)."""
+        self.run()
+        for candidate in self._cells:
+            if (candidate.workload == workload
+                    and candidate.policy == policy
+                    and (topology is None or candidate.topology == topology)
+                    and candidate.capacity == capacity):
+                return candidate
+        raise ConfigError(
+            f"no sweep cell ({workload}, {policy}, {topology}, "
+            f"{capacity})"
+        )
+
+    def table(self, baseline_policy: Optional[str] = None,
+              topology: Optional[str] = None,
+              capacity: Optional[float] = None) -> TableResult:
+        """Workload x policy table for one (topology, capacity) slice.
+
+        Values are throughput, normalized per workload to
+        ``baseline_policy`` when given.
+        """
+        self.run()
+        topo_name = (topology if topology is not None
+                     else next(iter(self.topologies)))
+        labels = [self._policy_label(p) for p in self.policies]
+        rows = []
+        per_policy: dict[str, list[float]] = {l: [] for l in labels}
+        for workload in self.workloads:
+            raw = {
+                label: self.cell(workload.name, label, topo_name,
+                                 capacity).result.throughput
+                for label in labels
+            }
+            base = raw[baseline_policy] if baseline_policy else 1.0
+            values = tuple(raw[label] / base for label in labels)
+            for label, value in zip(labels, values):
+                per_policy[label].append(value)
+            rows.append((workload.name, values))
+        notes = {}
+        if baseline_policy:
+            notes = {
+                f"geomean_{label}": geomean(per_policy[label])
+                for label in labels
+            }
+        return TableResult(
+            figure_id=f"sweep[{topo_name}"
+                      + (f",cap={capacity}" if capacity else "") + "]",
+            title="policy sweep"
+                  + (f" (vs {baseline_policy})" if baseline_policy else ""),
+            columns=tuple(labels),
+            rows=tuple(rows),
+            notes=notes,
+        )

@@ -1,0 +1,281 @@
+"""Command-line interface.
+
+Everything the library does is reachable from the shell::
+
+    repro list workloads
+    repro run --workload bfs --policy BW-AWARE --capacity 0.1
+    repro compare --workload lbm
+    repro figure fig3
+    repro profile --workload bfs
+    repro trace --workload bfs --out bfs.npz
+
+(or ``python -m repro ...`` without the console script installed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.experiment import compare_policies, run_experiment
+from repro.core.metrics import normalize
+from repro.core.units import format_bytes
+from repro.gpu.trace_io import save_trace
+from repro.memory.topology import (
+    SystemTopology,
+    hpc_topology,
+    mobile_topology,
+    simulated_baseline,
+    symmetric_topology,
+    three_pool_topology,
+)
+from repro.policies.registry import policy_names
+from repro.profiling.cdf import AccessCdf
+from repro.profiling.profiler import PageAccessProfiler
+from repro.workloads import get_workload, workload_names
+
+TOPOLOGIES = {
+    "baseline": simulated_baseline,
+    "hpc": hpc_topology,
+    "mobile": mobile_topology,
+    "symmetric": symmetric_topology,
+    "three-pool": three_pool_topology,
+}
+
+
+def _topology(name: str) -> SystemTopology:
+    try:
+        return TOPOLOGIES[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown topology {name!r}; known: {sorted(TOPOLOGIES)}"
+        )
+
+
+def _experiment_names() -> list[str]:
+    from repro import experiments
+
+    return sorted(experiments.__all__)
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    kind = args.kind
+    if kind == "workloads":
+        for name in workload_names():
+            workload = get_workload(name)
+            print(f"{name:12s} [{workload.suite:8s}] "
+                  f"{workload.description}")
+    elif kind == "policies":
+        for name in policy_names():
+            print(name)
+    elif kind == "experiments":
+        for name in _experiment_names():
+            print(name)
+    elif kind == "topologies":
+        for name, factory in sorted(TOPOLOGIES.items()):
+            topology = factory()
+            zones = ", ".join(
+                f"{z.name}={z.bandwidth_gbps:.0f}GB/s" for z in topology
+            )
+            print(f"{name:10s} {zones}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(
+        args.workload,
+        dataset=args.dataset,
+        policy=args.policy,
+        topology=_topology(args.topology),
+        bo_capacity_fraction=args.capacity,
+        engine=args.engine,
+        trace_accesses=args.accesses,
+        seed=args.seed,
+    )
+    print(result.describe())
+    print(f"achieved bandwidth: "
+          f"{result.sim.achieved_bandwidth / 1e9:.1f} GB/s")
+    print(f"dominant bound: {result.sim.dominant_bound()}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    results = compare_policies(
+        args.workload,
+        tuple(args.policies),
+        dataset=args.dataset,
+        topology=_topology(args.topology),
+        bo_capacity_fraction=args.capacity,
+        trace_accesses=args.accesses,
+        seed=args.seed,
+    )
+    normalized = normalize(
+        {name: r.throughput for name, r in results.items()},
+        args.policies[0],
+    )
+    for name in args.policies:
+        result = results[name]
+        print(f"{name:18s} {normalized[name]:6.3f}x  "
+              f"{result.time_ns / 1e6:8.3f} ms  "
+              f"{result.sim.achieved_bandwidth / 1e9:6.1f} GB/s")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    import importlib
+
+    if args.name not in _experiment_names():
+        raise SystemExit(
+            f"unknown experiment {args.name!r}; see `repro list "
+            "experiments`"
+        )
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    if args.chart:
+        from repro.analysis.charts import ascii_chart
+        from repro.analysis.report import FigureResult
+
+        candidates = [getattr(module, "run", None)] + [
+            getattr(module, name) for name in sorted(dir(module))
+            if name.startswith("run_")
+        ]
+        result = None
+        for candidate in candidates:
+            if callable(candidate):
+                produced = candidate()
+                if isinstance(produced, FigureResult):
+                    result = produced
+                    break
+        if result is None:
+            raise SystemExit(
+                f"{args.name} does not produce a line figure; run "
+                "without --chart"
+            )
+        print(ascii_chart(result))
+        return 0
+    module.main()
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    profile = PageAccessProfiler().profile(
+        workload, args.dataset,
+        n_accesses=args.accesses, seed=args.seed,
+    )
+    print(f"{args.workload}/{args.dataset}: "
+          f"{profile.total_accesses} DRAM accesses over "
+          f"{profile.footprint_pages} pages")
+    for structure in profile.hotness_ranking():
+        share = structure.accesses / max(profile.total_accesses, 1)
+        print(f"  {structure.name:24s} "
+              f"{format_bytes(structure.n_pages * 4096):>10} "
+              f"{share:7.1%}  {structure.hotness_density:10.1f} acc/page")
+    cdf = AccessCdf.from_counts(profile.page_counts)
+    print(f"traffic from hottest 10% of pages: "
+          f"{cdf.traffic_at_footprint(0.1):.0%} "
+          f"(skew {cdf.skew():.2f})")
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.analysis.calibration import run_scorecard
+
+    workloads = args.workloads if args.workloads else None
+    scorecard = run_scorecard(workloads)
+    print(scorecard.render())
+    return 0 if scorecard.all_within_band else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    kwargs = {} if args.accesses is None else {"n_accesses": args.accesses}
+    trace = workload.dram_trace(args.dataset, seed=args.seed, **kwargs)
+    path = save_trace(trace, args.out,
+                      structures=workload.page_ranges(args.dataset))
+    print(f"wrote {trace.n_accesses} accesses "
+          f"({trace.footprint_pages} pages) to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'Page Placement Strategies for "
+                     "GPUs within Heterogeneous Memory Systems' "
+                     "(ASPLOS 2015)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="enumerate library entities")
+    p_list.add_argument("kind", choices=("workloads", "policies",
+                                         "experiments", "topologies"))
+    p_list.set_defaults(fn=cmd_list)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", "-w", required=True,
+                       help="benchmark name (see `repro list workloads`)")
+        p.add_argument("--dataset", "-d", default="default")
+        p.add_argument("--topology", "-t", default="baseline",
+                       choices=sorted(TOPOLOGIES))
+        p.add_argument("--capacity", "-c", type=float, default=None,
+                       help="BO capacity as a fraction of the footprint")
+        p.add_argument("--accesses", "-n", type=int, default=None,
+                       help="raw trace length")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_run = sub.add_parser("run", help="run one placement experiment")
+    common(p_run)
+    p_run.add_argument("--policy", "-p", default="BW-AWARE")
+    p_run.add_argument("--engine", default="throughput",
+                       choices=("throughput", "detailed", "banked"))
+    p_run.set_defaults(fn=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare policies")
+    common(p_cmp)
+    p_cmp.add_argument("--policies", "-p", nargs="+",
+                       default=["LOCAL", "INTERLEAVE", "BW-AWARE"])
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_fig = sub.add_parser("figure",
+                           help="regenerate a paper figure/table")
+    p_fig.add_argument("name",
+                       help="experiment module, e.g. fig03_ratio_sweep")
+    p_fig.add_argument("--chart", action="store_true",
+                       help="render line figures as an ASCII chart")
+    p_fig.set_defaults(fn=cmd_figure)
+
+    p_prof = sub.add_parser("profile",
+                            help="profile a workload (Section 5.1)")
+    p_prof.add_argument("--workload", "-w", required=True)
+    p_prof.add_argument("--dataset", "-d", default="default")
+    p_prof.add_argument("--accesses", "-n", type=int, default=None)
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.set_defaults(fn=cmd_profile)
+
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="score measured headline numbers against the paper",
+    )
+    p_cal.add_argument("--workloads", "-w", nargs="*", default=None)
+    p_cal.set_defaults(fn=cmd_calibrate)
+
+    p_trace = sub.add_parser("trace",
+                             help="synthesize and save a trace (.npz)")
+    p_trace.add_argument("--workload", "-w", required=True)
+    p_trace.add_argument("--dataset", "-d", default="default")
+    p_trace.add_argument("--accesses", "-n", type=int, default=None)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", "-o", required=True)
+    p_trace.set_defaults(fn=cmd_trace)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

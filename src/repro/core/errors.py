@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate the failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object was constructed with inconsistent values."""
+
+
+class OutOfMemoryError(ReproError):
+    """No physical frame could satisfy an allocation request.
+
+    Raised by the physical allocator when *every* zone in the fallback
+    chain is exhausted, mirroring the kernel OOM condition.  Policies that
+    merely prefer a full zone fall back silently instead of raising.
+    """
+
+
+class AllocationError(ReproError):
+    """A virtual allocation request was malformed (zero size, bad hint...)."""
+
+
+class TranslationError(ReproError):
+    """A virtual address was dereferenced without a valid mapping."""
+
+
+class PolicyError(ReproError):
+    """A placement policy was misconfigured or used out of contract."""
+
+
+class ProfileError(ReproError):
+    """Profile data was missing, malformed, or inconsistent with a trace."""
+
+
+class SimulationError(ReproError):
+    """The GPU simulator reached an inconsistent internal state."""
+
+
+class WorkloadError(ReproError):
+    """A workload or dataset name could not be resolved, or a trace request
+    was invalid for the given workload."""

@@ -1,0 +1,57 @@
+"""Aggregate metrics for experiment results.
+
+The paper reports averages of per-workload performance ratios
+(normalized to a baseline policy); geometric means are the standard
+aggregation for ratios and what we use everywhere a figure quotes an
+"average" improvement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup(test_time: float, baseline_time: float) -> float:
+    """Baseline-relative speedup (>1 means the test config is faster)."""
+    if test_time <= 0 or baseline_time <= 0:
+        raise ValueError("times must be positive")
+    return baseline_time / test_time
+
+
+def percent_gain(ratio: float) -> float:
+    """Ratio expressed as a percent improvement (1.18 -> 18.0)."""
+    return (ratio - 1.0) * 100.0
+
+
+def normalize(values: Mapping[str, float],
+              baseline_key: str) -> dict[str, float]:
+    """Scale a {label: throughput} mapping so the baseline is 1.0."""
+    try:
+        baseline = values[baseline_key]
+    except KeyError:
+        raise ValueError(f"baseline {baseline_key!r} not in {sorted(values)}")
+    if baseline <= 0:
+        raise ValueError("baseline value must be positive")
+    return {key: value / baseline for key, value in values.items()}
+
+
+def geomean_by_key(rows: Sequence[Mapping[str, float]]) -> dict[str, float]:
+    """Column-wise geometric mean over rows sharing the same keys."""
+    if not rows:
+        raise ValueError("no rows to aggregate")
+    keys = set(rows[0])
+    for row in rows:
+        if set(row) != keys:
+            raise ValueError("rows have mismatched keys")
+    return {key: geomean(row[key] for row in rows) for key in sorted(keys)}

@@ -1,0 +1,84 @@
+"""Unit constants and conversion helpers used throughout the library.
+
+The simulator mixes three unit families — bytes, seconds and GPU core
+cycles — and bugs in unit handling are the classic failure mode of memory
+system models.  Centralizing the constants (and the few conversions that
+need a clock frequency) keeps every module honest.
+
+Conventions
+-----------
+* Capacities and footprints are plain ``int`` bytes.
+* Bandwidths are ``float`` **bytes per second** internally; the public API
+  accepts and reports GB/s (decimal, :data:`GB` = 1e9) because that is the
+  unit the paper uses ("200GB/sec aggregate").
+* Latencies are ``float`` nanoseconds internally; the GPU config converts
+  to/from core cycles at its clock frequency (1.4 GHz in Table 1).
+"""
+
+from __future__ import annotations
+
+# Binary capacity units (page counts, cache sizes, footprints).
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+# Decimal units (bandwidths, DRAM marketing numbers).
+KB = 10**3
+MB = 10**6
+GB = 10**9
+
+#: Page size used by every component (the paper profiles 4kB pages).
+PAGE_SIZE = 4 * KIB
+
+#: DRAM burst / cache line granularity in bytes (GPU sector size).
+LINE_SIZE = 128
+
+NS_PER_S = 1e9
+
+
+def gbps(value: float) -> float:
+    """Convert a bandwidth expressed in GB/s to bytes/second."""
+    return float(value) * GB
+
+
+def to_gbps(bytes_per_second: float) -> float:
+    """Convert a bandwidth in bytes/second back to GB/s for reporting."""
+    return bytes_per_second / GB
+
+
+def bytes_to_pages(n_bytes: int) -> int:
+    """Number of 4 KiB pages needed to back ``n_bytes`` (ceiling)."""
+    if n_bytes < 0:
+        raise ValueError(f"negative byte count: {n_bytes}")
+    return -(-int(n_bytes) // PAGE_SIZE)
+
+
+def pages_to_bytes(n_pages: int) -> int:
+    """Total bytes spanned by ``n_pages`` full pages."""
+    if n_pages < 0:
+        raise ValueError(f"negative page count: {n_pages}")
+    return int(n_pages) * PAGE_SIZE
+
+
+def cycles_to_ns(cycles: float, clock_ghz: float) -> float:
+    """Convert core cycles to nanoseconds at ``clock_ghz``."""
+    if clock_ghz <= 0:
+        raise ValueError(f"clock must be positive, got {clock_ghz}")
+    return cycles / clock_ghz
+
+
+def ns_to_cycles(ns: float, clock_ghz: float) -> float:
+    """Convert nanoseconds to core cycles at ``clock_ghz``."""
+    if clock_ghz <= 0:
+        raise ValueError(f"clock must be positive, got {clock_ghz}")
+    return ns * clock_ghz
+
+
+def format_bytes(n_bytes: int) -> str:
+    """Human readable byte count, binary units (``'12.0 MiB'``)."""
+    value = float(n_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    raise AssertionError("unreachable")

@@ -1,0 +1,52 @@
+"""Figure/table regenerators, one module per paper exhibit.
+
+Each module exposes ``run(...)`` returning a structured result with a
+``render()`` method, plus a ``main()`` that prints it — so every paper
+exhibit can be regenerated with e.g.::
+
+    python -m repro.experiments.fig03_ratio_sweep
+"""
+
+from repro.experiments import (
+    ext_cpu_contention,
+    ext_energy,
+    ext_granularity,
+    ext_interconnect,
+    ext_migration,
+    ext_three_pool,
+    fig01_topologies,
+    fig02_sensitivity,
+    fig03_ratio_sweep,
+    fig04_capacity,
+    fig05_bw_ratio,
+    fig06_cdf,
+    fig07_datastructs,
+    fig08_oracle,
+    fig09_annotation,
+    fig10_annotated,
+    fig11_datasets,
+    tab01_config,
+)
+
+__all__ = [
+    "fig01_topologies",
+    "fig02_sensitivity",
+    "fig03_ratio_sweep",
+    "fig04_capacity",
+    "fig05_bw_ratio",
+    "fig06_cdf",
+    "fig07_datastructs",
+    "fig08_oracle",
+    "fig09_annotation",
+    "fig10_annotated",
+    "fig11_datasets",
+    "tab01_config",
+    "ext_cpu_contention",
+    "ext_energy",
+    "ext_granularity",
+    "ext_interconnect",
+    "ext_migration",
+    "ext_three_pool",
+]
+
+ALL_EXPERIMENTS = tuple(__all__)

@@ -1,0 +1,77 @@
+"""Shared settings and helpers for the figure regenerators.
+
+Every experiment module uses the same trace length and seed so results
+are comparable across figures and stable across runs; traces are
+memoized by the workload layer, so the cache-filter cost is paid once
+per (workload, dataset) per process.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.core.experiment import ExperimentResult, run_experiment
+from repro.memory.topology import SystemTopology
+from repro.policies.base import PlacementPolicy
+from repro.workloads.base import TraceWorkload
+from repro.workloads.suite import get_workload, workload_names
+
+#: raw accesses per trace in the figure regenerators — long enough to
+#: cover every footprint page several times, short enough that a full
+#: 19-workload sweep completes in seconds.
+EXP_ACCESSES = 120_000
+
+#: the experiment seed (placement randomness + trace synthesis).
+EXP_SEED = 0
+
+#: The three policies Figure 3/5 compare.
+BASE_POLICIES = ("LOCAL", "INTERLEAVE", "BW-AWARE")
+
+
+def resolve_workloads(workloads: Optional[Sequence[Union[str, TraceWorkload]]]
+                      ) -> tuple[TraceWorkload, ...]:
+    """Default to the full 19-benchmark suite."""
+    if workloads is None:
+        names: Sequence[Union[str, TraceWorkload]] = workload_names()
+    else:
+        names = workloads
+    return tuple(
+        w if isinstance(w, TraceWorkload) else get_workload(w)
+        for w in names
+    )
+
+
+def throughput(workload: Union[str, TraceWorkload],
+               policy: Union[str, PlacementPolicy],
+               topology: Optional[SystemTopology] = None,
+               dataset: str = "default",
+               bo_capacity_fraction: Optional[float] = None,
+               training_dataset: Optional[str] = None,
+               trace_accesses: int = EXP_ACCESSES,
+               seed: int = EXP_SEED) -> float:
+    """Throughput of one run with the experiment-suite defaults."""
+    return run(workload, policy, topology=topology, dataset=dataset,
+               bo_capacity_fraction=bo_capacity_fraction,
+               training_dataset=training_dataset,
+               trace_accesses=trace_accesses, seed=seed).throughput
+
+
+def run(workload: Union[str, TraceWorkload],
+        policy: Union[str, PlacementPolicy],
+        topology: Optional[SystemTopology] = None,
+        dataset: str = "default",
+        bo_capacity_fraction: Optional[float] = None,
+        training_dataset: Optional[str] = None,
+        trace_accesses: int = EXP_ACCESSES,
+        seed: int = EXP_SEED) -> ExperimentResult:
+    """One experiment with the suite defaults."""
+    return run_experiment(
+        workload,
+        dataset=dataset,
+        policy=policy,
+        topology=topology,
+        bo_capacity_fraction=bo_capacity_fraction,
+        trace_accesses=trace_accesses,
+        seed=seed,
+        training_dataset=training_dataset,
+    )

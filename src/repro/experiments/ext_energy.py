@@ -1,0 +1,86 @@
+"""Extension: memory-system energy under each placement policy.
+
+Section 2.1 motivates capacity-optimized pools on cost *and energy*
+(DDR4 ~6 pJ/bit vs GDDR5 ~14 pJ/bit); related work (Wang et al.,
+PACT'13) shows software placement into cheaper memory "offers improved
+power efficiency".  This extension accounts DRAM + interconnect energy
+for LOCAL / INTERLEAVE / BW-AWARE across the suite: BW-AWARE moves
+~30% of traffic to the cheaper pool, so it wins on performance *and*
+on DRAM pJ/byte, while the interconnect tax claws part of that back.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.analysis.energy import energy_report
+from repro.analysis.report import TableResult
+from repro.core.metrics import geomean
+from repro.experiments.common import resolve_workloads, run
+from repro.memory.topology import simulated_baseline
+from repro.workloads.base import TraceWorkload
+
+POLICIES = ("LOCAL", "INTERLEAVE", "BW-AWARE")
+
+
+def run_energy(workloads: Optional[Sequence[Union[str, TraceWorkload]]]
+               = None) -> TableResult:
+    """Per-workload memory pJ/byte for each policy, and perf/watt
+    relative to LOCAL."""
+    picked = resolve_workloads(workloads)
+    topology = simulated_baseline()
+    rows = []
+    ratios = {policy: [] for policy in POLICIES}
+    dram_ratios = {policy: [] for policy in POLICIES}
+    perf_per_watt = {policy: [] for policy in POLICIES}
+    for workload in picked:
+        values = []
+        reports = {}
+        results = {}
+        for policy in POLICIES:
+            result = run(workload, policy)
+            results[policy] = result
+            reports[policy] = energy_report(result.sim, topology)
+            values.append(reports[policy].pj_per_byte)
+        local_report = reports["LOCAL"]
+        local_power = (local_report.total_pj
+                       / results["LOCAL"].sim.total_time_ns)
+        for policy in POLICIES:
+            report = reports[policy]
+            ratios[policy].append(
+                report.pj_per_byte / local_report.pj_per_byte
+            )
+            dram_ratios[policy].append(
+                report.dram_pj_per_byte / local_report.dram_pj_per_byte
+            )
+            power = report.total_pj / results[policy].sim.total_time_ns
+            perf_per_watt[policy].append(
+                (results[policy].throughput / power)
+                / (results["LOCAL"].throughput / local_power)
+            )
+        rows.append((workload.name, tuple(values)))
+    notes = {
+        "bwaware_pj_per_byte_vs_local": geomean(ratios["BW-AWARE"]),
+        "bwaware_dram_pj_per_byte_vs_local": geomean(
+            dram_ratios["BW-AWARE"]
+        ),
+        "bwaware_perf_per_watt_vs_local": geomean(
+            perf_per_watt["BW-AWARE"]
+        ),
+        "interleave_pj_per_byte_vs_local": geomean(ratios["INTERLEAVE"]),
+    }
+    return TableResult(
+        figure_id="ext-energy",
+        title="memory-system energy per byte (pJ/B) by policy",
+        columns=POLICIES,
+        rows=tuple(rows),
+        notes=notes,
+    )
+
+
+def main() -> None:
+    print(run_energy().render())
+
+
+if __name__ == "__main__":
+    main()

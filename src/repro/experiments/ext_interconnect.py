@@ -1,0 +1,72 @@
+"""Extension: when the interconnect, not the DRAM, limits placement.
+
+The paper assumes a cache-coherent fabric that never caps remote
+traffic (Table 1's 100-cycle hop is latency-only) — reasonable for
+NVLink-class links, but PCIe-attached GPUs see 16-32 GB/s.  This
+extension sweeps the GPU-CPU link bandwidth and shows:
+
+* BW-AWARE's gain over LOCAL collapses as the link shrinks below the
+  CO pool bandwidth — with a 16 GB/s link the remote pool is barely
+  worth using;
+* a link-aware SBIT (reporting ``min(pool, link)``, which our firmware
+  enumeration does) keeps BW-AWARE from oversubscribing the link: the
+  policy degrades gracefully toward LOCAL instead of below it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.analysis.report import FigureResult, Series
+from repro.core.metrics import geomean
+from repro.experiments.common import resolve_workloads, throughput
+from repro.memory.topology import link_limited_baseline
+from repro.workloads.base import TraceWorkload
+
+#: GB/s sweep: PCIe3 x16, PCIe4 x16, NVLink1, NVLink2-class, unbound.
+DEFAULT_LINKS_GBPS = (16.0, 32.0, 80.0, 150.0, 1000.0)
+
+
+def run_links(workloads: Optional[Sequence[Union[str, TraceWorkload]]]
+              = None,
+              links_gbps: Sequence[float] = DEFAULT_LINKS_GBPS
+              ) -> FigureResult:
+    """Geomean speedup of INTERLEAVE/BW-AWARE over LOCAL per link."""
+    picked = resolve_workloads(workloads)
+    policies = ("INTERLEAVE", "BW-AWARE")
+    ys = {policy: [] for policy in policies}
+    for link in links_gbps:
+        topo = link_limited_baseline(link)
+        ratios = {policy: [] for policy in policies}
+        for workload in picked:
+            local = throughput(workload, "LOCAL", topology=topo)
+            for policy in policies:
+                value = throughput(workload, policy, topology=topo)
+                ratios[policy].append(value / local)
+        for policy in policies:
+            ys[policy].append(geomean(ratios[policy]))
+    xs = tuple(float(l) for l in links_gbps)
+    series = (
+        Series("LOCAL", xs, tuple(1.0 for _ in xs)),
+        Series("INTERLEAVE", xs, tuple(ys["INTERLEAVE"])),
+        Series("BW-AWARE", xs, tuple(ys["BW-AWARE"])),
+    )
+    return FigureResult(
+        figure_id="ext-interconnect",
+        title="policy gain vs GPU-CPU link bandwidth",
+        x_label="link bandwidth GB/s",
+        y_label="geomean speedup vs LOCAL",
+        series=series,
+        notes={
+            "bwaware_at_pcie3": ys["BW-AWARE"][0],
+            "bwaware_unbound": ys["BW-AWARE"][-1],
+        },
+    )
+
+
+def main() -> None:
+    print(run_links().render())
+
+
+if __name__ == "__main__":
+    main()

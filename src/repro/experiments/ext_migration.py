@@ -1,0 +1,119 @@
+"""Extension: online page migration vs static placement (Section 5.5).
+
+The paper declines to build dynamic migration, arguing (a) measured
+software migration moves pages at only a few GB/s with microsecond
+re-use stalls, and (b) good *initial* placement removes most of the
+need.  This extension makes that argument quantitative: starting from a
+deliberately bad initial placement (everything in CO memory), an online
+migrator with oracle-shaped targeting is simulated under a sweep of
+migration costs, against three static references:
+
+* static BW-AWARE (the paper's proposal, no tracking needed),
+* static ORACLE (the upper bound of initial placement),
+* the same migrator at zero cost (the upper bound of *any* migration).
+
+At the paper's measured costs the migrator loses badly on our short
+(hundred-microsecond) executions; as the per-page cost is scaled down —
+equivalently, as execution time grows to amortize it — migration from a
+bad start approaches the oracle.  The crossover cost scale is reported.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.report import FigureResult, Series
+from repro.core.experiment import constrained_topology
+from repro.core.units import gbps
+from repro.experiments.common import EXP_ACCESSES, EXP_SEED, run
+from repro.memory.topology import simulated_baseline
+from repro.migration.cost import MigrationCostModel
+from repro.migration.engine import MigrationSimulator
+from repro.migration.policy import EpochMigrationPolicy
+from repro.workloads.suite import get_workload
+
+DEFAULT_COST_SCALES = (1.0, 0.1, 0.01, 0.001, 0.0)
+DEFAULT_CAPACITY_FRACTION = 0.10
+
+
+def scaled_cost(scale: float) -> MigrationCostModel:
+    """The Section 5.5 cost model scaled by ``scale`` (0 = free)."""
+    if scale == 0.0:
+        return MigrationCostModel(migration_bandwidth=float("inf"),
+                                  first_touch_stall_us=0.0,
+                                  stall_exposure=0.0)
+    return MigrationCostModel(
+        migration_bandwidth=gbps(4.0) / scale,
+        first_touch_stall_us=5.0 * scale,
+    )
+
+
+def run_workload(name: str,
+                 cost_scales: Sequence[float] = DEFAULT_COST_SCALES,
+                 capacity_fraction: float = DEFAULT_CAPACITY_FRACTION,
+                 n_epochs_budget: int | None = None) -> FigureResult:
+    """Migration-vs-static comparison for one workload.
+
+    Y values are throughput relative to static BW-AWARE at the same
+    capacity constraint (1.0 = the paper's static proposal).
+    """
+    workload = get_workload(name)
+    trace = workload.dram_trace(n_accesses=EXP_ACCESSES, seed=EXP_SEED)
+    topology = constrained_topology(
+        simulated_baseline(), trace.footprint_pages, capacity_fraction
+    )
+    chars = workload.characteristics()
+    bo_capacity = topology.local.capacity_pages
+
+    static_bw = run(workload, "BW-AWARE",
+                    bo_capacity_fraction=capacity_fraction).throughput
+    static_oracle = run(workload, "ORACLE",
+                        bo_capacity_fraction=capacity_fraction).throughput
+
+    all_co = np.ones(trace.footprint_pages, dtype=np.int16)
+    migrated = []
+    for scale in cost_scales:
+        policy = EpochMigrationPolicy(
+            bo_zone=topology.gpu_local_zone,
+            co_zone=1,
+            bo_capacity_pages=bo_capacity,
+            bo_traffic_fraction=topology.bandwidth_fractions()[0],
+            budget_pages_per_epoch=n_epochs_budget,
+        )
+        simulator = MigrationSimulator(topology,
+                                       cost_model=scaled_cost(scale))
+        result = simulator.run(trace, all_co, chars, policy)
+        migrated.append(result.throughput / static_bw)
+
+    xs = tuple(float(s) for s in cost_scales)
+    series = (
+        Series("migrate-from-all-CO", xs, tuple(migrated)),
+        Series("static-BW-AWARE", xs, tuple(1.0 for _ in xs)),
+        Series("static-ORACLE", xs,
+               tuple(static_oracle / static_bw for _ in xs)),
+    )
+    crossover = next(
+        (x for x, y in zip(xs, migrated) if y >= 1.0), float("nan")
+    )
+    return FigureResult(
+        figure_id=f"ext-migration[{name}]",
+        title=("online migration vs static placement, "
+               f"{capacity_fraction:.0%} BO capacity"),
+        x_label="migration cost scale (1.0 = paper measured)",
+        y_label="throughput vs static BW-AWARE",
+        series=series,
+        notes={"crossover_cost_scale": crossover,
+               "oracle_vs_bwaware": static_oracle / static_bw},
+    )
+
+
+def main() -> None:
+    for name in ("xsbench", "bfs"):
+        print(run_workload(name).render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

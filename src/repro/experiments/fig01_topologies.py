@@ -1,0 +1,36 @@
+"""Figure 1: BW-ratio of bandwidth- vs capacity-optimized memory.
+
+The paper's opening figure surveys likely HPC, desktop and mobile
+systems and plots the ratio of BO to CO pool bandwidth — from ~2.5x for
+a GDDR5+DDR4 desktop up to ~12.5x for a 4-stack-HBM HPC node.  The
+regenerator tabulates the same three system classes from
+:mod:`repro.memory.topology`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import TableResult
+from repro.memory.topology import figure1_systems
+
+
+def run() -> TableResult:
+    """Tabulate BO/CO bandwidths and their ratio per system class."""
+    rows = []
+    for topology in figure1_systems():
+        bo = sum(z.bandwidth_gbps for z in topology.bo_zones())
+        co = sum(z.bandwidth_gbps for z in topology.co_zones())
+        rows.append((topology.name, (bo, co, topology.bw_ratio())))
+    return TableResult(
+        figure_id="fig1",
+        title="BW-Ratio of high-bandwidth vs high-capacity memories",
+        columns=("BO GB/s", "CO GB/s", "BW ratio"),
+        rows=tuple(rows),
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Figure 2: GPU performance sensitivity to bandwidth and latency.
+
+The paper sweeps the memory system of a GPU (all data GPU-local, i.e.
+LOCAL placement) across bandwidth scales and added latencies and shows
+that most GPU workloads track bandwidth while only sgemm reacts
+strongly to latency.  Each sweep point is normalized to the workload's
+baseline (scale 1.0 / +0 cycles) performance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.analysis.report import FigureResult, Series
+from repro.experiments.common import resolve_workloads, throughput
+from repro.memory.topology import simulated_baseline
+from repro.workloads.base import TraceWorkload
+
+DEFAULT_BW_SCALES = (0.5, 0.75, 1.0, 1.5, 2.0)
+DEFAULT_ADDED_CYCLES = (0, 100, 200, 400)
+
+
+def run_bandwidth(workloads: Optional[Sequence[Union[str, TraceWorkload]]]
+                  = None,
+                  scales: Sequence[float] = DEFAULT_BW_SCALES
+                  ) -> FigureResult:
+    """Figure 2a: performance vs memory bandwidth scaling."""
+    picked = resolve_workloads(workloads)
+    series = []
+    for workload in picked:
+        baseline = None
+        ys = []
+        for scale in scales:
+            base = simulated_baseline()
+            topo = base.replace_zone(
+                base.local.rescaled_bandwidth(base.local.bandwidth * scale)
+            )
+            value = throughput(workload, "LOCAL", topology=topo)
+            ys.append(value)
+            if scale == 1.0:
+                baseline = value
+        if baseline is None:
+            baseline = throughput(workload, "LOCAL",
+                                  topology=simulated_baseline())
+        series.append(Series(
+            label=workload.name,
+            x=tuple(scales),
+            y=tuple(y / baseline for y in ys),
+        ))
+    return FigureResult(
+        figure_id="fig2a",
+        title="GPU performance sensitivity to bandwidth scaling",
+        x_label="bandwidth scale",
+        y_label="performance vs 1.0x",
+        series=tuple(series),
+    )
+
+
+def run_latency(workloads: Optional[Sequence[Union[str, TraceWorkload]]]
+                = None,
+                added_cycles: Sequence[int] = DEFAULT_ADDED_CYCLES
+                ) -> FigureResult:
+    """Figure 2b: performance vs added memory latency."""
+    picked = resolve_workloads(workloads)
+    series = []
+    for workload in picked:
+        baseline = None
+        ys = []
+        for cycles in added_cycles:
+            base = simulated_baseline()
+            topo = base.replace_zone(
+                base.local.with_hop_cycles(base.local.hop_cycles + cycles)
+            )
+            value = throughput(workload, "LOCAL", topology=topo)
+            ys.append(value)
+            if cycles == 0:
+                baseline = value
+        if baseline is None:
+            baseline = throughput(workload, "LOCAL",
+                                  topology=simulated_baseline())
+        series.append(Series(
+            label=workload.name,
+            x=tuple(float(c) for c in added_cycles),
+            y=tuple(y / baseline for y in ys),
+        ))
+    return FigureResult(
+        figure_id="fig2b",
+        title="GPU performance sensitivity to added memory latency",
+        x_label="added latency (cycles)",
+        y_label="performance vs +0",
+        series=tuple(series),
+    )
+
+
+def main() -> None:
+    print(run_bandwidth().render())
+    print()
+    print(run_latency().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Figure 4: BW-AWARE performance as the BO pool shrinks.
+
+The paper shrinks bandwidth-optimized capacity relative to the
+application footprint and shows BW-AWARE holds near-peak performance
+down to ~70% (it only ever wants 70% of pages in BO), then falls off as
+spilled pages push the service ratio away from optimal.  Programmers
+gain ~30% "free" effective capacity by exploiting CO memory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.analysis.report import FigureResult, Series
+from repro.core.metrics import geomean
+from repro.experiments.common import resolve_workloads, throughput
+from repro.workloads.base import TraceWorkload
+
+DEFAULT_FRACTIONS = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1)
+
+
+def run(workloads: Optional[Sequence[Union[str, TraceWorkload]]] = None,
+        fractions: Sequence[float] = DEFAULT_FRACTIONS) -> FigureResult:
+    """BW-AWARE throughput vs BO capacity (fraction of footprint),
+    normalized per workload to the unconstrained run."""
+    picked = resolve_workloads(workloads)
+    series = []
+    per_fraction: dict[float, list[float]] = {f: [] for f in fractions}
+    for workload in picked:
+        unconstrained = throughput(workload, "BW-AWARE")
+        ys = []
+        for fraction in fractions:
+            value = throughput(workload, "BW-AWARE",
+                               bo_capacity_fraction=fraction)
+            ys.append(value / unconstrained)
+            per_fraction[fraction].append(value / unconstrained)
+        series.append(Series(
+            label=workload.name, x=tuple(fractions), y=tuple(ys)
+        ))
+    series.append(Series(
+        label="geomean",
+        x=tuple(fractions),
+        y=tuple(geomean(per_fraction[f]) for f in fractions),
+    ))
+    mean = series[-1]
+    notes = {
+        "geomean_at_70pct": mean.y_at(0.7) if 0.7 in fractions else 0.0,
+        "geomean_at_10pct": mean.y_at(0.1) if 0.1 in fractions else 0.0,
+    }
+    return FigureResult(
+        figure_id="fig4",
+        title="BW-AWARE performance vs BO capacity / footprint",
+        x_label="BO capacity fraction",
+        y_label="performance vs unconstrained",
+        series=tuple(series),
+        notes=notes,
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

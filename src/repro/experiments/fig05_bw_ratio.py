@@ -1,0 +1,77 @@
+"""Figure 5: policy comparison while varying CO pool bandwidth.
+
+The paper sweeps the capacity-optimized pool from 0 to 200 GB/s
+(bandwidth-symmetric at 200) and compares the average performance of
+LOCAL, INTERLEAVE and BW-AWARE.  LOCAL is flat (it never touches CO
+bandwidth); INTERLEAVE loses whenever its fixed 50/50 split
+oversubscribes the weaker pool; BW-AWARE tracks the aggregate and
+matches INTERLEAVE exactly at the symmetric point.
+
+Each point is the geomean across workloads of throughput normalized to
+the LOCAL policy on the *same* system, so the LOCAL series is 1.0 by
+construction and the others read as "speedup over LOCAL at this ratio".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.analysis.report import FigureResult, Series
+from repro.core.metrics import geomean
+from repro.core.units import gbps
+from repro.experiments.common import BASE_POLICIES, resolve_workloads, throughput
+from repro.memory.topology import simulated_baseline
+from repro.workloads.base import TraceWorkload
+
+DEFAULT_CO_BANDWIDTHS = (10.0, 40.0, 80.0, 120.0, 160.0, 200.0)
+
+
+def run(workloads: Optional[Sequence[Union[str, TraceWorkload]]] = None,
+        co_bandwidths_gbps: Sequence[float] = DEFAULT_CO_BANDWIDTHS
+        ) -> FigureResult:
+    """Geomean speedup over LOCAL for each policy and CO bandwidth."""
+    picked = resolve_workloads(workloads)
+    if any(bw <= 0 for bw in co_bandwidths_gbps):
+        raise ValueError("CO bandwidth sweep points must be positive; "
+                         "the paper's 0 GB/s endpoint degenerates to a "
+                         "single-pool system (use LOCAL directly)")
+    ys = {policy: [] for policy in BASE_POLICIES}
+    for co_bw in co_bandwidths_gbps:
+        base = simulated_baseline()
+        co_zone = base.zone(1).rescaled_bandwidth(gbps(co_bw))
+        topo = base.replace_zone(co_zone)
+        ratios = {policy: [] for policy in BASE_POLICIES}
+        for workload in picked:
+            local = throughput(workload, "LOCAL", topology=topo)
+            for policy in BASE_POLICIES:
+                value = throughput(workload, policy, topology=topo)
+                ratios[policy].append(value / local)
+        for policy in BASE_POLICIES:
+            ys[policy].append(geomean(ratios[policy]))
+    series = tuple(
+        Series(label=policy, x=tuple(co_bandwidths_gbps),
+               y=tuple(ys[policy]))
+        for policy in BASE_POLICIES
+    )
+    notes = {}
+    if 200.0 in co_bandwidths_gbps:
+        symmetric = tuple(co_bandwidths_gbps).index(200.0)
+        notes["bwaware_vs_interleave_at_symmetric"] = (
+            ys["BW-AWARE"][symmetric] / ys["INTERLEAVE"][symmetric]
+        )
+    return FigureResult(
+        figure_id="fig5",
+        title="policy comparison while varying CO memory bandwidth",
+        x_label="CO bandwidth GB/s",
+        y_label="geomean speedup vs LOCAL",
+        series=series,
+        notes=notes,
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""GPU substrate: config, caches, MSHRs, interconnect, engines."""
+
+from repro.gpu.banked import BankedEngine, BankState
+from repro.gpu.cache import CacheHierarchy, CacheStats, SetAssocCache
+from repro.gpu.config import GpuConfig, table1_config
+from repro.gpu.engine import DetailedEngine
+from repro.gpu.interconnect import (
+    InterconnectLink,
+    local_link,
+    table1_remote_link,
+)
+from repro.gpu.mshr import MshrFile
+from repro.gpu.simulator import GpuSystemSimulator, make_engine
+from repro.gpu.throughput import ThroughputEngine
+from repro.gpu.trace import DramTrace, SimResult, WorkloadCharacteristics
+
+__all__ = [
+    "BankedEngine",
+    "BankState",
+    "CacheHierarchy",
+    "CacheStats",
+    "SetAssocCache",
+    "GpuConfig",
+    "table1_config",
+    "DetailedEngine",
+    "InterconnectLink",
+    "local_link",
+    "table1_remote_link",
+    "MshrFile",
+    "GpuSystemSimulator",
+    "make_engine",
+    "ThroughputEngine",
+    "DramTrace",
+    "SimResult",
+    "WorkloadCharacteristics",
+]

@@ -1,0 +1,164 @@
+"""Set-associative caches and the GPU cache hierarchy.
+
+The hierarchy filters a raw (SM-issued) line-address stream down to the
+DRAM-level stream the placement study operates on: Figure 6's CDFs count
+accesses to each 4 kB page "after being filtered by on-chip caches".
+
+The model follows Table 1: a 16 kB L1 per SM (accesses striped across
+SMs round-robin, as warps are) and a memory-side 128 kB L2 slice per
+DRAM channel, indexed by line address.  Replacement is LRU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.gpu.config import GpuConfig
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache (or one group of slices)."""
+
+    accesses: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(self.accesses + other.accesses,
+                          self.hits + other.hits)
+
+
+class SetAssocCache:
+    """A set-associative LRU cache over line addresses.
+
+    Addresses are *line* numbers (byte address / line size); the cache
+    never sees byte offsets.  ``access`` returns True on hit and updates
+    recency; misses fill (allocate-on-miss, no write-back modeling —
+    DRAM traffic is counted per access, matching a sectored streaming
+    cache).
+    """
+
+    def __init__(self, size_bytes: int, line_size: int, assoc: int) -> None:
+        if size_bytes <= 0 or line_size <= 0 or assoc <= 0:
+            raise ConfigError("cache geometry must be positive")
+        n_lines = size_bytes // line_size
+        if n_lines == 0 or n_lines % assoc:
+            raise ConfigError(
+                f"cache of {size_bytes}B / {line_size}B lines cannot be "
+                f"{assoc}-way"
+            )
+        self.size_bytes = size_bytes
+        self.line_size = line_size
+        self.assoc = assoc
+        self.n_sets = n_lines // assoc
+        # One LRU-ordered dict per set: keys are line tags.
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+        self.stats = CacheStats()
+
+    def access(self, line_addr: int) -> bool:
+        """Access one line; returns True on hit."""
+        index = line_addr % self.n_sets
+        cache_set = self._sets[index]
+        self.stats.accesses += 1
+        if line_addr in cache_set:
+            cache_set.move_to_end(line_addr)
+            self.stats.hits += 1
+            return True
+        if len(cache_set) >= self.assoc:
+            cache_set.popitem(last=False)
+        cache_set[line_addr] = None
+        return False
+
+    def flush(self) -> None:
+        """Invalidate all lines, keep statistics."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+class CacheHierarchy:
+    """L1-per-SM + memory-side L2, as in Table 1.
+
+    ``filter_stream`` pushes a raw line-address stream through the
+    hierarchy and returns the DRAM-level miss stream.  SM affinity for
+    L1s is modeled by striping consecutive accesses across SMs, the
+    steady-state behaviour of a round-robin warp scheduler.
+    """
+
+    def __init__(self, config: GpuConfig, n_channels: int) -> None:
+        if n_channels <= 0:
+            raise ConfigError("n_channels must be positive")
+        self.config = config
+        self.n_channels = n_channels
+        self._l1s = [
+            SetAssocCache(config.l1_bytes_per_sm, config.line_size,
+                          config.l1_assoc)
+            for _ in range(config.n_sms)
+        ]
+        self._l2s = [
+            SetAssocCache(config.l2_bytes_per_channel, config.line_size,
+                          config.l2_assoc)
+            for _ in range(n_channels)
+        ]
+
+    def access(self, line_addr: int, sm: int) -> bool:
+        """One access from SM ``sm``; True if served on chip."""
+        if self._l1s[sm % len(self._l1s)].access(line_addr):
+            return True
+        slice_index = line_addr % self.n_channels
+        return self._l2s[slice_index].access(line_addr)
+
+    def filter_stream_indices(self, line_addrs: np.ndarray) -> np.ndarray:
+        """Positions (into the raw stream) of accesses that miss on chip.
+
+        Returning indices rather than addresses lets callers carry any
+        per-access metadata (write flags, thread ids) through the
+        filter.
+        """
+        misses = []
+        append = misses.append
+        n_sms = len(self._l1s)
+        for position, line_addr in enumerate(line_addrs.tolist()):
+            if not self.access(line_addr, position % n_sms):
+                append(position)
+        return np.asarray(misses, dtype=np.int64)
+
+    def filter_stream(self, line_addrs: np.ndarray) -> np.ndarray:
+        """DRAM-level miss stream for a raw access stream (in order)."""
+        return np.asarray(line_addrs, dtype=np.int64)[
+            self.filter_stream_indices(line_addrs)
+        ]
+
+    def l1_stats(self) -> CacheStats:
+        total = CacheStats()
+        for cache in self._l1s:
+            total = total.merge(cache.stats)
+        return total
+
+    def l2_stats(self) -> CacheStats:
+        total = CacheStats()
+        for cache in self._l2s:
+            total = total.merge(cache.stats)
+        return total
+
+    def flush(self) -> None:
+        for cache in self._l1s:
+            cache.flush()
+        for cache in self._l2s:
+            cache.flush()

@@ -1,0 +1,56 @@
+"""GPU <-> CPU interconnect model.
+
+Table 1 models remote (CPU-attached, capacity-optimized) memory access
+as a fixed, pessimistic 100 GPU-core-cycle hop, derived from the single
+additional hop in SMP CPU designs.  The link object also carries an
+optional bandwidth cap so NVLink-/QPI-class links can be modeled as a
+potential bottleneck in extension studies (the paper's baseline keeps
+the link unconstrained, as the 80 GB/s DDR4 pool, not the link, limits
+remote traffic).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class InterconnectLink:
+    """A point-to-point coherent link between the GPU and a zone."""
+
+    hop_cycles: int = 100
+    #: bytes/second; ``inf`` models the paper's unconstrained link.
+    bandwidth: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.hop_cycles < 0:
+            raise ConfigError("hop_cycles must be >= 0")
+        if self.bandwidth <= 0:
+            raise ConfigError("link bandwidth must be positive")
+
+    def latency_ns(self, clock_ghz: float) -> float:
+        """One-way hop latency in nanoseconds at ``clock_ghz``."""
+        if clock_ghz <= 0:
+            raise ConfigError("clock_ghz must be positive")
+        return self.hop_cycles / clock_ghz
+
+    def transfer_time_ns(self, n_bytes: int) -> float:
+        """Serialization time for ``n_bytes`` over the link."""
+        if n_bytes < 0:
+            raise ConfigError("n_bytes must be >= 0")
+        if math.isinf(self.bandwidth):
+            return 0.0
+        return n_bytes / self.bandwidth * 1e9
+
+
+def local_link() -> InterconnectLink:
+    """Zero-hop link for GPU-attached memory."""
+    return InterconnectLink(hop_cycles=0)
+
+
+def table1_remote_link() -> InterconnectLink:
+    """The Table 1 remote link: 100 cycles, bandwidth-unconstrained."""
+    return InterconnectLink(hop_cycles=100)

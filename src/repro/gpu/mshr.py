@@ -1,0 +1,77 @@
+"""Miss Status Holding Register (MSHR) file.
+
+Table 1 provisions 128 MSHR entries per L2 slice; the paper notes this
+is "sufficient to effectively hide the additional interconnect latency"
+and cites techniques to scale MSHRs if two-level memory made them a
+bottleneck.  The MSHR file bounds outstanding DRAM misses and merges
+redundant requests to a line that is already in flight — both effects
+matter when the detailed engine decides how much memory-level
+parallelism a workload can actually express.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SimulationError
+
+
+class MshrFile:
+    """Outstanding-miss tracker with secondary-miss merging.
+
+    ``allocate`` registers a primary miss for a line (consuming an
+    entry) or merges into an existing entry; ``release`` retires the
+    entry when the fill returns.
+    """
+
+    def __init__(self, n_entries: int) -> None:
+        if n_entries <= 0:
+            raise SimulationError("MSHR file needs at least one entry")
+        self.n_entries = n_entries
+        self._inflight: dict[int, int] = {}
+        self.primary_misses = 0
+        self.merged_misses = 0
+        self.stalls = 0
+
+    @property
+    def occupancy(self) -> int:
+        """Entries currently in flight."""
+        return len(self._inflight)
+
+    @property
+    def full(self) -> bool:
+        return len(self._inflight) >= self.n_entries
+
+    def inflight(self, line_addr: int) -> bool:
+        return line_addr in self._inflight
+
+    def allocate(self, line_addr: int) -> bool:
+        """Register a miss.
+
+        Returns True when this is a *primary* miss that must go to DRAM,
+        False when it merged with an in-flight request.  Raises if the
+        file is full and the line is not already in flight — callers
+        must check :attr:`full` first and stall (counting the stall).
+        """
+        if line_addr in self._inflight:
+            self._inflight[line_addr] += 1
+            self.merged_misses += 1
+            return False
+        if self.full:
+            self.stalls += 1
+            raise SimulationError("MSHR allocation while full")
+        self._inflight[line_addr] = 1
+        self.primary_misses += 1
+        return True
+
+    def release(self, line_addr: int) -> int:
+        """Retire the entry for ``line_addr``; returns merged count."""
+        try:
+            waiters = self._inflight.pop(line_addr)
+        except KeyError:
+            raise SimulationError(f"release of idle line {line_addr}")
+        return waiters
+
+    def reset(self) -> None:
+        self._inflight.clear()
+        self.primary_misses = 0
+        self.merged_misses = 0
+        self.stalls = 0

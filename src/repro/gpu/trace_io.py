@@ -1,0 +1,99 @@
+"""Trace serialization.
+
+A trace-driven placement simulator is most useful when it can consume
+traces users collected elsewhere (a binary-instrumentation run, a real
+profiler, another simulator).  :func:`save_trace`/:func:`load_trace`
+persist :class:`DramTrace` objects to ``.npz`` with their metadata, and
+the format doubles as the interchange point for shipping traces between
+machines or caching expensive trace synthesis across sessions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+import numpy as np
+
+from repro.core.errors import SimulationError
+from repro.gpu.trace import DramTrace
+
+#: bumped on any incompatible change to the on-disk layout.
+FORMAT_VERSION = 1
+
+
+def save_trace(trace: DramTrace, path: Union[str, Path],
+               structures: Optional[Mapping[str, range]] = None) -> Path:
+    """Write a trace (and optional structure layout) to ``path``.
+
+    ``structures`` maps data-structure names to footprint page ranges,
+    preserving the Figure 7 decomposition alongside the access stream.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    metadata = {
+        "version": FORMAT_VERSION,
+        "footprint_pages": trace.footprint_pages,
+        "n_raw_accesses": trace.n_raw_accesses,
+        "n_epochs": trace.n_epochs,
+        "bytes_per_access": trace.bytes_per_access,
+        "structures": (
+            {name: [pages.start, pages.stop]
+             for name, pages in structures.items()}
+            if structures is not None else None
+        ),
+    }
+    arrays = {
+        "page_indices": trace.page_indices,
+        "metadata": np.frombuffer(
+            json.dumps(metadata).encode(), dtype=np.uint8
+        ),
+    }
+    if trace.is_write is not None:
+        arrays["is_write"] = trace.is_write
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_trace(path: Union[str, Path]
+               ) -> tuple[DramTrace, Optional[dict[str, range]]]:
+    """Read a trace written by :func:`save_trace`.
+
+    Returns ``(trace, structures)``; ``structures`` is ``None`` when
+    the file carries no layout.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SimulationError(f"trace file {path} does not exist")
+    try:
+        with np.load(path) as archive:
+            page_indices = archive["page_indices"]
+            is_write = (archive["is_write"]
+                        if "is_write" in archive.files else None)
+            metadata = json.loads(bytes(archive["metadata"]).decode())
+    except (KeyError, ValueError, json.JSONDecodeError) as exc:
+        raise SimulationError(f"malformed trace file {path}: {exc}") from exc
+    version = metadata.get("version")
+    if version != FORMAT_VERSION:
+        raise SimulationError(
+            f"trace file {path} has format version {version}, "
+            f"expected {FORMAT_VERSION}"
+        )
+    trace = DramTrace(
+        page_indices=page_indices,
+        footprint_pages=int(metadata["footprint_pages"]),
+        n_raw_accesses=int(metadata["n_raw_accesses"]),
+        n_epochs=int(metadata["n_epochs"]),
+        bytes_per_access=int(metadata["bytes_per_access"]),
+        is_write=is_write,
+    )
+    raw_structures = metadata.get("structures")
+    structures = None
+    if raw_structures is not None:
+        structures = {
+            name: range(int(bounds[0]), int(bounds[1]))
+            for name, bounds in raw_structures.items()
+        }
+    return trace, structures

@@ -1,0 +1,55 @@
+"""Kernel IR, executor, and instrumentation (Section 5.1 substrate)."""
+
+from repro.kernelsim.executor import (
+    SCHEDULES,
+    WARP_SIZE,
+    ArrayLayout,
+    KernelExecutor,
+)
+from repro.kernelsim.instrument import (
+    ArrayProfile,
+    ProgramProfile,
+    profile_program,
+)
+from repro.kernelsim.ir import (
+    ArrayDecl,
+    BlockIndex,
+    IndexExpr,
+    IndirectIndex,
+    Kernel,
+    MemoryRef,
+    ThreadIndex,
+    UniformIndex,
+    ZipfIndex,
+)
+from repro.kernelsim.programs import (
+    histogram_program,
+    histogram_workload,
+    spmv_program,
+    spmv_workload,
+)
+from repro.kernelsim.workload import KernelWorkload
+
+__all__ = [
+    "SCHEDULES",
+    "WARP_SIZE",
+    "ArrayLayout",
+    "KernelExecutor",
+    "ArrayProfile",
+    "ProgramProfile",
+    "profile_program",
+    "ArrayDecl",
+    "BlockIndex",
+    "IndexExpr",
+    "IndirectIndex",
+    "Kernel",
+    "MemoryRef",
+    "ThreadIndex",
+    "UniformIndex",
+    "ZipfIndex",
+    "histogram_program",
+    "histogram_workload",
+    "spmv_program",
+    "spmv_workload",
+    "KernelWorkload",
+]

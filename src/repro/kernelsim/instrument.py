@@ -1,0 +1,104 @@
+"""The Section 5.1 profiling pass over kernel-IR programs.
+
+Mirrors the paper's gprof-like flow: "the developer enables a special
+compiler flag that instruments an application ... runs the instrumented
+application on a set of representative workloads, which aggregates and
+dumps a profile."  Here the "compiler flag" is calling
+:func:`profile_program`: it associates each array with its address
+range (the host-side ``cudaMalloc`` tracking), counts every executed
+load/store against the range it falls in (the device-side
+instrumentation), and renders the report programmers read to write
+their hotness annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import WorkloadError
+from repro.core.units import PAGE_SIZE, format_bytes
+from repro.kernelsim.executor import KernelExecutor
+from repro.kernelsim.ir import ArrayDecl, Kernel
+
+
+@dataclass(frozen=True)
+class ArrayProfile:
+    """Aggregated instrumentation counters for one array."""
+
+    name: str
+    size_bytes: int
+    loads: int
+    stores: int
+
+    @property
+    def accesses(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def hotness_density(self) -> float:
+        """Accesses per page — the annotation ranking key."""
+        pages = max(1, -(-self.size_bytes // PAGE_SIZE))
+        return self.accesses / pages
+
+
+@dataclass(frozen=True)
+class ProgramProfile:
+    """The dumped profile of one instrumented run."""
+
+    arrays: tuple[ArrayProfile, ...]
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(array.accesses for array in self.arrays)
+
+    def ranking(self) -> tuple[ArrayProfile, ...]:
+        """Hottest-per-page first, the order annotations follow."""
+        return tuple(sorted(self.arrays,
+                            key=lambda a: -a.hotness_density))
+
+    def hotness_arrays(self) -> tuple[list[int], list[float]]:
+        """The Figure 9 ``size[]`` and ``hotness[]`` arrays, in
+        allocation order."""
+        sizes = [array.size_bytes for array in self.arrays]
+        hotness = [float(array.accesses) for array in self.arrays]
+        return sizes, hotness
+
+    def render(self) -> str:
+        lines = [f"{'array':>20} {'size':>10} {'loads':>10} "
+                 f"{'stores':>10} {'acc/page':>10}"]
+        lines.append("-" * len(lines[0]))
+        for array in self.ranking():
+            lines.append(
+                f"{array.name:>20} {format_bytes(array.size_bytes):>10} "
+                f"{array.loads:>10} {array.stores:>10} "
+                f"{array.hotness_density:>10.1f}"
+            )
+        return "\n".join(lines)
+
+
+def profile_program(arrays: Sequence[ArrayDecl],
+                    kernels: Sequence[Kernel]) -> ProgramProfile:
+    """Run the instrumented program and aggregate its counters."""
+    if not arrays:
+        raise WorkloadError("nothing to profile: no arrays")
+    executor = KernelExecutor(arrays)
+    loads = {array.name: 0 for array in arrays}
+    stores = {array.name: 0 for array in arrays}
+    for kernel in kernels:
+        weight = kernel.n_threads * kernel.launches
+        for ref in kernel.refs:
+            executor.layout(ref.array)  # validates the reference
+            if ref.is_store:
+                stores[ref.array] += weight
+            else:
+                loads[ref.array] += weight
+    return ProgramProfile(tuple(
+        ArrayProfile(
+            name=array.name,
+            size_bytes=array.size_bytes,
+            loads=loads[array.name],
+            stores=stores[array.name],
+        )
+        for array in arrays
+    ))

@@ -1,0 +1,184 @@
+"""Kernel intermediate representation.
+
+Section 5.1's profiler instruments "all loads and stores" emitted by
+nvcc/ptxas.  We cannot run SASS, so this package provides the smallest
+program representation that still *has* loads and stores to instrument:
+a kernel is a grid of threads, each executing a fixed sequence of
+:class:`MemoryRef` s whose element indices are index expressions over
+the global thread id — affine accesses for streaming kernels, random
+and power-law gathers for data-dependent ones, and indirection
+(``A[B[i]]``) for the index-driven patterns of SpMV/BFS.
+
+Programs written in this IR flow through the *same* downstream stack as
+the statistical workload models: the executor emits a line-address
+stream, the instrumentation pass counts per-array accesses exactly as
+the paper's compiler flag does, and the adapter exposes it all as a
+:class:`repro.workloads.base.TraceWorkload`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import WorkloadError
+from repro.core.units import PAGE_SIZE
+
+#: Knuth multiplicative hash constant for synthetic indirection targets.
+_HASH_MULTIPLIER = 2654435761
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """One device array (one ``cudaMalloc`` in the modeled program)."""
+
+    name: str
+    n_elements: int
+    element_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_elements <= 0:
+            raise WorkloadError(f"{self.name}: n_elements must be > 0")
+        if self.element_bytes <= 0:
+            raise WorkloadError(f"{self.name}: element_bytes must be > 0")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.n_elements * self.element_bytes
+
+    @property
+    def n_pages(self) -> int:
+        return -(-self.size_bytes // PAGE_SIZE)
+
+
+class IndexExpr(abc.ABC):
+    """Maps global thread ids to element indices within one array."""
+
+    @abc.abstractmethod
+    def evaluate(self, thread_ids: np.ndarray, n_elements: int,
+                 rng: np.random.Generator) -> np.ndarray:
+        """Element index per thread, each in ``[0, n_elements)``."""
+
+
+@dataclass(frozen=True)
+class ThreadIndex(IndexExpr):
+    """Affine in the thread id: ``(coeff * tid + offset) % n``.
+
+    ``coeff=1`` is the canonical coalesced streaming access.
+    """
+
+    coeff: int = 1
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.coeff == 0:
+            raise WorkloadError("coeff must be non-zero")
+
+    def evaluate(self, thread_ids, n_elements, rng):
+        return (self.coeff * thread_ids.astype(np.int64)
+                + self.offset) % n_elements
+
+
+@dataclass(frozen=True)
+class BlockIndex(IndexExpr):
+    """Block-shared index: ``(tid // block) % n`` — every thread of a
+    block touches the same element (broadcast loads of per-block
+    state)."""
+
+    block: int = 256
+
+    def __post_init__(self) -> None:
+        if self.block <= 0:
+            raise WorkloadError("block must be positive")
+
+    def evaluate(self, thread_ids, n_elements, rng):
+        return (thread_ids.astype(np.int64) // self.block) % n_elements
+
+
+@dataclass(frozen=True)
+class UniformIndex(IndexExpr):
+    """Uniform random gather (hash tables, random sampling)."""
+
+    def evaluate(self, thread_ids, n_elements, rng):
+        return rng.integers(0, n_elements, size=thread_ids.size,
+                            dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class ZipfIndex(IndexExpr):
+    """Power-law gather: a few elements dominate (rank tables, roots).
+
+    Hot ranks are scattered through the array by a fixed permutation,
+    as in :func:`repro.workloads.patterns.zipf`.
+    """
+
+    alpha: float = 1.1
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise WorkloadError("alpha must be positive")
+
+    def evaluate(self, thread_ids, n_elements, rng):
+        weights = 1.0 / np.power(
+            np.arange(1, n_elements + 1, dtype=np.float64), self.alpha
+        )
+        weights /= weights.sum()
+        ranks = rng.choice(n_elements, size=thread_ids.size, p=weights)
+        permutation = rng.permutation(n_elements)
+        return permutation[ranks].astype(np.int64)
+
+
+@dataclass(frozen=True)
+class IndirectIndex(IndexExpr):
+    """Data-dependent indirection: ``target[ inner_value ]``.
+
+    The modeled program reads an index array and uses its *contents* to
+    address this array (``y[col[i]]``).  Array contents do not exist in
+    a trace simulator, so the executor synthesizes them with a fixed
+    multiplicative hash of the inner index — deterministic, scattered,
+    and distinct per ``salt``.
+    """
+
+    inner: IndexExpr
+    salt: int = 0
+
+    def evaluate(self, thread_ids, n_elements, rng):
+        inner_idx = self.inner.evaluate(thread_ids, n_elements, rng)
+        hashed = (inner_idx * _HASH_MULTIPLIER + self.salt) & 0x7FFFFFFF
+        return hashed % n_elements
+
+
+@dataclass(frozen=True)
+class MemoryRef:
+    """One static load or store in the kernel body."""
+
+    array: str
+    index: IndexExpr
+    is_store: bool = False
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A grid launch: every thread executes ``refs`` in order."""
+
+    name: str
+    refs: tuple[MemoryRef, ...]
+    n_threads: int
+    #: back-to-back launches of this kernel (outer iterations).
+    launches: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.refs:
+            raise WorkloadError(f"kernel {self.name}: no memory refs")
+        if self.n_threads <= 0:
+            raise WorkloadError(f"kernel {self.name}: n_threads must be > 0")
+        if self.launches <= 0:
+            raise WorkloadError(f"kernel {self.name}: launches must be > 0")
+
+    def arrays_referenced(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for ref in self.refs:
+            seen.setdefault(ref.array, None)
+        return tuple(seen)

@@ -1,0 +1,144 @@
+"""Adapter exposing kernel-IR programs as TraceWorkloads.
+
+A :class:`KernelWorkload` plugs a program written in the kernel IR into
+everything built for the statistical workload models: cache-filtered
+trace synthesis, the profiler, CDF analytics, the placement policies,
+the annotation runtime and the experiment harness.  The adapter derives
+`DataStructureSpec`s from the array declarations and measures traffic
+weights by instrumented execution, so `hotness_density` annotations
+come from real (modeled) loads and stores rather than authored numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import WorkloadError
+from repro.kernelsim.executor import KernelExecutor
+from repro.kernelsim.ir import ArrayDecl, Kernel
+from repro.workloads.base import DataStructureSpec, TraceWorkload
+
+#: dataset name -> (arrays, kernels) program builder.
+ProgramBuilder = Callable[[str], tuple[Sequence[ArrayDecl],
+                                       Sequence[Kernel]]]
+
+
+class KernelWorkload(TraceWorkload):
+    """A TraceWorkload defined by kernel IR instead of patterns."""
+
+    suite = "kernel-ir"
+    #: datasets come from the program builder, never generic scaling.
+    dataset_scales = {}
+
+    def __init__(self, name: str, builder: ProgramBuilder,
+                 datasets: Sequence[str] = ("default",),
+                 parallelism: float = 384.0,
+                 compute_ns_per_access: float = 0.1,
+                 description: str = "") -> None:
+        if not datasets:
+            raise WorkloadError("need at least one dataset")
+        self.name = name
+        self.description = description or f"kernel-IR program {name}"
+        self.parallelism = parallelism
+        self.compute_ns_per_access = compute_ns_per_access
+        self._builder = builder
+        self._datasets = tuple(datasets)
+        self._programs: dict[str, tuple[tuple[ArrayDecl, ...],
+                                        tuple[Kernel, ...]]] = {}
+
+    def datasets(self) -> tuple[str, ...]:
+        return self._datasets
+
+    def program(self, dataset: str = "default"
+                ) -> tuple[tuple[ArrayDecl, ...], tuple[Kernel, ...]]:
+        """The (arrays, kernels) program for a dataset (cached)."""
+        self._check_dataset(dataset)
+        if dataset not in self._programs:
+            arrays, kernels = self._builder(dataset)
+            arrays = tuple(arrays)
+            kernels = tuple(kernels)
+            if not arrays or not kernels:
+                raise WorkloadError(
+                    f"{self.name}/{dataset}: builder returned an empty "
+                    "program"
+                )
+            declared = {array.name for array in arrays}
+            for kernel in kernels:
+                missing = set(kernel.arrays_referenced()) - declared
+                if missing:
+                    raise WorkloadError(
+                        f"{self.name}/{dataset}: kernel {kernel.name} "
+                        f"references undeclared arrays {sorted(missing)}"
+                    )
+            self._programs[dataset] = (arrays, kernels)
+        return self._programs[dataset]
+
+    def define_structures(self, dataset: str = "default"
+                        ) -> tuple[DataStructureSpec, ...]:
+        arrays, kernels = self.program(dataset)
+        executor = KernelExecutor(arrays)
+        counts = executor.access_counts_per_array(kernels)
+        total = sum(counts.values())
+        return tuple(
+            DataStructureSpec(
+                name=array.name,
+                size_bytes=array.size_bytes,
+                traffic_weight=100.0 * counts[array.name] / total,
+                # Pattern metadata is unused: raw_line_trace is
+                # overridden to execute the kernels directly.
+                pattern="uniform",
+                read_fraction=self._read_fraction(kernels, array.name),
+            )
+            for array in arrays
+        )
+
+    @staticmethod
+    def _read_fraction(kernels: Sequence[Kernel], array: str) -> float:
+        loads = stores = 0
+        for kernel in kernels:
+            for ref in kernel.refs:
+                if ref.array != array:
+                    continue
+                weight = kernel.n_threads * kernel.launches
+                if ref.is_store:
+                    stores += weight
+                else:
+                    loads += weight
+        total = loads + stores
+        return loads / total if total else 1.0
+
+    def raw_access_stream(self, dataset: str = "default",
+                          n_accesses: int = 0, seed: int = 0):
+        """Execute the program; ``n_accesses`` scales launch counts.
+
+        The IR fixes the per-launch access count; when ``n_accesses``
+        asks for a longer trace the whole kernel sequence is replayed
+        (modeling outer timesteps) until the budget is met.  Write
+        flags come from each ref's ``is_store``.
+        """
+        self._check_dataset(dataset)
+        arrays, kernels = self.program(dataset)
+        lines, flags = KernelExecutor(arrays,
+                                      seed=seed).access_stream(kernels)
+        if n_accesses and lines.size < n_accesses:
+            line_parts, flag_parts = [lines], [flags]
+            round_index = 1
+            while sum(part.size for part in line_parts) < n_accesses:
+                more_lines, more_flags = KernelExecutor(
+                    arrays, seed=seed + round_index
+                ).access_stream(kernels)
+                line_parts.append(more_lines)
+                flag_parts.append(more_flags)
+                round_index += 1
+            lines = np.concatenate(line_parts)
+            flags = np.concatenate(flag_parts)
+        if n_accesses:
+            lines = lines[:n_accesses]
+            flags = flags[:n_accesses]
+        return lines, flags
+
+    def footprint_pages(self, dataset: str = "default") -> int:
+        arrays, _ = self.program(dataset)
+        return KernelExecutor(arrays).footprint_pages

@@ -1,0 +1,213 @@
+"""DRAM device and channel models.
+
+The paper's Table 1 specifies the memory side of the simulated system:
+GDDR5 with 8 channels / 200 GB/s aggregate attached to the GPU, DDR4 with
+4 channels / 80 GB/s attached to the CPU, and DRAM timings
+``RCD=RP=12, RC=40, CL=WR=12`` (in memory-clock cycles).  This module
+provides:
+
+* :class:`DramTimings` — the timing tuple plus derived access latency,
+* :class:`DramTechnology` — a named device technology (per-pin data rate,
+  bus width, energy) with constructors for the technologies Figure 1
+  mentions (GDDR5, DDR3/DDR4, LPDDR4, HBM, WIO2),
+* :class:`DramChannelModel` — an analytic single-channel model exposing
+  peak bandwidth and loaded latency used by both simulation engines.
+
+These models are intentionally analytic rather than bank-level: the
+paper's placement results depend on *aggregate pool bandwidth* and the
+*latency delta* between pools, which these models capture exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigError
+from repro.core.units import GB, LINE_SIZE
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """JEDEC-style DRAM timing parameters, in memory-clock cycles.
+
+    Defaults are the Table 1 values used for both memory pools in the
+    paper's simulated system.
+    """
+
+    t_rcd: int = 12
+    t_rp: int = 12
+    t_rc: int = 40
+    t_cl: int = 12
+    t_wr: int = 12
+    #: memory command clock, MHz (data clock is higher for DDR/GDDR).
+    command_clock_mhz: float = 1000.0
+
+    def __post_init__(self) -> None:
+        for name in ("t_rcd", "t_rp", "t_rc", "t_cl", "t_wr"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.command_clock_mhz <= 0:
+            raise ConfigError("command_clock_mhz must be positive")
+        if self.t_rc < self.t_rcd + self.t_rp:
+            raise ConfigError(
+                "tRC must cover tRCD + tRP "
+                f"({self.t_rc} < {self.t_rcd} + {self.t_rp})"
+            )
+
+    @property
+    def cycle_ns(self) -> float:
+        """Duration of one command-clock cycle in nanoseconds."""
+        return 1e3 / self.command_clock_mhz
+
+    def row_miss_cycles(self) -> int:
+        """Cycles for a row-buffer miss: precharge + activate + CAS."""
+        return self.t_rp + self.t_rcd + self.t_cl
+
+    def row_hit_cycles(self) -> int:
+        """Cycles for a row-buffer hit: CAS only."""
+        return self.t_cl
+
+    def access_latency_ns(self, row_hit_rate: float = 0.5) -> float:
+        """Expected device access latency for a given row-hit rate."""
+        if not 0.0 <= row_hit_rate <= 1.0:
+            raise ConfigError(f"row_hit_rate out of [0,1]: {row_hit_rate}")
+        cycles = (
+            row_hit_rate * self.row_hit_cycles()
+            + (1.0 - row_hit_rate) * self.row_miss_cycles()
+        )
+        return cycles * self.cycle_ns
+
+
+#: Table 1 timings, shared by both pools in the simulated system.
+TABLE1_TIMINGS = DramTimings()
+
+
+@dataclass(frozen=True)
+class DramTechnology:
+    """A named DRAM device technology.
+
+    Bandwidth per channel is ``pin_rate_gbps * bus_width_bits / 8`` bytes
+    per second; aggregate pool bandwidth is ``channels * channel_bw``.
+    ``energy_pj_per_bit`` feeds the (reported, not modeled) energy numbers
+    motivating capacity-optimized pools in Section 2.1.
+    """
+
+    name: str
+    #: per-pin data rate, Gbit/s (GDDR5 reaches 7, DDR4/LPDDR4 ~3.2).
+    pin_rate_gbps: float
+    #: data bus width per channel, bits.
+    bus_width_bits: int
+    energy_pj_per_bit: float
+    timings: DramTimings = field(default=TABLE1_TIMINGS)
+    #: True for on-package stacked/wide-IO parts with capacity limits.
+    on_package: bool = False
+    #: amortized channel-occupancy multiplier for a write vs a read,
+    #: folding in write recovery (tWR) and read/write bus turnaround.
+    #: The paper notes read-vs-write performance differences are among
+    #: the characteristics hidden from software today.
+    write_cost_factor: float = 1.12
+
+    def __post_init__(self) -> None:
+        if self.pin_rate_gbps <= 0:
+            raise ConfigError("pin_rate_gbps must be positive")
+        if self.bus_width_bits <= 0 or self.bus_width_bits % 8:
+            raise ConfigError("bus_width_bits must be a positive multiple of 8")
+        if self.energy_pj_per_bit < 0:
+            raise ConfigError("energy_pj_per_bit must be non-negative")
+        if self.write_cost_factor < 1.0:
+            raise ConfigError("write_cost_factor must be >= 1")
+
+    @property
+    def channel_bandwidth(self) -> float:
+        """Peak bandwidth of one channel, bytes/second.
+
+        Each of ``bus_width_bits`` pins moves ``pin_rate_gbps`` gigabits
+        per second; divide by 8 for bytes.
+        """
+        return self.pin_rate_gbps * GB * self.bus_width_bits / 8.0
+
+    def pool_bandwidth(self, channels: int) -> float:
+        """Aggregate peak bandwidth of ``channels`` channels, bytes/s."""
+        if channels <= 0:
+            raise ConfigError("channel count must be positive")
+        return self.channel_bandwidth * channels
+
+    def access_energy_pj(self, n_bytes: int = LINE_SIZE) -> float:
+        """Energy for transferring ``n_bytes``, picojoules."""
+        return self.energy_pj_per_bit * n_bytes * 8
+
+
+def _tech(name: str, pin: float, width: int, energy: float,
+          on_package: bool = False,
+          write_cost: float = 1.12) -> DramTechnology:
+    return DramTechnology(
+        name=name,
+        pin_rate_gbps=pin,
+        bus_width_bits=width,
+        energy_pj_per_bit=energy,
+        on_package=on_package,
+        write_cost_factor=write_cost,
+    )
+
+
+# Technology catalog.  Pin rates / widths follow the parts cited in
+# Sections 1-2 (GDDR5 up to 7 Gbps/pin; DDR4 & LPDDR4 3.2 Gbps/pin; HBM
+# and WIO2 wide-and-slow on-package stacks).  Energy numbers are the
+# commonly cited pJ/bit figures for each class and only feed reporting;
+# write factors reflect the higher turnaround cost of high-speed IO.
+GDDR5 = _tech("GDDR5", pin=6.0, width=32, energy=14.0, write_cost=1.15)
+DDR4 = _tech("DDR4", pin=3.2, width=64, energy=6.0, write_cost=1.10)
+DDR3 = _tech("DDR3", pin=2.133, width=64, energy=7.0, write_cost=1.10)
+LPDDR4 = _tech("LPDDR4", pin=3.2, width=32, energy=5.0, write_cost=1.12)
+HBM1 = _tech("HBM", pin=1.0, width=1024, energy=3.5, on_package=True,
+             write_cost=1.08)
+WIO2 = _tech("WIO2", pin=1.067, width=512, energy=3.0, on_package=True,
+             write_cost=1.08)
+
+TECHNOLOGIES = {
+    tech.name: tech for tech in (GDDR5, DDR4, DDR3, LPDDR4, HBM1, WIO2)
+}
+
+
+@dataclass(frozen=True)
+class DramChannelModel:
+    """Analytic model of one DRAM channel.
+
+    Combines a technology with an explicit peak bandwidth override so a
+    pool can be normalized to a headline aggregate (Table 1 uses exactly
+    200 GB/s over 8 GDDR5 channels = 25 GB/s per channel, slightly below
+    the 6 Gbps x 32-bit device peak).
+    """
+
+    technology: DramTechnology
+    peak_bandwidth: float  # bytes/second
+    row_hit_rate: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.peak_bandwidth <= 0:
+            raise ConfigError("peak_bandwidth must be positive")
+        if not 0.0 <= self.row_hit_rate <= 1.0:
+            raise ConfigError("row_hit_rate out of [0,1]")
+
+    @property
+    def device_latency_ns(self) -> float:
+        """Unloaded device access latency."""
+        return self.technology.timings.access_latency_ns(self.row_hit_rate)
+
+    def service_time_ns(self, n_bytes: int = LINE_SIZE) -> float:
+        """Data-transfer occupancy of a burst of ``n_bytes``."""
+        return n_bytes / self.peak_bandwidth * 1e9
+
+    def loaded_latency_ns(self, utilization: float) -> float:
+        """Latency under load, via an M/D/1-style queueing inflation.
+
+        At ``utilization`` -> 1 the queue delay diverges; we clamp to 20x
+        the service time, which is enough to produce the characteristic
+        bandwidth-cliff behaviour without numerical blowups.
+        """
+        if utilization < 0:
+            raise ConfigError("utilization must be non-negative")
+        rho = min(utilization, 0.999)
+        service = self.service_time_ns()
+        queue = service * rho / (2.0 * (1.0 - rho))
+        return self.device_latency_ns + min(queue, 20.0 * service)

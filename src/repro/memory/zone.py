@@ -1,0 +1,130 @@
+"""NUMA memory zones.
+
+A :class:`MemoryZone` is what the OS sees: a physically contiguous pool of
+frames with a capacity, an aggregate peak bandwidth, a device latency and
+an interconnect distance from the GPU.  The paper's central observation is
+that today's zones expose *latency* (via ACPI SLIT) but not *bandwidth*;
+our zone model carries both so the proposed SBIT (and the BW-AWARE policy
+built on it) has something to read.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.core.errors import ConfigError
+from repro.core.units import PAGE_SIZE, to_gbps
+from repro.memory.dram import DramTechnology
+
+
+class ZoneKind(enum.Enum):
+    """Classification of a memory pool, following the paper's taxonomy."""
+
+    #: high-bandwidth, capacity/cost-limited pool (GDDR5, HBM, WIO2).
+    BANDWIDTH_OPTIMIZED = "BO"
+    #: high-capacity, cost/energy-optimized pool (DDR3/4, LPDDR4).
+    CAPACITY_OPTIMIZED = "CO"
+    #: pool in a bandwidth-symmetric SMP system (for baseline configs).
+    SYMMETRIC = "SYM"
+
+
+@dataclass(frozen=True)
+class MemoryZone:
+    """Descriptor for one NUMA zone.
+
+    Frozen: runtime occupancy is tracked by the physical allocator
+    (:class:`repro.vm.allocator.PhysicalMemory`), never by the descriptor,
+    so a single topology object can be shared by many experiments.
+    """
+
+    zone_id: int
+    name: str
+    kind: ZoneKind
+    technology: DramTechnology
+    capacity_bytes: int
+    bandwidth: float  # bytes/second, aggregate across channels
+    channels: int = 1
+    #: unloaded device latency, nanoseconds.
+    device_latency_ns: float = 36.0
+    #: extra GPU-core cycles for each access crossing the interconnect
+    #: (Table 1 models a fixed, pessimistic 100-cycle hop to CO memory).
+    hop_cycles: int = 0
+    #: bandwidth of the link connecting the GPU to this zone, bytes/s.
+    #: ``inf`` reproduces the paper's unconstrained coherent fabric;
+    #: finite values model PCIe-/NVLink-class links, which then cap the
+    #: zone's usable bandwidth at ``min(bandwidth, link_bandwidth)``.
+    link_bandwidth: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.zone_id < 0:
+            raise ConfigError("zone_id must be non-negative")
+        if self.capacity_bytes <= 0:
+            raise ConfigError(f"zone {self.name}: capacity must be positive")
+        if self.capacity_bytes % PAGE_SIZE:
+            raise ConfigError(
+                f"zone {self.name}: capacity must be page aligned "
+                f"({self.capacity_bytes} % {PAGE_SIZE} != 0)"
+            )
+        if self.bandwidth <= 0:
+            raise ConfigError(f"zone {self.name}: bandwidth must be positive")
+        if self.channels <= 0:
+            raise ConfigError(f"zone {self.name}: channels must be positive")
+        if self.device_latency_ns < 0 or self.hop_cycles < 0:
+            raise ConfigError(f"zone {self.name}: latencies must be >= 0")
+        if self.link_bandwidth <= 0:
+            raise ConfigError(
+                f"zone {self.name}: link bandwidth must be positive"
+            )
+
+    @property
+    def capacity_pages(self) -> int:
+        """Number of 4 KiB frames in this zone."""
+        return self.capacity_bytes // PAGE_SIZE
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        """Aggregate peak bandwidth in GB/s (reporting convenience)."""
+        return to_gbps(self.bandwidth)
+
+    @property
+    def usable_bandwidth(self) -> float:
+        """Pool bandwidth as seen by the GPU: device pool capped by the
+        interconnect link, bytes/second."""
+        return min(self.bandwidth, self.link_bandwidth)
+
+    def latency_ns(self, clock_ghz: float) -> float:
+        """Total unloaded access latency seen by the GPU, nanoseconds.
+
+        Device latency plus the interconnect hop converted from core
+        cycles at ``clock_ghz``.
+        """
+        if clock_ghz <= 0:
+            raise ConfigError("clock_ghz must be positive")
+        return self.device_latency_ns + self.hop_cycles / clock_ghz
+
+    def resized(self, capacity_bytes: int) -> "MemoryZone":
+        """A copy of this zone with a different capacity.
+
+        Used by the capacity-constraint experiments (Figures 4, 8, 10,
+        11) which shrink the BO zone to a fraction of the workload
+        footprint.
+        """
+        return replace(self, capacity_bytes=capacity_bytes)
+
+    def rescaled_bandwidth(self, bandwidth: float) -> "MemoryZone":
+        """A copy of this zone with a different aggregate bandwidth.
+
+        Used by the sensitivity sweeps (Figures 2a, 5) which vary pool
+        bandwidth while holding everything else fixed.
+        """
+        return replace(self, bandwidth=bandwidth)
+
+    def with_hop_cycles(self, hop_cycles: int) -> "MemoryZone":
+        """A copy of this zone with a different interconnect hop cost."""
+        return replace(self, hop_cycles=hop_cycles)
+
+    def with_link_bandwidth(self, link_bandwidth: float) -> "MemoryZone":
+        """A copy of this zone reached over a bandwidth-limited link."""
+        return replace(self, link_bandwidth=link_bandwidth)

@@ -1,0 +1,21 @@
+"""Dynamic page migration substrate (Section 5.5 extension)."""
+
+from repro.migration.cost import (
+    MigrationCostModel,
+    free_migration,
+    paper_migration,
+)
+from repro.migration.engine import MigrationResult, MigrationSimulator
+from repro.migration.policy import EpochMigrationPolicy, MigrationPlan
+from repro.migration.tracker import HotnessTracker
+
+__all__ = [
+    "MigrationCostModel",
+    "free_migration",
+    "paper_migration",
+    "MigrationResult",
+    "MigrationSimulator",
+    "EpochMigrationPolicy",
+    "MigrationPlan",
+    "HotnessTracker",
+]

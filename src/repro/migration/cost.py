@@ -1,0 +1,72 @@
+"""Page migration cost model (Section 5.5).
+
+The paper measures software page migration on Linux 3.16-rc4: "it is
+not possible to migrate pages between NUMA memory zones at a rate
+faster than several GB/s and with several microseconds of latency
+between invalidation and first re-use", and argues GPUs cannot hide
+microsecond stalls.  This model charges exactly those two costs:
+
+* a copy cost — pages move at ``migration_bandwidth`` (the unmap +
+  memcpy + remap pipeline rate);
+* a re-use stall — each migrated page stalls its first re-user for
+  ``first_touch_stall_us`` (TLB shootdown + fault + mapping fixup).
+
+The defaults encode the paper's measurements and can be swept by the
+extension bench to find the break-even migration cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigError
+from repro.core.units import PAGE_SIZE, gbps
+
+
+@dataclass(frozen=True)
+class MigrationCostModel:
+    """Cost of moving pages between zones at run time."""
+
+    #: aggregate page-copy rate, bytes/second ("several GB/s").
+    migration_bandwidth: float = gbps(4.0)
+    #: stall between invalidation and first re-use, microseconds.
+    first_touch_stall_us: float = 5.0
+    #: fraction of migrated pages whose first re-use stalls the GPU
+    #: (some stalls overlap with independent warps).
+    stall_exposure: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.migration_bandwidth <= 0:
+            raise ConfigError("migration_bandwidth must be positive")
+        if self.first_touch_stall_us < 0:
+            raise ConfigError("first_touch_stall_us must be >= 0")
+        if not 0.0 <= self.stall_exposure <= 1.0:
+            raise ConfigError("stall_exposure out of [0,1]")
+
+    def copy_time_ns(self, n_pages: int) -> float:
+        """Time to copy ``n_pages`` between zones."""
+        if n_pages < 0:
+            raise ConfigError("n_pages must be >= 0")
+        return n_pages * PAGE_SIZE / self.migration_bandwidth * 1e9
+
+    def stall_time_ns(self, n_pages: int) -> float:
+        """Exposed first-re-use stall time for ``n_pages``."""
+        if n_pages < 0:
+            raise ConfigError("n_pages must be >= 0")
+        return n_pages * self.first_touch_stall_us * 1e3 * self.stall_exposure
+
+    def total_time_ns(self, n_pages: int) -> float:
+        """Full overhead of migrating ``n_pages``."""
+        return self.copy_time_ns(n_pages) + self.stall_time_ns(n_pages)
+
+
+def free_migration() -> MigrationCostModel:
+    """A zero-cost model: the upper bound online migration could reach."""
+    return MigrationCostModel(migration_bandwidth=float("inf"),
+                              first_touch_stall_us=0.0,
+                              stall_exposure=0.0)
+
+
+def paper_migration() -> MigrationCostModel:
+    """The Section 5.5 measured costs."""
+    return MigrationCostModel()

@@ -1,0 +1,125 @@
+"""Epoch-driven dynamic migration simulation.
+
+Replays a workload trace one execution epoch at a time; between epochs
+the migration policy may move pages, paying the Section 5.5 cost model.
+This is the experiment the paper *argues about* without running —
+"software-based page migration is a very expensive operation ...
+focusing on online page migration before finding an optimized initial
+placement policy is putting the cart before the horse" — made
+quantitative: the extension bench compares static BW-AWARE/oracle
+placement against online migration from good and bad starting points,
+under measured and idealized migration costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import SimulationError
+from repro.gpu.config import GpuConfig, table1_config
+from repro.gpu.throughput import ThroughputEngine
+from repro.gpu.trace import DramTrace, WorkloadCharacteristics
+from repro.memory.topology import SystemTopology
+from repro.migration.cost import MigrationCostModel, paper_migration
+from repro.migration.policy import EpochMigrationPolicy
+from repro.migration.tracker import HotnessTracker
+
+
+@dataclass(frozen=True)
+class MigrationResult:
+    """Outcome of one migrated execution."""
+
+    total_time_ns: float
+    execution_time_ns: float
+    migration_time_ns: float
+    pages_migrated: int
+    epochs: int
+    final_zone_map: np.ndarray
+
+    @property
+    def throughput(self) -> float:
+        return 1e9 / self.total_time_ns
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Share of total time spent migrating."""
+        return self.migration_time_ns / self.total_time_ns
+
+
+class MigrationSimulator:
+    """Run a trace with epoch-boundary page migration."""
+
+    def __init__(self, topology: SystemTopology,
+                 config: GpuConfig | None = None,
+                 cost_model: MigrationCostModel | None = None) -> None:
+        self.topology = topology
+        self.config = config if config is not None else table1_config()
+        self.cost_model = (cost_model if cost_model is not None
+                           else paper_migration())
+        self._engine = ThroughputEngine(self.config)
+
+    def run(self, trace: DramTrace, initial_zone_map: np.ndarray,
+            chars: WorkloadCharacteristics,
+            policy: EpochMigrationPolicy,
+            tracker_decay: float = 0.5) -> MigrationResult:
+        zone_map = np.array(initial_zone_map, dtype=np.int16, copy=True)
+        if zone_map.size != trace.footprint_pages:
+            raise SimulationError(
+                "initial zone map does not cover the trace footprint"
+            )
+        bo_used = int((zone_map == policy.bo_zone).sum())
+        if bo_used > policy.bo_capacity_pages:
+            raise SimulationError(
+                f"initial placement holds {bo_used} BO pages, capacity "
+                f"is {policy.bo_capacity_pages}"
+            )
+
+        tracker = HotnessTracker(trace.footprint_pages,
+                                 decay=tracker_decay)
+        raw_per_epoch = max(1, trace.n_raw_accesses // trace.n_epochs)
+        execution_ns = 0.0
+        migration_ns = 0.0
+        moved = 0
+
+        slices = trace.epoch_slices()
+        for epoch, epoch_slice in enumerate(slices):
+            pages = trace.page_indices[epoch_slice]
+            if pages.size:
+                sub_trace = DramTrace(
+                    page_indices=pages,
+                    footprint_pages=trace.footprint_pages,
+                    n_raw_accesses=max(raw_per_epoch, pages.size),
+                    n_epochs=1,
+                    bytes_per_access=trace.bytes_per_access,
+                )
+                result = self._engine.run(sub_trace, zone_map,
+                                          self.topology, chars)
+                execution_ns += result.total_time_ns
+                tracker.observe_epoch(pages)
+
+            if epoch == len(slices) - 1:
+                break  # nothing left to run; migrating would be waste
+            plan = policy.plan(zone_map, tracker)
+            if plan.n_pages:
+                zone_map[plan.demote] = policy.co_zone
+                zone_map[plan.promote] = policy.bo_zone
+                if int((zone_map == policy.bo_zone).sum()) > policy.bo_capacity_pages:
+                    raise SimulationError(
+                        "migration plan exceeded BO capacity"
+                    )
+                migration_ns += self.cost_model.total_time_ns(plan.n_pages)
+                moved += plan.n_pages
+
+        total = execution_ns + migration_ns
+        if total <= 0:
+            raise SimulationError("migrated run produced zero time")
+        return MigrationResult(
+            total_time_ns=total,
+            execution_time_ns=execution_ns,
+            migration_time_ns=migration_ns,
+            pages_migrated=moved,
+            epochs=trace.n_epochs,
+            final_zone_map=zone_map,
+        )

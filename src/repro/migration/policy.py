@@ -1,0 +1,121 @@
+"""Online migration planning.
+
+At each epoch boundary the migrator compares the hotness tracker's
+current estimate against the placement and plans page moves toward the
+oracle-shaped target: the hottest pages into BO until either the SBIT
+bandwidth share of (estimated) traffic is captured or BO capacity is
+full.  A per-epoch page budget models the limited migration rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.errors import PolicyError
+from repro.migration.tracker import HotnessTracker
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """Pages to move this epoch boundary (footprint page indices)."""
+
+    promote: np.ndarray  # -> BO
+    demote: np.ndarray   # -> CO
+
+    @property
+    def n_pages(self) -> int:
+        return int(self.promote.size + self.demote.size)
+
+
+class EpochMigrationPolicy:
+    """Greedy hottest-first migration toward the bandwidth target.
+
+    ``budget_pages_per_epoch`` caps the pages moved per boundary
+    (``None`` = unlimited); ``hysteresis`` requires a candidate
+    promotion to be at least that factor hotter than the coldest
+    resident BO page it would displace, damping thrash on near-ties.
+    """
+
+    def __init__(self, bo_zone: int, co_zone: int,
+                 bo_capacity_pages: int, bo_traffic_fraction: float,
+                 budget_pages_per_epoch: Optional[int] = None,
+                 hysteresis: float = 1.25) -> None:
+        if bo_zone == co_zone:
+            raise PolicyError("BO and CO zones must differ")
+        if bo_capacity_pages < 0:
+            raise PolicyError("bo_capacity_pages must be >= 0")
+        if not 0.0 < bo_traffic_fraction <= 1.0:
+            raise PolicyError("bo_traffic_fraction out of (0,1]")
+        if budget_pages_per_epoch is not None and budget_pages_per_epoch < 0:
+            raise PolicyError("budget must be >= 0 or None")
+        if hysteresis < 1.0:
+            raise PolicyError("hysteresis must be >= 1")
+        self.bo_zone = bo_zone
+        self.co_zone = co_zone
+        self.bo_capacity_pages = bo_capacity_pages
+        self.bo_traffic_fraction = bo_traffic_fraction
+        self.budget = budget_pages_per_epoch
+        self.hysteresis = hysteresis
+
+    def _desired_bo_set(self, tracker: HotnessTracker) -> np.ndarray:
+        scores = tracker.scores
+        total = float(scores.sum())
+        if total <= 0:
+            return np.empty(0, dtype=np.int64)
+        order = np.argsort(-scores, kind="stable")
+        cumulative = np.cumsum(scores[order])
+        target = self.bo_traffic_fraction * total
+        take = int(np.searchsorted(cumulative, target)) + 1
+        take = min(take, self.bo_capacity_pages, order.size)
+        return order[:take]
+
+    def plan(self, zone_map: np.ndarray,
+             tracker: HotnessTracker) -> MigrationPlan:
+        """Plan this boundary's moves given the current placement."""
+        zone_map = np.asarray(zone_map)
+        if zone_map.size != tracker.n_pages:
+            raise PolicyError("zone map and tracker footprint mismatch")
+        scores = tracker.scores
+        desired = self._desired_bo_set(tracker)
+        in_bo = zone_map == self.bo_zone
+
+        desired_mask = np.zeros(zone_map.size, dtype=bool)
+        desired_mask[desired] = True
+        candidates = desired[~in_bo[desired]]          # want in, not in
+        evictable = np.flatnonzero(in_bo & ~desired_mask)
+
+        # Hysteresis: drop promotions that are not clearly hotter than
+        # the pages they would displace.
+        if candidates.size and evictable.size:
+            floor = scores[evictable].min() * self.hysteresis
+            candidates = candidates[scores[candidates] >= floor]
+
+        # Hottest promotions first, coldest evictions first.
+        candidates = candidates[np.argsort(-scores[candidates],
+                                           kind="stable")]
+        evictable = evictable[np.argsort(scores[evictable],
+                                         kind="stable")]
+
+        free_bo = self.bo_capacity_pages - int(in_bo.sum())
+        n_promote = candidates.size
+        n_demote = max(0, n_promote - free_bo)
+        n_demote = min(n_demote, evictable.size)
+        n_promote = min(n_promote, free_bo + n_demote)
+        if self.budget is not None:
+            while n_promote + n_demote > self.budget:
+                if n_promote > 0:
+                    n_promote -= 1
+                if n_promote + n_demote > self.budget and n_demote > 0:
+                    n_demote -= 1
+                if n_promote == 0 and n_demote == 0:
+                    break
+            # Never demote more than needed for the kept promotions.
+            n_demote = min(n_demote,
+                           max(0, n_promote - free_bo))
+        return MigrationPlan(
+            promote=candidates[:n_promote],
+            demote=evictable[:n_demote],
+        )

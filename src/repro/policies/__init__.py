@@ -1,0 +1,38 @@
+"""Page placement policies: LOCAL, INTERLEAVE, BW-AWARE, ORACLE, ANNOTATED."""
+
+from repro.policies.annotated import AnnotatedPolicy, PlacementHint, coerce_hint
+from repro.policies.base import (
+    PlacementContext,
+    PlacementPolicy,
+    spill_chain,
+    validate_fractions,
+)
+from repro.policies.bwaware import (
+    BwAwarePolicy,
+    CounterBwAwarePolicy,
+    ratio_label,
+    two_zone_fractions,
+)
+from repro.policies.interleave import InterleavePolicy
+from repro.policies.local import LocalPolicy
+from repro.policies.oracle import OraclePolicy
+from repro.policies.registry import make_policy, policy_names
+
+__all__ = [
+    "AnnotatedPolicy",
+    "PlacementHint",
+    "coerce_hint",
+    "PlacementContext",
+    "PlacementPolicy",
+    "spill_chain",
+    "validate_fractions",
+    "BwAwarePolicy",
+    "CounterBwAwarePolicy",
+    "ratio_label",
+    "two_zone_fractions",
+    "InterleavePolicy",
+    "LocalPolicy",
+    "OraclePolicy",
+    "make_policy",
+    "policy_names",
+]

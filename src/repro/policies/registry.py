@@ -1,0 +1,101 @@
+"""Policy registry and factory.
+
+Maps the policy names used throughout the experiment harness, benches
+and CLI examples onto constructors.  Policies that need extra inputs
+(the oracle needs a profile, annotated placement needs hinted
+allocations) are created through :func:`make_policy` with keyword
+arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.errors import PolicyError
+from repro.policies.annotated import AnnotatedPolicy
+from repro.policies.base import PlacementPolicy
+from repro.policies.bwaware import BwAwarePolicy, CounterBwAwarePolicy
+from repro.policies.interleave import InterleavePolicy
+from repro.policies.local import LocalPolicy
+from repro.policies.oracle import OraclePolicy
+
+
+def _make_local(**kwargs: object) -> PlacementPolicy:
+    _reject_extras("LOCAL", kwargs)
+    return LocalPolicy()
+
+
+def _make_interleave(**kwargs: object) -> PlacementPolicy:
+    subset = kwargs.pop("zone_subset", None)
+    _reject_extras("INTERLEAVE", kwargs)
+    return InterleavePolicy(zone_subset=subset)
+
+
+def _make_bwaware(**kwargs: object) -> PlacementPolicy:
+    fractions = kwargs.pop("fractions", None)
+    co_percent = kwargs.pop("co_percent", None)
+    _reject_extras("BW-AWARE", kwargs)
+    if co_percent is not None:
+        if fractions is not None:
+            raise PolicyError("give fractions or co_percent, not both")
+        return BwAwarePolicy.from_ratio(float(co_percent))
+    return BwAwarePolicy(fractions=fractions)
+
+
+def _make_counter_bwaware(**kwargs: object) -> PlacementPolicy:
+    fractions = kwargs.pop("fractions", None)
+    _reject_extras("BW-AWARE-COUNTER", kwargs)
+    return CounterBwAwarePolicy(fractions=fractions)
+
+
+def _make_oracle(**kwargs: object) -> PlacementPolicy:
+    accesses = kwargs.pop("page_accesses", None)
+    _reject_extras("ORACLE", kwargs)
+    if accesses is None:
+        raise PolicyError("ORACLE needs page_accesses= (a profiling pass)")
+    return OraclePolicy(np.asarray(accesses))
+
+
+def _make_annotated(**kwargs: object) -> PlacementPolicy:
+    fallback = kwargs.pop("fallback", None)
+    _reject_extras("ANNOTATED", kwargs)
+    return AnnotatedPolicy(fallback=fallback)
+
+
+def _reject_extras(name: str, kwargs: dict) -> None:
+    if kwargs:
+        raise PolicyError(f"unknown arguments for {name}: {sorted(kwargs)}")
+
+
+_FACTORIES: dict[str, Callable[..., PlacementPolicy]] = {
+    "LOCAL": _make_local,
+    "INTERLEAVE": _make_interleave,
+    "BW-AWARE": _make_bwaware,
+    "BWAWARE": _make_bwaware,
+    "BW-AWARE-COUNTER": _make_counter_bwaware,
+    "ORACLE": _make_oracle,
+    "ANNOTATED": _make_annotated,
+}
+
+
+def policy_names() -> tuple[str, ...]:
+    """Canonical policy names, in the order the paper discusses them."""
+    return ("LOCAL", "INTERLEAVE", "BW-AWARE", "BW-AWARE-COUNTER",
+            "ORACLE", "ANNOTATED")
+
+
+def make_policy(name: str, **kwargs: object) -> PlacementPolicy:
+    """Create a policy by name.
+
+    >>> make_policy("BW-AWARE", co_percent=30).describe()
+    'BW-AWARE 30C-70B'
+    """
+    try:
+        factory = _FACTORIES[name.upper()]
+    except KeyError:
+        raise PolicyError(
+            f"unknown policy {name!r}; known: {sorted(_FACTORIES)}"
+        )
+    return factory(**dict(kwargs))

@@ -1,0 +1,18 @@
+"""Profiling substrate: page counters, CDFs, structure reverse maps."""
+
+from repro.profiling.cdf import AccessCdf
+from repro.profiling.datastruct_map import DataStructureMap, ScatterPoint
+from repro.profiling.profiler import (
+    PageAccessProfiler,
+    StructureProfile,
+    WorkloadProfile,
+)
+
+__all__ = [
+    "AccessCdf",
+    "DataStructureMap",
+    "ScatterPoint",
+    "PageAccessProfiler",
+    "StructureProfile",
+    "WorkloadProfile",
+]

@@ -1,0 +1,136 @@
+"""Bandwidth cumulative distribution functions over pages (Figure 6).
+
+The paper sorts pages from hot to cold and plots cumulative traffic
+against cumulative footprint: linear CDFs mean uniform hotness (no
+placement headroom beyond BW-AWARE), left-skewed CDFs mean a small hot
+set that oracle/annotated placement can pin in BO memory.  This module
+computes the CDF, the skew metrics quoted in the text ("60% of traffic
+from 10% of pages") and the inflection points that Section 4.1 links to
+data-structure boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ProfileError
+
+
+@dataclass(frozen=True)
+class AccessCdf:
+    """CDF of traffic over pages sorted hot -> cold."""
+
+    #: traffic fraction per sorted page (descending), sums to 1.
+    sorted_fractions: np.ndarray
+    #: original footprint page index of each sorted position.
+    sorted_pages: np.ndarray
+
+    def __post_init__(self) -> None:
+        fractions = np.asarray(self.sorted_fractions, dtype=np.float64)
+        pages = np.asarray(self.sorted_pages, dtype=np.int64)
+        object.__setattr__(self, "sorted_fractions", fractions)
+        object.__setattr__(self, "sorted_pages", pages)
+        if fractions.size == 0:
+            raise ProfileError("CDF needs at least one page")
+        if fractions.size != pages.size:
+            raise ProfileError("fractions and pages must align")
+        if np.any(fractions < 0):
+            raise ProfileError("negative traffic fraction")
+        if np.any(np.diff(fractions) > 1e-12):
+            raise ProfileError("fractions must be sorted descending")
+
+    @classmethod
+    def from_counts(cls, page_counts: np.ndarray) -> "AccessCdf":
+        """Build from per-page access counts (profiler output)."""
+        counts = np.asarray(page_counts, dtype=np.float64)
+        if counts.ndim != 1 or counts.size == 0:
+            raise ProfileError("page_counts must be a non-empty vector")
+        if np.any(counts < 0):
+            raise ProfileError("negative page access count")
+        total = counts.sum()
+        order = np.argsort(-counts, kind="stable")
+        fractions = (counts[order] / total if total > 0
+                     else np.zeros_like(counts))
+        return cls(sorted_fractions=fractions, sorted_pages=order)
+
+    @property
+    def n_pages(self) -> int:
+        return int(self.sorted_fractions.size)
+
+    def cumulative(self) -> np.ndarray:
+        """Cumulative traffic fraction at each sorted page (the y axis)."""
+        return np.cumsum(self.sorted_fractions)
+
+    def traffic_at_footprint(self, footprint_fraction: float) -> float:
+        """Traffic captured by the hottest ``footprint_fraction`` pages.
+
+        ``traffic_at_footprint(0.1) >= 0.6`` is the paper's working
+        definition of a skewed workload (bfs, xsbench).
+        """
+        if not 0.0 <= footprint_fraction <= 1.0:
+            raise ProfileError("footprint_fraction out of [0,1]")
+        n_hot = int(round(footprint_fraction * self.n_pages))
+        if n_hot <= 0:
+            return 0.0
+        return float(self.sorted_fractions[:n_hot].sum())
+
+    def footprint_for_traffic(self, traffic_fraction: float) -> float:
+        """Smallest footprint fraction capturing ``traffic_fraction``.
+
+        This is what the oracle minimizes: the BO pages needed to reach
+        the target bandwidth share.
+        """
+        if not 0.0 <= traffic_fraction <= 1.0:
+            raise ProfileError("traffic_fraction out of [0,1]")
+        cumulative = self.cumulative()
+        position = int(np.searchsorted(cumulative, traffic_fraction))
+        return min(1.0, (position + 1) / self.n_pages)
+
+    def skew(self) -> float:
+        """Gini-style skew coefficient in [0, 1).
+
+        0 for perfectly uniform hotness (linear CDF); approaches 1 as
+        traffic concentrates on few pages.
+        """
+        cumulative = self.cumulative()
+        # Area between the CDF and the uniform diagonal, normalized.
+        diagonal = np.arange(1, self.n_pages + 1) / self.n_pages
+        return float(2.0 * np.mean(cumulative - diagonal))
+
+    def is_skewed(self, footprint_fraction: float = 0.1,
+                  traffic_threshold: float = 0.5) -> bool:
+        """Paper-style skew test: a hot tenth carrying most traffic."""
+        return self.traffic_at_footprint(footprint_fraction) >= traffic_threshold
+
+    def inflection_points(self, min_jump: float = 2.0) -> tuple[int, ...]:
+        """Sorted-page positions where per-page hotness drops sharply.
+
+        Section 4.1 observes that skewed workloads show sharp hotness
+        cliffs that align with data-structure boundaries.  A position
+        ``i`` is an inflection when page ``i`` is at least ``min_jump``
+        times hotter than page ``i+1``.
+        """
+        if min_jump <= 1.0:
+            raise ProfileError("min_jump must exceed 1")
+        fractions = self.sorted_fractions
+        points = []
+        for i in range(fractions.size - 1):
+            nxt = fractions[i + 1]
+            if nxt <= 0:
+                if fractions[i] > 0:
+                    points.append(i)
+                break
+            if fractions[i] / nxt >= min_jump:
+                points.append(i)
+        return tuple(points)
+
+    def series(self, n_points: int = 100) -> tuple[np.ndarray, np.ndarray]:
+        """Downsampled (x, y) series for plotting/reporting Figure 6."""
+        if n_points <= 1:
+            raise ProfileError("n_points must exceed 1")
+        cumulative = self.cumulative()
+        positions = np.linspace(0, self.n_pages - 1, n_points).astype(int)
+        x = (positions + 1) / self.n_pages
+        return x, cumulative[positions]

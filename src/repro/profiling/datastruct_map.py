@@ -1,0 +1,126 @@
+"""Virtual-address to data-structure mapping (Figure 7).
+
+Figure 7 overlays two views of one profile: the hot-to-cold traffic CDF
+(left axis) and, for each sorted page, its virtual address colored by
+the data structure it was allocated from (right axis).  The paper uses
+this view to show that for bfs the hot pages cluster into three named
+structures, while for mummergpu hotness cuts across structures.
+
+:class:`DataStructureMap` reproduces that reverse mapping; its
+``scatter`` output is the exact data series behind Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.errors import ProfileError
+from repro.core.units import PAGE_SIZE
+from repro.profiling.cdf import AccessCdf
+from repro.profiling.profiler import WorkloadProfile
+from repro.vm.address_space import HEAP_BASE
+
+
+@dataclass(frozen=True)
+class ScatterPoint:
+    """One sorted page in the Figure 7 overlay."""
+
+    #: x axis: fraction of pages allocated, hottest first.
+    footprint_fraction: float
+    #: left y axis: cumulative traffic fraction.
+    cumulative_traffic: float
+    #: right y axis: the page's virtual address.
+    virtual_address: int
+    #: color: the structure the page belongs to.
+    structure: str
+
+
+class DataStructureMap:
+    """Reverse map from footprint pages to named data structures."""
+
+    def __init__(self, page_ranges: Mapping[str, range],
+                 heap_base: int = HEAP_BASE) -> None:
+        if not page_ranges:
+            raise ProfileError("need at least one data structure range")
+        self._ranges = dict(page_ranges)
+        self._heap_base = heap_base
+        total = sum(len(r) for r in self._ranges.values())
+        self._names = np.empty(total, dtype=object)
+        for name, pages in self._ranges.items():
+            if pages.start < 0 or pages.stop > total:
+                raise ProfileError(
+                    f"structure {name!r} range {pages} outside footprint"
+                )
+            self._names[pages.start:pages.stop] = name
+        if any(name is None for name in self._names):
+            raise ProfileError("page ranges leave footprint gaps")
+
+    @property
+    def footprint_pages(self) -> int:
+        return int(self._names.size)
+
+    def structure_of_page(self, page_index: int) -> str:
+        """Name of the structure owning a footprint page."""
+        if not 0 <= page_index < self._names.size:
+            raise ProfileError(f"page {page_index} outside footprint")
+        return str(self._names[page_index])
+
+    def virtual_address_of_page(self, page_index: int) -> int:
+        """Simulated VA of a footprint page (heap allocations are
+        contiguous from the heap base, matching the VM layer)."""
+        if not 0 <= page_index < self._names.size:
+            raise ProfileError(f"page {page_index} outside footprint")
+        return self._heap_base + page_index * PAGE_SIZE
+
+    def scatter(self, profile: WorkloadProfile,
+                max_points: int = 500) -> tuple[ScatterPoint, ...]:
+        """The Figure 7 data series for one profile."""
+        if profile.footprint_pages != self.footprint_pages:
+            raise ProfileError(
+                "profile footprint does not match the structure map"
+            )
+        cdf = AccessCdf.from_counts(profile.page_counts)
+        cumulative = cdf.cumulative()
+        n = cdf.n_pages
+        step = max(1, -(-n // max_points))  # ceil: at most max_points
+        points = []
+        for rank in range(0, n, step):
+            page = int(cdf.sorted_pages[rank])
+            points.append(ScatterPoint(
+                footprint_fraction=(rank + 1) / n,
+                cumulative_traffic=float(cumulative[rank]),
+                virtual_address=self.virtual_address_of_page(page),
+                structure=self.structure_of_page(page),
+            ))
+        return tuple(points)
+
+    def traffic_by_structure(self, profile: WorkloadProfile
+                             ) -> dict[str, float]:
+        """Traffic fraction per structure (the Figure 7a claim that
+        three bfs structures carry ~80% of traffic)."""
+        total = max(profile.total_accesses, 1)
+        return {
+            name: float(
+                profile.page_counts[pages.start:pages.stop].sum()
+            ) / total
+            for name, pages in self._ranges.items()
+        }
+
+    def hottest_structures(self, profile: WorkloadProfile,
+                           traffic_threshold: float = 0.8
+                           ) -> tuple[str, ...]:
+        """Smallest set of structures covering ``traffic_threshold``."""
+        if not 0.0 < traffic_threshold <= 1.0:
+            raise ProfileError("traffic_threshold out of (0,1]")
+        shares = self.traffic_by_structure(profile)
+        picked: list[str] = []
+        covered = 0.0
+        for name, share in sorted(shares.items(), key=lambda kv: -kv[1]):
+            picked.append(name)
+            covered += share
+            if covered >= traffic_threshold:
+                break
+        return tuple(picked)

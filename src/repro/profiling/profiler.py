@@ -1,0 +1,162 @@
+"""Page- and data-structure-granularity access profiling.
+
+Section 5.1 instruments nvcc/ptxas-generated code to count accesses per
+``cudaMalloc``'d data structure; our simulator observes every DRAM
+access directly, so the profiler here is exact rather than sampled.
+The output — a :class:`WorkloadProfile` — feeds three consumers:
+
+* the oracle policy (perfect page-access counts, Section 4.2),
+* the CDF analytics of Figures 6 and 7,
+* the annotation workflow (per-structure hotness, Section 5.3).
+
+Profiles serialize to plain JSON so a "training run" profile can be
+stored and applied to other datasets, which is exactly the Figure 11
+methodology.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.core.errors import ProfileError
+from repro.gpu.trace import DramTrace
+from repro.workloads.base import TraceWorkload
+
+
+@dataclass(frozen=True)
+class StructureProfile:
+    """Aggregate counters for one data structure."""
+
+    name: str
+    n_pages: int
+    accesses: int
+
+    @property
+    def hotness_density(self) -> float:
+        """Accesses per page — the ranking key for annotation."""
+        return self.accesses / self.n_pages if self.n_pages else 0.0
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """One profiling run: per-page and per-structure access counts."""
+
+    workload: str
+    dataset: str
+    page_counts: np.ndarray
+    structures: tuple[StructureProfile, ...]
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.page_counts, dtype=np.int64)
+        object.__setattr__(self, "page_counts", counts)
+        if counts.ndim != 1:
+            raise ProfileError("page_counts must be one-dimensional")
+        total_pages = sum(s.n_pages for s in self.structures)
+        if total_pages != counts.size:
+            raise ProfileError(
+                f"structures cover {total_pages} pages, page_counts has "
+                f"{counts.size}"
+            )
+
+    @property
+    def total_accesses(self) -> int:
+        return int(self.page_counts.sum())
+
+    @property
+    def footprint_pages(self) -> int:
+        return int(self.page_counts.size)
+
+    def structure_by_name(self, name: str) -> StructureProfile:
+        for structure in self.structures:
+            if structure.name == name:
+                return structure
+        raise ProfileError(f"no structure {name!r} in profile")
+
+    def hotness_ranking(self) -> tuple[StructureProfile, ...]:
+        """Structures ordered hottest-per-page first (Figure 9's input)."""
+        return tuple(sorted(self.structures,
+                            key=lambda s: -s.hotness_density))
+
+    def hotness_by_name(self) -> dict[str, float]:
+        """``{structure: accesses/page}`` for annotation APIs."""
+        return {s.name: s.hotness_density for s in self.structures}
+
+    def never_accessed_pages(self) -> int:
+        """Allocated pages with zero DRAM accesses (Figure 7b effect)."""
+        return int((self.page_counts == 0).sum())
+
+    # ------------------------------------------------------------------
+    # Serialization (profiles travel between training and test runs)
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "workload": self.workload,
+            "dataset": self.dataset,
+            "page_counts": self.page_counts.tolist(),
+            "structures": [
+                {"name": s.name, "n_pages": s.n_pages,
+                 "accesses": s.accesses}
+                for s in self.structures
+            ],
+        })
+
+    @classmethod
+    def from_json(cls, payload: str) -> "WorkloadProfile":
+        try:
+            data = json.loads(payload)
+            structures = tuple(
+                StructureProfile(s["name"], int(s["n_pages"]),
+                                 int(s["accesses"]))
+                for s in data["structures"]
+            )
+            return cls(
+                workload=data["workload"],
+                dataset=data["dataset"],
+                page_counts=np.asarray(data["page_counts"],
+                                       dtype=np.int64),
+                structures=structures,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProfileError(f"malformed profile JSON: {exc}") from exc
+
+
+class PageAccessProfiler:
+    """Builds :class:`WorkloadProfile` objects from workload traces."""
+
+    def profile_trace(self, trace: DramTrace,
+                      page_ranges: Mapping[str, range],
+                      workload: str = "?", dataset: str = "?"
+                      ) -> WorkloadProfile:
+        """Profile an existing DRAM trace against a structure layout."""
+        counts = trace.page_access_counts()
+        structures = []
+        for name, pages in page_ranges.items():
+            structures.append(StructureProfile(
+                name=name,
+                n_pages=len(pages),
+                accesses=int(counts[pages.start:pages.stop].sum()),
+            ))
+        return WorkloadProfile(
+            workload=workload,
+            dataset=dataset,
+            page_counts=counts,
+            structures=tuple(structures),
+        )
+
+    def profile(self, workload: TraceWorkload, dataset: str = "default",
+                n_accesses: Optional[int] = None,
+                seed: int = 0) -> WorkloadProfile:
+        """Run the profiling pass the paper's compiler flag enables."""
+        kwargs = {} if n_accesses is None else {"n_accesses": n_accesses}
+        trace = workload.dram_trace(dataset, seed=seed, **kwargs)
+        return self.profile_trace(
+            trace,
+            workload.page_ranges(dataset),
+            workload=workload.name,
+            dataset=dataset,
+        )

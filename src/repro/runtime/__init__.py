@@ -1,0 +1,13 @@
+"""CUDA-runtime-shaped APIs: hinted cudaMalloc and GetAllocation."""
+
+from repro.policies.annotated import PlacementHint
+from repro.runtime.cuda import CudaRuntime, DevicePointer
+from repro.runtime.hints import get_allocation, hints_from_profile
+
+__all__ = [
+    "PlacementHint",
+    "CudaRuntime",
+    "DevicePointer",
+    "get_allocation",
+    "hints_from_profile",
+]

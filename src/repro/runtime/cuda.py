@@ -1,0 +1,122 @@
+"""A CUDA-runtime-shaped facade over the OS and simulator layers.
+
+Section 5.2 extends ``cudaMalloc`` with an abstract placement hint::
+
+    cudaMalloc(void **devPtr, size_t size, enum hint)
+
+:class:`CudaRuntime` provides that API surface: it owns a process on a
+topology, translates hints through :class:`AnnotatedPolicy`, honors the
+capacity-fallback semantics, and can launch a workload "kernel" on the
+simulator to time the resulting placement.  Examples and integration
+tests use it as the top of the stack; the experiment harness drives the
+lower layers directly for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.errors import AllocationError
+from repro.gpu.config import GpuConfig
+from repro.gpu.simulator import EngineName, GpuSystemSimulator
+from repro.gpu.trace import SimResult
+from repro.memory.topology import SystemTopology, simulated_baseline
+from repro.policies.annotated import AnnotatedPolicy, PlacementHint, coerce_hint
+from repro.vm.page import Allocation
+from repro.vm.process import Process
+from repro.workloads.base import TraceWorkload
+
+
+@dataclass(frozen=True)
+class DevicePointer:
+    """What ``cudaMalloc`` hands back: an opaque device address."""
+
+    address: int
+    allocation: Allocation
+
+    @property
+    def size_bytes(self) -> int:
+        return self.allocation.size_bytes
+
+    @property
+    def name(self) -> str:
+        return self.allocation.name
+
+
+class CudaRuntime:
+    """Hint-aware memory allocator plus kernel-launch timing."""
+
+    def __init__(self, topology: Optional[SystemTopology] = None,
+                 config: Optional[GpuConfig] = None,
+                 engine: EngineName = "throughput",
+                 seed: int = 0) -> None:
+        self.topology = topology if topology is not None else simulated_baseline()
+        self._policy = AnnotatedPolicy()
+        self.process = Process(self.topology, policy=self._policy, seed=seed)
+        self.simulator = GpuSystemSimulator(self.topology, config, engine)
+
+    def cuda_malloc(self, size: int,
+                    hint: Union[PlacementHint, str, None] = None,
+                    name: str = "", hotness: float = 1.0) -> DevicePointer:
+        """Allocate device-visible memory with an optional hint.
+
+        Hints are best effort: a full pool spills to the other pool, and
+        omitting the hint falls back to BW-AWARE placement, exactly as
+        Section 5.2 specifies.
+        """
+        if size <= 0:
+            raise AllocationError("cudaMalloc size must be positive")
+        allocation = self.process.mmap(
+            size, name=name, hint=coerce_hint(hint), hotness=hotness
+        )
+        return DevicePointer(address=allocation.va_start,
+                             allocation=allocation)
+
+    def cuda_free(self, pointer: DevicePointer) -> None:
+        """Release the physical backing of an allocation."""
+        self.process.free(pointer.allocation)
+
+    def malloc_workload(self, workload: TraceWorkload,
+                        dataset: str = "default",
+                        hints: Optional[dict] = None
+                        ) -> list[DevicePointer]:
+        """Allocate every data structure of a workload, in program order."""
+        pointers = []
+        for spec in workload.data_structures(dataset):
+            hint = (hints or {}).get(spec.name)
+            pointers.append(self.cuda_malloc(
+                spec.size_bytes, hint=hint, name=spec.name,
+                hotness=spec.hotness_density,
+            ))
+        return pointers
+
+    def launch(self, workload: TraceWorkload, dataset: str = "default",
+               n_accesses: Optional[int] = None,
+               seed: int = 0) -> SimResult:
+        """Run the workload's kernel against the current placement.
+
+        All of the workload's structures must already be allocated (via
+        :meth:`malloc_workload` or individual ``cuda_malloc`` calls in
+        program order).
+        """
+        expected = workload.footprint_pages(dataset)
+        zone_map = self.process.zone_map()
+        if zone_map.size != expected:
+            raise AllocationError(
+                f"{workload.name} expects {expected} mapped pages, found "
+                f"{zone_map.size}; allocate with malloc_workload() first"
+            )
+        kwargs = {} if n_accesses is None else {"n_accesses": n_accesses}
+        trace = workload.dram_trace(dataset, seed=seed, **kwargs)
+        return self.simulator.simulate(
+            trace, zone_map, workload.characteristics(dataset)
+        )
+
+    def memory_info(self) -> dict[str, tuple[int, int]]:
+        """``cudaMemGetInfo``-style (used, capacity) pages per zone."""
+        occupancy = self.process.physical.occupancy()
+        return {
+            self.topology.zone(zone_id).name: usage
+            for zone_id, usage in occupancy.items()
+        }

@@ -1,0 +1,29 @@
+"""Virtual memory substrate: pages, allocators, address spaces, mempolicy."""
+
+from repro.vm.address_space import HEAP_BASE, UNMAPPED, AddressSpace
+from repro.vm.allocator import PhysicalMemory, ZoneAllocator
+from repro.vm.mempolicy import (
+    BindPolicy,
+    MemPolicyMode,
+    PreferredPolicy,
+    policy_for_mode,
+)
+from repro.vm.page import Allocation, PageMapping, page_offset, vpn_of
+from repro.vm.process import Process
+
+__all__ = [
+    "HEAP_BASE",
+    "UNMAPPED",
+    "AddressSpace",
+    "PhysicalMemory",
+    "ZoneAllocator",
+    "BindPolicy",
+    "MemPolicyMode",
+    "PreferredPolicy",
+    "policy_for_mode",
+    "Allocation",
+    "PageMapping",
+    "page_offset",
+    "vpn_of",
+    "Process",
+]

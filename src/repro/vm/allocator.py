@@ -1,0 +1,144 @@
+"""Physical frame allocators.
+
+:class:`ZoneAllocator` hands out frames from one NUMA zone;
+:class:`PhysicalMemory` aggregates one allocator per zone of a topology
+and implements the fallback chain semantics Linux uses: try the preferred
+zones in order, and only raise :class:`OutOfMemoryError` once *every*
+zone is exhausted.  This fallback is load-bearing for the paper's
+capacity-constraint experiments — when the BO pool fills, placement
+policies silently spill to the CO pool exactly as ``mbind`` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.errors import ConfigError, OutOfMemoryError
+from repro.memory.topology import SystemTopology
+from repro.vm.page import PageMapping
+
+
+class ZoneAllocator:
+    """Frame allocator for a single zone.
+
+    Frames are integers in ``[0, capacity_pages)``.  A simple bump
+    pointer plus an explicit free list is enough: the simulator never
+    cares about physical frame adjacency, only about which *zone* backs
+    each page.
+    """
+
+    def __init__(self, zone_id: int, capacity_pages: int) -> None:
+        if capacity_pages <= 0:
+            raise ConfigError("capacity_pages must be positive")
+        self.zone_id = zone_id
+        self.capacity_pages = capacity_pages
+        self._next_frame = 0
+        self._free_list: list[int] = []
+
+    @property
+    def used_pages(self) -> int:
+        """Frames currently handed out."""
+        return self._next_frame - len(self._free_list)
+
+    @property
+    def free_pages(self) -> int:
+        """Frames still available."""
+        return self.capacity_pages - self.used_pages
+
+    @property
+    def full(self) -> bool:
+        return self.free_pages == 0
+
+    def allocate(self) -> int:
+        """Take one frame; raises :class:`OutOfMemoryError` when full."""
+        if self._free_list:
+            return self._free_list.pop()
+        if self._next_frame >= self.capacity_pages:
+            raise OutOfMemoryError(
+                f"zone {self.zone_id} exhausted "
+                f"({self.capacity_pages} pages)"
+            )
+        frame = self._next_frame
+        self._next_frame += 1
+        return frame
+
+    def allocate_many(self, count: int) -> list[int]:
+        """Take up to ``count`` frames (all-or-nothing)."""
+        if count < 0:
+            raise ConfigError("count must be >= 0")
+        if count > self.free_pages:
+            raise OutOfMemoryError(
+                f"zone {self.zone_id}: requested {count} frames, "
+                f"{self.free_pages} free"
+            )
+        return [self.allocate() for _ in range(count)]
+
+    def free(self, frame: int) -> None:
+        """Return a frame to the pool."""
+        if not 0 <= frame < self._next_frame:
+            raise ConfigError(f"frame {frame} was never allocated")
+        if frame in self._free_list:
+            raise ConfigError(f"double free of frame {frame}")
+        self._free_list.append(frame)
+
+
+class PhysicalMemory:
+    """All physical frames in the system, one allocator per zone."""
+
+    def __init__(self, topology: SystemTopology) -> None:
+        self.topology = topology
+        self._allocators = {
+            zone.zone_id: ZoneAllocator(zone.zone_id, zone.capacity_pages)
+            for zone in topology
+        }
+
+    def allocator(self, zone_id: int) -> ZoneAllocator:
+        try:
+            return self._allocators[zone_id]
+        except KeyError:
+            raise ConfigError(f"no zone {zone_id} in {self.topology.name}")
+
+    def free_pages(self, zone_id: int) -> int:
+        return self.allocator(zone_id).free_pages
+
+    def used_pages(self, zone_id: int) -> int:
+        return self.allocator(zone_id).used_pages
+
+    def total_free_pages(self) -> int:
+        return sum(a.free_pages for a in self._allocators.values())
+
+    def has_space(self, zone_id: int) -> bool:
+        return not self.allocator(zone_id).full
+
+    def allocate(self, preferred: Sequence[int],
+                 strict: bool = False) -> PageMapping:
+        """Allocate one frame following a zone preference chain.
+
+        ``preferred`` lists zone ids most-preferred first.  By default,
+        zones missing from the list are appended in id order as a last
+        resort so a policy bug can never fail an allocation the machine
+        could serve.  With ``strict=True`` (MPOL_BIND semantics) only
+        the listed zones are tried and exhaustion raises.
+        """
+        chain = list(preferred)
+        if not strict:
+            chain += [z for z in self._allocators if z not in preferred]
+        for zone_id in chain:
+            allocator = self.allocator(zone_id)
+            if not allocator.full:
+                return PageMapping(zone_id, allocator.allocate())
+        raise OutOfMemoryError(
+            f"zones {chain} exhausted in topology {self.topology.name}"
+        )
+
+    def free(self, mapping: PageMapping) -> None:
+        """Return one frame."""
+        self.allocator(mapping.zone_id).free(mapping.frame)
+
+    def occupancy(self) -> dict[int, tuple[int, int]]:
+        """``{zone_id: (used_pages, capacity_pages)}`` snapshot."""
+        return {
+            zone_id: (alloc.used_pages, alloc.capacity_pages)
+            for zone_id, alloc in self._allocators.items()
+        }

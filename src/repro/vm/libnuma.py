@@ -1,0 +1,113 @@
+"""libNUMA-shaped allocation interface (Section 2.2).
+
+The paper notes Linux provides "a library interface called libNUMA for
+applications to request memory allocations from specific NUMA zones",
+with the caveats that motivated the hint-based design: placement is
+low-level, zone layouts differ between machines, and there is no
+performance feedback.  This module reproduces the familiar surface of
+that C API over a :class:`repro.vm.process.Process`, so the examples
+and tests can contrast raw libNUMA programming against the abstract
+BO/CO/BW hints of Section 5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import AllocationError, PolicyError
+from repro.policies.interleave import InterleavePolicy
+from repro.policies.local import LocalPolicy
+from repro.vm.mempolicy import BindPolicy, PreferredPolicy
+from repro.vm.page import Allocation
+from repro.vm.process import Process
+
+
+class LibNuma:
+    """A per-process handle mimicking the libNUMA entry points."""
+
+    def __init__(self, process: Process) -> None:
+        self.process = process
+
+    # ------------------------------------------------------------------
+    # Topology discovery
+    # ------------------------------------------------------------------
+
+    def numa_available(self) -> int:
+        """0 when NUMA support exists (the C API's convention)."""
+        return 0 if len(self.process.topology) >= 1 else -1
+
+    def numa_max_node(self) -> int:
+        """Highest NUMA node id in the system."""
+        return len(self.process.topology) - 1
+
+    def numa_num_configured_nodes(self) -> int:
+        return len(self.process.topology)
+
+    def numa_node_size(self, node: int) -> tuple[int, int]:
+        """(total_bytes, free_bytes) of a node, like numa_node_size64."""
+        zone = self.process.topology.zone(node)
+        free = self.process.physical.free_pages(node)
+        return zone.capacity_bytes, free * 4096
+
+    def numa_distance(self, a: int, b: int) -> int:
+        """SLIT distance between two nodes (10 = local)."""
+        return self.process.tables.slit.distance(a, b)
+
+    def numa_preferred(self) -> int:
+        """The node LOCAL allocation would use."""
+        return self.process.topology.gpu_local_zone
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def numa_alloc_onnode(self, size: int, node: int,
+                          name: str = "") -> Allocation:
+        """Allocate preferentially on ``node`` (falls back when full)."""
+        self._check_node(node)
+        allocation = self.process.reserve(size, name=name)
+        self.process.mbind(allocation, PreferredPolicy(node))
+        self.process.fault_in(allocation)
+        return allocation
+
+    def numa_alloc_strict(self, size: int, node: int,
+                          name: str = "") -> Allocation:
+        """Allocate strictly on ``node``; OOM when it is full."""
+        self._check_node(node)
+        allocation = self.process.reserve(size, name=name)
+        self.process.mbind(allocation, BindPolicy([node]))
+        self.process.fault_in(allocation)
+        return allocation
+
+    def numa_alloc_interleaved(self, size: int,
+                               name: str = "",
+                               nodes: Optional[list[int]] = None
+                               ) -> Allocation:
+        """Allocate round-robin across nodes (numa_alloc_interleaved /
+        _subset)."""
+        if nodes is not None:
+            for node in nodes:
+                self._check_node(node)
+        allocation = self.process.reserve(size, name=name)
+        self.process.mbind(allocation, InterleavePolicy(zone_subset=nodes))
+        self.process.fault_in(allocation)
+        return allocation
+
+    def numa_alloc_local(self, size: int, name: str = "") -> Allocation:
+        """Allocate on the local node (the default policy)."""
+        allocation = self.process.reserve(size, name=name)
+        self.process.mbind(allocation, LocalPolicy())
+        self.process.fault_in(allocation)
+        return allocation
+
+    def numa_free(self, allocation: Allocation) -> None:
+        """Release the allocation's physical frames."""
+        self.process.free(allocation)
+
+    # ------------------------------------------------------------------
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node <= self.numa_max_node():
+            raise PolicyError(
+                f"node {node} out of range 0..{self.numa_max_node()}"
+            )

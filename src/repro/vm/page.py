@@ -1,0 +1,93 @@
+"""Page-level primitives shared by the VM layer.
+
+Virtual address space is managed at 4 KiB page granularity, matching the
+granularity the paper profiles and places at.  A mapped page is a
+``(zone_id, frame)`` pair; an :class:`Allocation` is the VM-layer record
+of one ``cudaMalloc``/``mmap`` call and is the unit the annotation-based
+policy attaches hints to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import NamedTuple, Optional
+
+from repro.core.errors import AllocationError
+from repro.core.units import PAGE_SIZE, bytes_to_pages
+
+
+class PageMapping(NamedTuple):
+    """Physical backing of one virtual page."""
+
+    zone_id: int
+    frame: int
+
+
+def vpn_of(virtual_address: int) -> int:
+    """Virtual page number containing ``virtual_address``."""
+    if virtual_address < 0:
+        raise AllocationError(f"negative virtual address {virtual_address}")
+    return virtual_address // PAGE_SIZE
+
+
+def page_offset(virtual_address: int) -> int:
+    """Byte offset of ``virtual_address`` within its page."""
+    if virtual_address < 0:
+        raise AllocationError(f"negative virtual address {virtual_address}")
+    return virtual_address % PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One heap allocation: a contiguous virtual range with metadata.
+
+    ``hint`` is the Section 5.2 placement hint (a
+    :class:`repro.runtime.hints.PlacementHint` value) or ``None`` for
+    unannotated allocations, which fall back to the process policy.
+    ``hotness`` is the program-annotated relative access weight used by
+    :func:`repro.runtime.hints.get_allocation`; it is advisory metadata,
+    never read by the hardware model.
+    """
+
+    alloc_id: int
+    name: str
+    va_start: int
+    size_bytes: int
+    hint: Optional[object] = None
+    hotness: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise AllocationError(
+                f"allocation {self.name!r} must have positive size"
+            )
+        if self.va_start % PAGE_SIZE:
+            raise AllocationError(
+                f"allocation {self.name!r} start not page aligned"
+            )
+        if self.hotness < 0:
+            raise AllocationError(
+                f"allocation {self.name!r} hotness must be >= 0"
+            )
+
+    @property
+    def n_pages(self) -> int:
+        """Pages spanned by this allocation (size rounded up)."""
+        return bytes_to_pages(self.size_bytes)
+
+    @property
+    def first_vpn(self) -> int:
+        return self.va_start // PAGE_SIZE
+
+    @property
+    def va_end(self) -> int:
+        """One past the last mapped byte (page aligned)."""
+        return self.va_start + self.n_pages * PAGE_SIZE
+
+    def contains(self, virtual_address: int) -> bool:
+        """True if ``virtual_address`` falls inside this allocation."""
+        return self.va_start <= virtual_address < self.va_end
+
+    def vpns(self) -> range:
+        """Virtual page numbers covered by this allocation."""
+        return range(self.first_vpn, self.first_vpn + self.n_pages)

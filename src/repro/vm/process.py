@@ -1,0 +1,162 @@
+"""The process: where address space, physical memory and policy meet.
+
+A :class:`Process` owns one :class:`AddressSpace`, shares the system's
+:class:`PhysicalMemory`, and applies placement policies at allocation
+time — the paper studies *initial* placement, explicitly deferring page
+migration (Section 5.5), so pages are placed once, when faulted in.
+
+Two usage styles are supported, matching the two software layers in the
+paper:
+
+* the **OS style** — ``set_mempolicy`` + ``mmap`` with the task policy,
+  ``mbind`` to override a specific range (Section 2.2);
+* the **bulk style** used by the experiment harness — reserve every
+  allocation, then :meth:`place_all` with one policy, which gives
+  whole-program policies (the oracle) their two-phase ``prepare`` hook.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.errors import AllocationError, PolicyError
+from repro.memory.acpi import FirmwareTables, enumerate_tables
+from repro.memory.topology import SystemTopology
+from repro.policies.base import PlacementContext, PlacementPolicy
+from repro.policies.local import LocalPolicy
+from repro.vm.address_space import AddressSpace
+from repro.vm.allocator import PhysicalMemory
+from repro.vm.page import Allocation
+
+
+class Process:
+    """A GPU-side process with allocation-time page placement."""
+
+    def __init__(self, topology: SystemTopology,
+                 physical: Optional[PhysicalMemory] = None,
+                 tables: Optional[FirmwareTables] = None,
+                 policy: Optional[PlacementPolicy] = None,
+                 seed: int = 0) -> None:
+        self.topology = topology
+        self.physical = physical if physical is not None else PhysicalMemory(topology)
+        self.tables = tables if tables is not None else enumerate_tables(topology)
+        self.space = AddressSpace()
+        self._policy = policy if policy is not None else LocalPolicy()
+        self._vma_policies: dict[int, PlacementPolicy] = {}
+        self._ctx = PlacementContext(
+            tables=self.tables,
+            physical=self.physical,
+            local_zone=topology.gpu_local_zone,
+            rng=np.random.default_rng(seed),
+        )
+        self._prepared_policies: set[int] = set()
+
+    @property
+    def context(self) -> PlacementContext:
+        """The placement context policies are evaluated in."""
+        return self._ctx
+
+    @property
+    def policy(self) -> PlacementPolicy:
+        """The task-wide default policy."""
+        return self._policy
+
+    # ------------------------------------------------------------------
+    # Linux-shaped API
+    # ------------------------------------------------------------------
+
+    def set_mempolicy(self, policy: PlacementPolicy) -> None:
+        """Replace the task default policy (affects future faults only)."""
+        self._policy = policy
+        self._prepared_policies.discard(id(policy))
+
+    def mbind(self, allocation: Allocation,
+              policy: PlacementPolicy) -> None:
+        """Attach a per-range policy, as ``mbind(2)`` does for a VMA.
+
+        Must run before the range is faulted in: this model places pages
+        exactly once (no migration), mirroring the paper's focus on
+        initial placement.
+        """
+        if any(self.space.is_mapped(vpn) for vpn in allocation.vpns()):
+            raise PolicyError(
+                f"mbind on {allocation.name!r} after pages were placed; "
+                "this model does not migrate pages"
+            )
+        self._vma_policies[allocation.alloc_id] = policy
+        self._prepared_policies.discard(id(policy))
+
+    def reserve(self, size_bytes: int, name: str = "",
+                hint: Optional[object] = None,
+                hotness: float = 1.0) -> Allocation:
+        """Reserve a virtual range without faulting pages in."""
+        return self.space.reserve(size_bytes, name=name, hint=hint,
+                                  hotness=hotness)
+
+    def mmap(self, size_bytes: int, name: str = "",
+             hint: Optional[object] = None,
+             hotness: float = 1.0) -> Allocation:
+        """Reserve and immediately fault in a range with the task policy."""
+        allocation = self.reserve(size_bytes, name=name, hint=hint,
+                                  hotness=hotness)
+        self.fault_in(allocation)
+        return allocation
+
+    def fault_in(self, allocation: Allocation) -> None:
+        """Place every page of ``allocation`` using its effective policy."""
+        policy = self._vma_policies.get(allocation.alloc_id, self._policy)
+        self._ensure_prepared(policy)
+        strict = bool(getattr(policy, "strict", False))
+        for page_index, vpn in enumerate(allocation.vpns()):
+            if self.space.is_mapped(vpn):
+                continue
+            chain = policy.preferred_zones(allocation, page_index, self._ctx)
+            mapping = self.physical.allocate(chain, strict=strict)
+            self.space.map_page(vpn, mapping)
+
+    def _ensure_prepared(self, policy: PlacementPolicy) -> None:
+        if id(policy) not in self._prepared_policies:
+            policy.prepare(self.space.allocations, self._ctx)
+            self._prepared_policies.add(id(policy))
+
+    # ------------------------------------------------------------------
+    # Bulk style for the experiment harness
+    # ------------------------------------------------------------------
+
+    def place_all(self, policy: Optional[PlacementPolicy] = None) -> np.ndarray:
+        """Fault in every reserved-but-unmapped allocation.
+
+        Runs the policy's two-phase ``prepare`` over the complete
+        allocation list first, then places pages in program order.
+        Returns the footprint zone map (zone id per page, program
+        order) — the vector the performance engines consume.
+        """
+        if policy is not None:
+            self.set_mempolicy(policy)
+        active = self._policy
+        active.prepare(self.space.allocations, self._ctx)
+        self._prepared_policies.add(id(active))
+        for allocation in self.space.allocations:
+            self.fault_in(allocation)
+        return self.zone_map()
+
+    def zone_map(self) -> np.ndarray:
+        """Zone id per footprint page, program order."""
+        return self.space.zone_map()
+
+    def free(self, allocation: Allocation) -> None:
+        """Release the physical frames of ``allocation``.
+
+        The virtual range stays reserved (no VA reuse), which keeps
+        trace virtual addresses stable across the run.
+        """
+        for vpn in allocation.vpns():
+            if self.space.is_mapped(vpn):
+                self.physical.free(self.space.unmap_page(vpn))
+
+    def occupancy_fraction(self, zone_id: int) -> float:
+        """Fraction of a zone's frames currently used."""
+        used, capacity = self.physical.occupancy()[zone_id]
+        return used / capacity

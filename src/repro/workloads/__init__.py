@@ -1,0 +1,31 @@
+"""Synthetic models of the paper's 19 GPU benchmarks."""
+
+from repro.workloads.base import (
+    AccessPhase,
+    DataStructureSpec,
+    LINES_PER_PAGE,
+    TraceWorkload,
+    clear_trace_cache,
+)
+from repro.workloads.suite import (
+    CROSS_DATASET_WORKLOADS,
+    all_workloads,
+    bandwidth_sensitive_workloads,
+    get_workload,
+    workload_names,
+    workloads_by_suite,
+)
+
+__all__ = [
+    "AccessPhase",
+    "DataStructureSpec",
+    "LINES_PER_PAGE",
+    "TraceWorkload",
+    "clear_trace_cache",
+    "CROSS_DATASET_WORKLOADS",
+    "all_workloads",
+    "bandwidth_sensitive_workloads",
+    "get_workload",
+    "workload_names",
+    "workloads_by_suite",
+]

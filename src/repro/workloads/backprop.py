@@ -1,0 +1,59 @@
+"""backprop — neural network training (Rodinia).
+
+Two kernels — a forward pass and a weight-adjustment backward pass —
+over the same weight matrices, giving a two-phase trace with moderately
+skewed hotness: the hidden-layer weights see traffic in both phases,
+the input layer only in one.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import AccessPhase, DataStructureSpec, TraceWorkload, mib
+
+
+class BackpropWorkload(TraceWorkload):
+    """MLP forward + backward passes."""
+
+    name = "backprop"
+    suite = "rodinia"
+    description = "NN training, forward/backward phases"
+    bandwidth_sensitive = True
+    latency_sensitive = False
+    parallelism = 320.0
+    compute_ns_per_access = 0.52
+
+    def define_structures(self, dataset: str = "default"
+                        ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        return (
+            DataStructureSpec(
+                "input_units", mib(16), traffic_weight=18.0,
+                pattern="sequential", read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "input_weights", mib(32), traffic_weight=34.0,
+                pattern="strided", pattern_params={"stride": 17},
+                read_fraction=0.8,
+            ),
+            DataStructureSpec(
+                "hidden_units", mib(2), traffic_weight=22.0,
+                pattern="uniform", read_fraction=0.6,
+            ),
+            DataStructureSpec(
+                "hidden_deltas", mib(2), traffic_weight=14.0,
+                pattern="uniform", read_fraction=0.5,
+            ),
+            DataStructureSpec(
+                "output_deltas", mib(1), traffic_weight=12.0,
+                pattern="sequential", read_fraction=0.5,
+            ),
+        )
+
+    def phases(self, dataset: str = "default") -> tuple[AccessPhase, ...]:
+        return (
+            AccessPhase("forward", 0.5,
+                        {"hidden_deltas": 0.2, "output_deltas": 0.4}),
+            AccessPhase("backward", 0.5,
+                        {"input_units": 0.5, "hidden_deltas": 1.8,
+                         "output_deltas": 1.6}),
+        )

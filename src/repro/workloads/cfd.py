@@ -1,0 +1,49 @@
+"""cfd — unstructured-grid Euler solver (Rodinia).
+
+Flux computation over an unstructured mesh: per-cell state vectors are
+streamed, neighbor gathers hit the element connectivity irregularly.
+Strong bandwidth scaling (one of the steepest curves in Figure 2a),
+mild skew from boundary cells being revisited.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DataStructureSpec, TraceWorkload, mib
+
+
+class CfdWorkload(TraceWorkload):
+    """Unstructured CFD flux kernel."""
+
+    name = "cfd"
+    suite = "rodinia"
+    description = "unstructured Euler solver, bandwidth hungry"
+    bandwidth_sensitive = True
+    latency_sensitive = False
+    parallelism = 416.0
+    compute_ns_per_access = 0.10
+
+    def define_structures(self, dataset: str = "default"
+                        ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        return (
+            DataStructureSpec(
+                "cell_variables", mib(30), traffic_weight=40.0,
+                pattern="sequential", read_fraction=0.7,
+            ),
+            DataStructureSpec(
+                "fluxes", mib(30), traffic_weight=26.0,
+                pattern="sequential", read_fraction=0.4,
+            ),
+            DataStructureSpec(
+                "neighbor_index", mib(12), traffic_weight=16.0,
+                pattern="uniform", read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "face_normals", mib(16), traffic_weight=12.0,
+                pattern="sequential", read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "boundary_cells", mib(2), traffic_weight=6.0,
+                pattern="uniform", read_fraction=0.9,
+            ),
+        )

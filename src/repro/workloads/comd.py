@@ -1,0 +1,52 @@
+"""comd — classical molecular dynamics proxy app (ExMatEx/HPC).
+
+The paper's memory-*insensitive* representative: comd appears in the
+results "to represent applications which are memory insensitive"
+(Section 3.2.1) — its Lennard-Jones force kernel is compute bound, so
+neither bandwidth scaling (Figure 2a) nor added latency (Figure 2b)
+moves it, and page placement barely matters.
+
+Modeled with a dominant compute bound: force evaluation does hundreds
+of FLOPs per neighbor load.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DataStructureSpec, TraceWorkload, mib
+
+
+class ComdWorkload(TraceWorkload):
+    """Lennard-Jones MD force loop, compute bound."""
+
+    name = "comd"
+    suite = "hpc"
+    description = "molecular dynamics, compute bound, memory insensitive"
+    bandwidth_sensitive = False
+    latency_sensitive = False
+    parallelism = 256.0
+    # High enough that the force loop's DRAM demand (128 B per raw
+    # access / 1.8 ns ~= 71 GB/s) stays below even the CO pool alone:
+    # comd must remain flat across every placement, as in Figures 2-4.
+    compute_ns_per_access = 1.8
+
+    def define_structures(self, dataset: str = "default"
+                        ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        return (
+            DataStructureSpec(
+                "positions", mib(12), traffic_weight=30.0,
+                pattern="uniform", read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "forces", mib(12), traffic_weight=25.0,
+                pattern="sequential", read_fraction=0.5,
+            ),
+            DataStructureSpec(
+                "neighbor_lists", mib(24), traffic_weight=30.0,
+                pattern="sequential", read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "cell_index", mib(4), traffic_weight=15.0,
+                pattern="uniform", read_fraction=1.0,
+            ),
+        )

@@ -1,0 +1,49 @@
+"""cutcp — cutoff-limited Coulombic potential on a 3D lattice (Parboil).
+
+Atoms are binned spatially; each lattice region gathers the atoms of
+nearby bins, so the bin structure has clustered (density-following)
+hotness while the output lattice is written once, sequentially.
+Moderate compute per access (distance tests + potential accumulation).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DataStructureSpec, TraceWorkload, mib
+
+
+class CutcpWorkload(TraceWorkload):
+    """Binned short-range potential accumulation."""
+
+    name = "cutcp"
+    suite = "parboil"
+    description = "cutoff Coulomb potential, clustered bin hotness"
+    bandwidth_sensitive = True
+    latency_sensitive = False
+    parallelism = 320.0
+    compute_ns_per_access = 0.55
+
+    def define_structures(self, dataset: str = "default"
+                        ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        return (
+            DataStructureSpec(
+                "atom_bins", mib(24), traffic_weight=46.0,
+                pattern="gaussian",
+                pattern_params={"center_fraction": 0.4,
+                                "sigma_fraction": 0.2},
+                read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "lattice_out", mib(32), traffic_weight=30.0,
+                pattern="sequential", read_fraction=0.2,
+            ),
+            DataStructureSpec(
+                "bin_counters", mib(2), traffic_weight=14.0,
+                pattern="uniform", read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "overflow_atoms", mib(6), traffic_weight=10.0,
+                pattern="partial", pattern_params={"used_fraction": 0.4},
+                read_fraction=1.0,
+            ),
+        )

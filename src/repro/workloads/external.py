@@ -1,0 +1,113 @@
+"""Wrap externally collected traces as workloads.
+
+Users of a trace-driven simulator usually arrive with traces of their
+own — from binary instrumentation, hardware performance counters or
+another simulator.  :class:`ExternalTraceWorkload` adapts a
+:class:`DramTrace` (plus an optional data-structure layout) to the
+:class:`TraceWorkload` interface so every policy, profiler and
+experiment in this library runs on it unchanged.
+
+Because the trace is already post-cache, ``dram_trace`` returns it
+verbatim (no cache filtering) and ``raw_line_trace`` is unavailable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+import numpy as np
+
+from repro.core.errors import WorkloadError
+from repro.core.units import PAGE_SIZE
+from repro.gpu.config import GpuConfig
+from repro.gpu.trace import DramTrace
+from repro.gpu.trace_io import load_trace
+from repro.workloads.base import DataStructureSpec, TraceWorkload
+
+
+class ExternalTraceWorkload(TraceWorkload):
+    """A workload backed by a pre-collected DRAM trace."""
+
+    suite = "external"
+    #: a captured trace is one input; there is nothing to rescale.
+    dataset_scales = {"default": 1.0}
+
+    def __init__(self, name: str, trace: DramTrace,
+                 structures: Optional[Mapping[str, range]] = None,
+                 parallelism: float = 384.0,
+                 compute_ns_per_access: float = 0.0,
+                 description: str = "") -> None:
+        self.name = name
+        self.description = description or f"external trace {name}"
+        self.parallelism = parallelism
+        self.compute_ns_per_access = compute_ns_per_access
+        self._trace = trace
+        self._structures = self._validated_structures(trace, structures)
+
+    @staticmethod
+    def _validated_structures(trace: DramTrace,
+                              structures: Optional[Mapping[str, range]]
+                              ) -> dict[str, range]:
+        if structures is None:
+            return {"heap": range(0, trace.footprint_pages)}
+        covered: list[int] = []
+        for name, pages in structures.items():
+            if pages.start < 0 or pages.stop > trace.footprint_pages:
+                raise WorkloadError(
+                    f"structure {name!r} range {pages} outside the "
+                    f"trace footprint"
+                )
+            covered.extend(pages)
+        if sorted(covered) != list(range(trace.footprint_pages)):
+            raise WorkloadError(
+                "structure ranges must tile the footprint exactly"
+            )
+        return dict(structures)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path], name: Optional[str] = None,
+                  **kwargs: object) -> "ExternalTraceWorkload":
+        """Load a trace saved with :func:`repro.gpu.trace_io.save_trace`."""
+        trace, structures = load_trace(path)
+        return cls(
+            name=name or Path(path).stem,
+            trace=trace,
+            structures=structures,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # TraceWorkload interface
+    # ------------------------------------------------------------------
+
+    def define_structures(self, dataset: str = "default"
+                        ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        counts = self._trace.page_access_counts()
+        specs = []
+        for name, pages in self._structures.items():
+            traffic = float(counts[pages.start:pages.stop].sum())
+            specs.append(DataStructureSpec(
+                name=name,
+                size_bytes=len(pages) * PAGE_SIZE,
+                traffic_weight=max(traffic, 0.0),
+                pattern="uniform",  # metadata only; trace is replayed
+            ))
+        return tuple(specs)
+
+    def dram_trace(self, dataset: str = "default",
+                   n_accesses: int = 0, seed: int = 0,
+                   filtered: bool = True,
+                   config: Optional[GpuConfig] = None,
+                   n_epochs: int = 0) -> DramTrace:
+        """The wrapped trace, verbatim (already post-cache)."""
+        self._check_dataset(dataset)
+        return self._trace
+
+    def raw_access_stream(self, dataset: str = "default",
+                          n_accesses: int = 0, seed: int = 0):
+        raise WorkloadError(
+            f"{self.name}: external traces are post-cache; the raw "
+            "SM-issued stream was not collected"
+        )

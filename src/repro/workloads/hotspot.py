@@ -1,0 +1,40 @@
+"""hotspot — thermal simulation stencil (Rodinia).
+
+A 2D iterative stencil over temperature and power grids: every cell is
+touched the same number of times per iteration, giving the textbook
+*linear* CDF with no placement headroom beyond BW-AWARE.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DataStructureSpec, TraceWorkload, mib
+
+
+class HotspotWorkload(TraceWorkload):
+    """2D thermal stencil, uniform page hotness."""
+
+    name = "hotspot"
+    suite = "rodinia"
+    description = "thermal stencil, linear CDF"
+    bandwidth_sensitive = True
+    latency_sensitive = False
+    parallelism = 384.0
+    compute_ns_per_access = 0.12
+
+    def define_structures(self, dataset: str = "default"
+                        ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        return (
+            DataStructureSpec(
+                "temp_in", mib(24), traffic_weight=40.0,
+                pattern="sequential", read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "temp_out", mib(24), traffic_weight=30.0,
+                pattern="sequential", read_fraction=0.1,
+            ),
+            DataStructureSpec(
+                "power_grid", mib(24), traffic_weight=30.0,
+                pattern="sequential", read_fraction=1.0,
+            ),
+        )

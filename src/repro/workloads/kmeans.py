@@ -1,0 +1,45 @@
+"""kmeans — iterative clustering (Rodinia).
+
+The feature matrix is streamed every iteration (cold per byte, large);
+the centroid table is read by every thread for every point (extremely
+hot, tiny); membership updates are sequential.  Skewed CDF with a sharp
+structure-aligned inflection — a good annotation candidate.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DataStructureSpec, TraceWorkload, mib
+
+
+class KmeansWorkload(TraceWorkload):
+    """Lloyd's algorithm: assignment + centroid update."""
+
+    name = "kmeans"
+    suite = "rodinia"
+    description = "clustering, tiny hot centroid table"
+    bandwidth_sensitive = True
+    latency_sensitive = False
+    parallelism = 416.0
+    compute_ns_per_access = 0.5
+
+    def define_structures(self, dataset: str = "default"
+                        ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        return (
+            DataStructureSpec(
+                "feature_matrix", mib(48), traffic_weight=52.0,
+                pattern="sequential", read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "centroids", mib(1), traffic_weight=30.0,
+                pattern="uniform", read_fraction=0.9,
+            ),
+            DataStructureSpec(
+                "membership", mib(4), traffic_weight=12.0,
+                pattern="sequential", read_fraction=0.4,
+            ),
+            DataStructureSpec(
+                "cluster_sizes", mib(1), traffic_weight=6.0,
+                pattern="uniform", read_fraction=0.5,
+            ),
+        )

@@ -1,0 +1,51 @@
+"""lavamd — N-body particle interaction within a 3D box grid (Rodinia).
+
+Each box interacts with its 26 neighbors: particle positions are
+gathered repeatedly (moderately hot, clustered by box density), force
+accumulators are written per box.  Moderate compute per access keeps it
+between the bandwidth-bound streamers and comd.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DataStructureSpec, TraceWorkload, mib
+
+
+class LavamdWorkload(TraceWorkload):
+    """Boxed N-body force kernel."""
+
+    name = "lavamd"
+    suite = "rodinia"
+    description = "boxed particle interactions, moderate compute"
+    bandwidth_sensitive = True
+    latency_sensitive = False
+    parallelism = 288.0
+    compute_ns_per_access = 0.58
+
+    def define_structures(self, dataset: str = "default"
+                        ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        return (
+            DataStructureSpec(
+                "particle_positions", mib(20), traffic_weight=42.0,
+                pattern="gaussian",
+                pattern_params={"center_fraction": 0.5,
+                                "sigma_fraction": 0.3},
+                read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "particle_charges", mib(10), traffic_weight=20.0,
+                pattern="gaussian",
+                pattern_params={"center_fraction": 0.5,
+                                "sigma_fraction": 0.3},
+                read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "force_accumulators", mib(20), traffic_weight=26.0,
+                pattern="sequential", read_fraction=0.4,
+            ),
+            DataStructureSpec(
+                "box_neighbors", mib(2), traffic_weight=12.0,
+                pattern="sequential", read_fraction=1.0,
+            ),
+        )

@@ -1,0 +1,41 @@
+"""lbm — lattice-Boltzmann fluid dynamics (Parboil).
+
+The canonical streaming kernel: two full lattice copies are read and
+written once per timestep with near-zero reuse.  The steepest possible
+bandwidth scaling (Figure 2a), flat latency curve, perfectly linear CDF
+— the workload BW-AWARE is tailor-made for.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DataStructureSpec, TraceWorkload, mib
+
+
+class LbmWorkload(TraceWorkload):
+    """Double-buffered lattice sweep."""
+
+    name = "lbm"
+    suite = "parboil"
+    description = "lattice-Boltzmann, pure streaming"
+    bandwidth_sensitive = True
+    latency_sensitive = False
+    parallelism = 448.0
+    compute_ns_per_access = 0.04
+
+    def define_structures(self, dataset: str = "default"
+                        ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        return (
+            DataStructureSpec(
+                "src_lattice", mib(40), traffic_weight=52.0,
+                pattern="sequential", read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "dst_lattice", mib(40), traffic_weight=44.0,
+                pattern="sequential", read_fraction=0.05,
+            ),
+            DataStructureSpec(
+                "obstacle_flags", mib(4), traffic_weight=4.0,
+                pattern="sequential", read_fraction=1.0,
+            ),
+        )

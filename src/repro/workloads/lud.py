@@ -1,0 +1,47 @@
+"""lud — blocked LU decomposition (Rodinia).
+
+Factorization sweeps shrink over time: the trailing submatrix is
+revisited every outer iteration, so hotness grows toward the
+bottom-right of the single matrix allocation — an intra-structure
+gradient with moderate reuse and somewhat limited parallelism near the
+critical path.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import AccessPhase, DataStructureSpec, TraceWorkload, mib
+
+
+class LudWorkload(TraceWorkload):
+    """Blocked in-place LU factorization."""
+
+    name = "lud"
+    suite = "rodinia"
+    description = "LU decomposition, trailing submatrix hot"
+    bandwidth_sensitive = True
+    latency_sensitive = False
+    parallelism = 224.0
+    compute_ns_per_access = 0.5
+
+    def define_structures(self, dataset: str = "default"
+                        ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        return (
+            DataStructureSpec(
+                "matrix", mib(36), traffic_weight=88.0,
+                pattern="gaussian",
+                pattern_params={"center_fraction": 0.75,
+                                "sigma_fraction": 0.25},
+                read_fraction=0.7,
+            ),
+            DataStructureSpec(
+                "pivot_buffer", mib(2), traffic_weight=12.0,
+                pattern="uniform", read_fraction=0.6,
+            ),
+        )
+
+    def phases(self, dataset: str = "default") -> tuple[AccessPhase, ...]:
+        return (
+            AccessPhase("panel", 0.4, {"pivot_buffer": 1.5}),
+            AccessPhase("trailing-update", 0.6, {"matrix": 1.2}),
+        )

@@ -1,0 +1,70 @@
+"""minife — implicit finite-element proxy application (Mantevo/HPC).
+
+A conjugate-gradient solve: SpMV over the stiffness matrix dominates
+traffic, the solution/residual vectors are reused every iteration
+(hot), the matrix values are scanned (cold per byte).  Moderately
+skewed CDF, structure-correlated — annotation works well here.
+
+One of the four Figure 11 cross-dataset workloads; datasets change the
+finite-element problem dimensions (matrix size and bandwidth).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DataStructureSpec, TraceWorkload, mib
+
+
+class MinifeWorkload(TraceWorkload):
+    """CG solve: SpMV + vector updates."""
+
+    name = "minife"
+    suite = "hpc"
+    description = "finite element CG solve, vectors hot, matrix cold"
+    bandwidth_sensitive = True
+    latency_sensitive = False
+    parallelism = 416.0
+    compute_ns_per_access = 0.52
+    #: datasets are modeled explicitly below; no generic scaling.
+    dataset_scales = {}
+
+    #: dataset -> problem scale (matrix MiB multiplier).
+    _DATASETS = {
+        "default": 1.0,
+        "box140": 1.6,
+        "box100-refined": 0.7,
+    }
+
+    def datasets(self) -> tuple[str, ...]:
+        return tuple(self._DATASETS)
+
+    def define_structures(self, dataset: str = "default"
+                        ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        scale = self._DATASETS[dataset]
+        return (
+            DataStructureSpec(
+                "A_values", mib(36 * scale), traffic_weight=30.0,
+                pattern="sequential", read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "A_col_indices", mib(18 * scale),
+                traffic_weight=15.0, pattern="sequential",
+                read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "A_row_offsets", mib(2 * scale), traffic_weight=5.0,
+                pattern="sequential", read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "x_vector", mib(3 * scale), traffic_weight=26.0,
+                pattern="uniform", read_fraction=0.9,
+            ),
+            DataStructureSpec(
+                "residual", mib(3 * scale), traffic_weight=14.0,
+                pattern="sequential", read_fraction=0.5,
+            ),
+            DataStructureSpec(
+                "search_dir", mib(3 * scale), traffic_weight=10.0,
+                pattern="sequential", read_fraction=0.6,
+            ),
+        )

@@ -1,0 +1,56 @@
+"""needle — Needleman-Wunsch sequence alignment (Rodinia).
+
+Figure 7c's case study: a fairly *linear* CDF where hotness varies
+within the single dynamic-programming matrix (the anti-diagonal
+wavefront touches cells unevenly) rather than between structures.
+Little headroom for placement beyond BW-AWARE — the paper uses needle
+to show when hotness-driven placement cannot help.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import AccessPhase, DataStructureSpec, TraceWorkload, mib
+
+
+class NeedleWorkload(TraceWorkload):
+    """Wavefront DP over one large score matrix."""
+
+    name = "needle"
+    suite = "rodinia"
+    description = "Needleman-Wunsch DP, near-linear CDF"
+    bandwidth_sensitive = True
+    latency_sensitive = False
+    parallelism = 384.0
+    compute_ns_per_access = 0.52
+
+    def define_structures(self, dataset: str = "default"
+                        ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        return (
+            DataStructureSpec(
+                "reference_matrix", mib(28), traffic_weight=30.0,
+                pattern="sequential", read_fraction=1.0,
+            ),
+            # Intra-structure hotness gradient: the wavefront crosses
+            # the middle anti-diagonals more often than the corners.
+            DataStructureSpec(
+                "score_matrix", mib(28), traffic_weight=58.0,
+                pattern="gaussian",
+                pattern_params={"center_fraction": 0.5,
+                                "sigma_fraction": 0.35},
+                read_fraction=0.6,
+            ),
+            DataStructureSpec(
+                "input_seqs", mib(2), traffic_weight=12.0,
+                pattern="uniform", read_fraction=1.0,
+            ),
+        )
+
+    def phases(self, dataset: str = "default") -> tuple[AccessPhase, ...]:
+        # The wavefront grows then shrinks: score-matrix traffic peaks
+        # mid-execution.
+        return (
+            AccessPhase("grow", 0.35, {"score_matrix": 0.8}),
+            AccessPhase("peak", 0.3, {"score_matrix": 1.4}),
+            AccessPhase("shrink", 0.35, {"score_matrix": 0.8}),
+        )

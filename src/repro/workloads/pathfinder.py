@@ -1,0 +1,40 @@
+"""pathfinder — dynamic-programming grid traversal (Rodinia).
+
+Row-by-row DP over a wide grid: each row is read once, results written
+once; only the small result rows are reused.  Essentially linear CDF
+and strong bandwidth scaling.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DataStructureSpec, TraceWorkload, mib
+
+
+class PathfinderWorkload(TraceWorkload):
+    """Row-streaming DP."""
+
+    name = "pathfinder"
+    suite = "rodinia"
+    description = "grid DP, row streaming"
+    bandwidth_sensitive = True
+    latency_sensitive = False
+    parallelism = 416.0
+    compute_ns_per_access = 0.06
+
+    def define_structures(self, dataset: str = "default"
+                        ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        return (
+            DataStructureSpec(
+                "wall_grid", mib(44), traffic_weight=72.0,
+                pattern="sequential", read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "result_row_src", mib(2), traffic_weight=16.0,
+                pattern="uniform", read_fraction=0.8,
+            ),
+            DataStructureSpec(
+                "result_row_dst", mib(2), traffic_weight=12.0,
+                pattern="uniform", read_fraction=0.3,
+            ),
+        )

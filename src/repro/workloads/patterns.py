@@ -1,0 +1,186 @@
+"""Access-pattern generators for synthetic workload traces.
+
+Each generator produces a stream of *line offsets* within one data
+structure (line 0 is the first 128-byte line of the structure).  The
+workload base class maps offsets into the global footprint and
+interleaves streams across data structures.
+
+Patterns are chosen to span the behaviours the paper characterizes in
+Figures 6 and 7:
+
+* ``sequential`` / ``strided`` — streaming kernels, linear CDFs (needle);
+* ``uniform`` — random gather over a structure;
+* ``zipf`` — power-law page hotness, the skewed CDFs of bfs/xsbench;
+* ``hot_cold`` — a sharp two-level hotness split with an inflection
+  point in the CDF;
+* ``gaussian`` — clustered hotness without structure alignment
+  (mummergpu's "hotness not correlated to data structures");
+* ``partial`` — only a sub-range is ever touched (mummergpu's allocated
+  but never-accessed ranges).
+
+All generators take an ``rng`` and are deterministic given its state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.errors import WorkloadError
+
+PatternFn = Callable[[np.random.Generator, int, int, dict], np.ndarray]
+
+
+def _require_positive(n_accesses: int, n_lines: int) -> None:
+    if n_accesses < 0:
+        raise WorkloadError("n_accesses must be >= 0")
+    if n_lines <= 0:
+        raise WorkloadError("structure must span at least one line")
+
+
+def sequential(rng: np.random.Generator, n_accesses: int, n_lines: int,
+               params: dict) -> np.ndarray:
+    """Streaming sweeps that cover the structure uniformly.
+
+    Full sweeps are in-order scans.  A *partial* sweep (the trace budget
+    rarely divides evenly into timesteps) is an evenly-spaced, in-order
+    subsample of the whole structure rather than a contiguous prefix:
+    real streaming kernels run many timesteps, so over the whole run
+    every page sees the same access count — a contiguous partial pass
+    would fabricate a "hot first third" that no real sweep has.
+    ``start_fraction`` rotates the starting point so repeated phases do
+    not always begin at line 0.
+    """
+    _require_positive(n_accesses, n_lines)
+    start = int(params.get("start_fraction", 0.0) * n_lines)
+    full_passes, remainder = divmod(n_accesses, n_lines)
+    pieces = [
+        np.arange(n_lines, dtype=np.int64) for _ in range(full_passes)
+    ]
+    if remainder:
+        positions = (np.arange(remainder, dtype=np.float64)
+                     * n_lines / remainder)
+        offset = rng.integers(0, max(1, n_lines // max(remainder, 1)) + 1)
+        pieces.append(((positions.astype(np.int64) + offset) % n_lines))
+    if not pieces:
+        return np.empty(0, dtype=np.int64)
+    return (start + np.concatenate(pieces)) % n_lines
+
+
+def strided(rng: np.random.Generator, n_accesses: int, n_lines: int,
+            params: dict) -> np.ndarray:
+    """Fixed-stride scan (column-major sweeps, structure-of-arrays)."""
+    _require_positive(n_accesses, n_lines)
+    stride = int(params.get("stride", 33))
+    if stride <= 0:
+        raise WorkloadError("stride must be positive")
+    return (np.arange(n_accesses, dtype=np.int64) * stride) % n_lines
+
+
+def uniform(rng: np.random.Generator, n_accesses: int, n_lines: int,
+            params: dict) -> np.ndarray:
+    """Uniform random gather across the whole structure."""
+    _require_positive(n_accesses, n_lines)
+    return rng.integers(0, n_lines, size=n_accesses, dtype=np.int64)
+
+
+def zipf(rng: np.random.Generator, n_accesses: int, n_lines: int,
+         params: dict) -> np.ndarray:
+    """Power-law (Zipf-like) line popularity.
+
+    ``alpha`` controls skew (higher = more skewed).  Ranks are shuffled
+    through a fixed permutation derived from ``rng`` so hot lines are
+    scattered across the structure rather than clustered at its start —
+    matching profiled GPU heaps, where hot pages are not contiguous.
+    """
+    _require_positive(n_accesses, n_lines)
+    alpha = float(params.get("alpha", 1.1))
+    if alpha <= 0:
+        raise WorkloadError("zipf alpha must be positive")
+    weights = 1.0 / np.power(np.arange(1, n_lines + 1, dtype=np.float64),
+                             alpha)
+    weights /= weights.sum()
+    ranks = rng.choice(n_lines, size=n_accesses, p=weights)
+    permutation = rng.permutation(n_lines)
+    return permutation[ranks].astype(np.int64)
+
+
+def hot_cold(rng: np.random.Generator, n_accesses: int, n_lines: int,
+             params: dict) -> np.ndarray:
+    """Two-level hotness: a hot sub-range takes most of the traffic.
+
+    ``hot_fraction`` of the lines receive ``hot_traffic`` of the
+    accesses (e.g. 0.1 and 0.6 reproduce "60% of bandwidth from 10% of
+    pages").  Within each class, accesses are uniform.
+    """
+    _require_positive(n_accesses, n_lines)
+    hot_fraction = float(params.get("hot_fraction", 0.1))
+    hot_traffic = float(params.get("hot_traffic", 0.6))
+    if not 0.0 < hot_fraction < 1.0:
+        raise WorkloadError("hot_fraction must be in (0,1)")
+    if not 0.0 < hot_traffic < 1.0:
+        raise WorkloadError("hot_traffic must be in (0,1)")
+    n_hot = max(1, int(round(n_lines * hot_fraction)))
+    is_hot = rng.random(n_accesses) < hot_traffic
+    addrs = np.empty(n_accesses, dtype=np.int64)
+    n_hot_accesses = int(is_hot.sum())
+    addrs[is_hot] = rng.integers(0, n_hot, size=n_hot_accesses)
+    addrs[~is_hot] = rng.integers(n_hot, n_lines,
+                                  size=n_accesses - n_hot_accesses)
+    return addrs
+
+
+def gaussian(rng: np.random.Generator, n_accesses: int, n_lines: int,
+             params: dict) -> np.ndarray:
+    """Hotness clustered around a centre, decaying smoothly.
+
+    ``center_fraction`` places the cluster, ``sigma_fraction`` sets its
+    width.  Produces hotness gradients *within* a structure, the
+    behaviour that defeats per-data-structure annotation in needle and
+    mummergpu.
+    """
+    _require_positive(n_accesses, n_lines)
+    center = float(params.get("center_fraction", 0.5)) * n_lines
+    sigma = max(1.0, float(params.get("sigma_fraction", 0.15)) * n_lines)
+    raw = rng.normal(center, sigma, size=n_accesses)
+    return np.clip(np.abs(raw), 0, n_lines - 1).astype(np.int64)
+
+
+def partial(rng: np.random.Generator, n_accesses: int, n_lines: int,
+            params: dict) -> np.ndarray:
+    """Touch only a sub-range, leaving the rest allocated-but-idle.
+
+    ``used_fraction`` of the structure receives uniform traffic; the
+    remainder is never accessed — the mummergpu virtual ranges that
+    Figure 7b shows "allocated but never accessed".
+    """
+    _require_positive(n_accesses, n_lines)
+    used_fraction = float(params.get("used_fraction", 0.6))
+    if not 0.0 < used_fraction <= 1.0:
+        raise WorkloadError("used_fraction must be in (0,1]")
+    used = max(1, int(round(n_lines * used_fraction)))
+    return rng.integers(0, used, size=n_accesses, dtype=np.int64)
+
+
+PATTERNS: dict[str, PatternFn] = {
+    "sequential": sequential,
+    "strided": strided,
+    "uniform": uniform,
+    "zipf": zipf,
+    "hot_cold": hot_cold,
+    "gaussian": gaussian,
+    "partial": partial,
+}
+
+
+def generate(pattern: str, rng: np.random.Generator, n_accesses: int,
+             n_lines: int, params: dict | None = None) -> np.ndarray:
+    """Dispatch to a named pattern generator."""
+    try:
+        fn = PATTERNS[pattern]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown access pattern {pattern!r}; known: {sorted(PATTERNS)}"
+        )
+    return fn(rng, n_accesses, n_lines, params or {})

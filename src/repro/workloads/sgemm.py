@@ -1,0 +1,53 @@
+"""sgemm — dense single-precision matrix multiply (Parboil).
+
+The paper's latency-sensitive outlier: among all 33 characterized
+kernels "only sgemm stands out as highly latency sensitive"
+(Figure 2b), and under BW-AWARE placement it *loses* up to 12% against
+LOCAL because the extra CO-memory accesses pay the interconnect hop
+(Section 3.2.2).
+
+Modeled with low memory-level parallelism (dependent blocked loads,
+high register/shared-memory reuse limiting warps in flight) and high
+on-chip reuse (blocked tiles hit in cache), so the Little's-law latency
+bound — not bandwidth — governs performance.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DataStructureSpec, TraceWorkload, mib
+
+
+class SgemmWorkload(TraceWorkload):
+    """Blocked dense GEMM with strong reuse and low MLP."""
+
+    name = "sgemm"
+    suite = "parboil"
+    description = "dense matrix multiply, latency sensitive (low MLP)"
+    bandwidth_sensitive = False
+    latency_sensitive = True
+    parallelism = 20.0
+    compute_ns_per_access = 1.65
+
+    def define_structures(self, dataset: str = "default"
+                        ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        return (
+            # Blocked access: the active tiles are a small hot set that
+            # caches well; the cold remainder streams through.
+            DataStructureSpec(
+                "matrix_A", mib(16), traffic_weight=40.0,
+                pattern="hot_cold",
+                pattern_params={"hot_fraction": 0.012, "hot_traffic": 0.8},
+                read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "matrix_B", mib(16), traffic_weight=40.0,
+                pattern="hot_cold",
+                pattern_params={"hot_fraction": 0.012, "hot_traffic": 0.8},
+                read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "matrix_C", mib(16), traffic_weight=20.0,
+                pattern="sequential", read_fraction=0.3,
+            ),
+        )

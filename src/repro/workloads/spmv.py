@@ -1,0 +1,50 @@
+"""spmv — sparse matrix-vector multiply (Parboil).
+
+CSR SpMV: matrix values/indices stream linearly (cold per byte), the
+dense source vector is gathered with power-law locality (hot — matrix
+columns are far from uniformly referenced).  Skewed CDF aligned with
+the small vector allocation.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DataStructureSpec, TraceWorkload, mib
+
+
+class SpmvWorkload(TraceWorkload):
+    """CSR sparse matrix-vector product."""
+
+    name = "spmv"
+    suite = "parboil"
+    description = "CSR SpMV, gathered source vector hot"
+    bandwidth_sensitive = True
+    latency_sensitive = False
+    parallelism = 384.0
+    compute_ns_per_access = 0.45
+
+    def define_structures(self, dataset: str = "default"
+                        ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        return (
+            DataStructureSpec(
+                "csr_values", mib(32), traffic_weight=38.0,
+                pattern="sequential", read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "csr_col_indices", mib(16), traffic_weight=19.0,
+                pattern="sequential", read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "csr_row_offsets", mib(1), traffic_weight=5.0,
+                pattern="sequential", read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "x_vector", mib(4), traffic_weight=28.0,
+                pattern="zipf", pattern_params={"alpha": 1.0},
+                read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "y_vector", mib(4), traffic_weight=10.0,
+                pattern="sequential", read_fraction=0.2,
+            ),
+        )

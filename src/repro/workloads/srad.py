@@ -1,0 +1,43 @@
+"""srad — speckle-reducing anisotropic diffusion (Rodinia).
+
+Image-processing stencil with multiple coefficient planes: every plane
+is swept uniformly each iteration.  Linear CDF, solid bandwidth
+scaling, modest compute.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DataStructureSpec, TraceWorkload, mib
+
+
+class SradWorkload(TraceWorkload):
+    """Anisotropic diffusion over an image and 4 coefficient planes."""
+
+    name = "srad"
+    suite = "rodinia"
+    description = "speckle-reducing diffusion stencil"
+    bandwidth_sensitive = True
+    latency_sensitive = False
+    parallelism = 384.0
+    compute_ns_per_access = 0.11
+
+    def define_structures(self, dataset: str = "default"
+                        ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        planes = []
+        for direction in ("north", "south", "east", "west"):
+            planes.append(DataStructureSpec(
+                f"coeff_{direction}", mib(12), traffic_weight=13.0,
+                pattern="sequential", read_fraction=0.5,
+            ))
+        return (
+            DataStructureSpec(
+                "image", mib(24), traffic_weight=36.0,
+                pattern="sequential", read_fraction=0.8,
+            ),
+            *planes,
+            DataStructureSpec(
+                "diff_coeff", mib(12), traffic_weight=12.0,
+                pattern="sequential", read_fraction=0.6,
+            ),
+        )

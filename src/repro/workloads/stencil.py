@@ -1,0 +1,37 @@
+"""stencil — 7-point 3D Jacobi stencil (Parboil).
+
+Double-buffered 3D sweep: like lbm, nearly pure streaming with linear
+CDF and steep bandwidth scaling; slightly more reuse than lbm because
+of the vertical neighbor planes.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DataStructureSpec, TraceWorkload, mib
+
+
+class StencilWorkload(TraceWorkload):
+    """3D Jacobi sweep."""
+
+    name = "stencil"
+    suite = "parboil"
+    description = "7-point 3D stencil, streaming"
+    bandwidth_sensitive = True
+    latency_sensitive = False
+    parallelism = 448.0
+    compute_ns_per_access = 0.05
+
+    def define_structures(self, dataset: str = "default"
+                        ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        return (
+            DataStructureSpec(
+                "grid_in", mib(36), traffic_weight=58.0,
+                pattern="strided", pattern_params={"stride": 9},
+                read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "grid_out", mib(36), traffic_weight=42.0,
+                pattern="sequential", read_fraction=0.05,
+            ),
+        )

@@ -1,0 +1,98 @@
+"""Workload suite registry.
+
+The paper evaluates 19 benchmarks from Rodinia, Parboil and recent HPC
+proxy applications: 17 bandwidth-sensitive, plus comd (memory
+insensitive) and sgemm (latency sensitive) as controls (Section 3.2.1).
+This module registers one model per benchmark and provides lookup
+helpers used by the experiment harness and benches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.errors import WorkloadError
+from repro.workloads.backprop import BackpropWorkload
+from repro.workloads.base import TraceWorkload
+from repro.workloads.bfs import BfsWorkload
+from repro.workloads.cfd import CfdWorkload
+from repro.workloads.comd import ComdWorkload
+from repro.workloads.cutcp import CutcpWorkload
+from repro.workloads.hotspot import HotspotWorkload
+from repro.workloads.kmeans import KmeansWorkload
+from repro.workloads.lavamd import LavamdWorkload
+from repro.workloads.lbm import LbmWorkload
+from repro.workloads.lud import LudWorkload
+from repro.workloads.minife import MinifeWorkload
+from repro.workloads.mummergpu import MummergpuWorkload
+from repro.workloads.needle import NeedleWorkload
+from repro.workloads.pathfinder import PathfinderWorkload
+from repro.workloads.sgemm import SgemmWorkload
+from repro.workloads.spmv import SpmvWorkload
+from repro.workloads.srad import SradWorkload
+from repro.workloads.stencil import StencilWorkload
+from repro.workloads.xsbench import XsbenchWorkload
+
+_WORKLOAD_CLASSES: tuple[type[TraceWorkload], ...] = (
+    BackpropWorkload,
+    BfsWorkload,
+    CfdWorkload,
+    ComdWorkload,
+    CutcpWorkload,
+    HotspotWorkload,
+    KmeansWorkload,
+    LavamdWorkload,
+    LbmWorkload,
+    LudWorkload,
+    MinifeWorkload,
+    MummergpuWorkload,
+    NeedleWorkload,
+    PathfinderWorkload,
+    SgemmWorkload,
+    SpmvWorkload,
+    SradWorkload,
+    StencilWorkload,
+    XsbenchWorkload,
+)
+
+_REGISTRY: dict[str, TraceWorkload] = {
+    cls.name: cls() for cls in _WORKLOAD_CLASSES
+}
+
+#: the four workloads of the Figure 11 cross-dataset study, chosen in
+#: the paper as those with the largest oracle-over-BW-AWARE headroom.
+CROSS_DATASET_WORKLOADS = ("bfs", "xsbench", "minife", "mummergpu")
+
+
+def workload_names() -> tuple[str, ...]:
+    """All 19 benchmark names, alphabetical."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_workload(name: str) -> TraceWorkload:
+    """Look up a workload model by benchmark name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+        )
+
+
+def all_workloads() -> tuple[TraceWorkload, ...]:
+    """All workload models, alphabetical by name."""
+    return tuple(_REGISTRY[name] for name in workload_names())
+
+
+def bandwidth_sensitive_workloads() -> tuple[TraceWorkload, ...]:
+    """The 17 workloads the paper classifies as bandwidth sensitive."""
+    return tuple(w for w in all_workloads() if w.bandwidth_sensitive)
+
+
+def workloads_by_suite(suite: str) -> tuple[TraceWorkload, ...]:
+    """Workloads from one originating suite (rodinia/parboil/hpc)."""
+    picked = tuple(w for w in all_workloads() if w.suite == suite)
+    if not picked:
+        known = sorted({w.suite for w in all_workloads()})
+        raise WorkloadError(f"unknown suite {suite!r}; known: {known}")
+    return picked

@@ -1,0 +1,68 @@
+"""xsbench — Monte Carlo neutron transport macroscopic cross-section
+lookup kernel (HPC proxy app, Tramm et al.).
+
+Like bfs, xsbench has a strongly skewed CDF: Figure 6 shows >60% of
+traffic from ~10% of pages.  The unionized energy grid's index vector
+is consulted on every lookup (hot); the per-nuclide cross-section data
+is sampled with power-law locality (a few nuclides dominate any given
+material); the lookup buffers are streamed.
+
+One of the four Figure 11 cross-dataset workloads: datasets vary the
+number of nuclides, gridpoints and lookups.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DataStructureSpec, TraceWorkload, mib
+
+
+class XsbenchWorkload(TraceWorkload):
+    """Cross-section lookup loop over a unionized energy grid."""
+
+    name = "xsbench"
+    suite = "hpc"
+    description = "MC neutron transport lookups, unionized grid hot"
+    bandwidth_sensitive = True
+    latency_sensitive = False
+    parallelism = 448.0
+    compute_ns_per_access = 0.06
+    #: datasets are modeled explicitly below; no generic scaling.
+    dataset_scales = {}
+
+    #: dataset -> (n_gridpoints scale, n_nuclides scale, lookups scale)
+    _DATASETS = {
+        "default": (1.0, 1.0, 1.0),
+        "large": (2.0, 1.5, 1.2),
+        "small-hot": (0.5, 0.6, 1.5),
+    }
+
+    def datasets(self) -> tuple[str, ...]:
+        return tuple(self._DATASETS)
+
+    def define_structures(self, dataset: str = "default"
+                        ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        grid_scale, nuclide_scale, lookup_scale = self._DATASETS[dataset]
+        return (
+            DataStructureSpec(
+                "nuclide_grids", mib(40 * nuclide_scale),
+                traffic_weight=24.0, pattern="zipf",
+                pattern_params={"alpha": 1.3}, read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "unionized_energy_grid", mib(6 * grid_scale),
+                traffic_weight=38.0, pattern="zipf",
+                pattern_params={"alpha": 0.8}, read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "index_grid", mib(12 * grid_scale),
+                traffic_weight=26.0, pattern="hot_cold",
+                pattern_params={"hot_fraction": 0.08, "hot_traffic": 0.78},
+                read_fraction=1.0,
+            ),
+            DataStructureSpec(
+                "lookup_results", mib(8 * lookup_scale),
+                traffic_weight=12.0, pattern="sequential",
+                read_fraction=0.2,
+            ),
+        )

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+Tests use short traces (the workload layer memoizes them per process,
+so repeated fixtures are cheap) and small zone capacities so capacity
+edge cases are easy to hit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.units import GIB, PAGE_SIZE
+from repro.memory.acpi import enumerate_tables
+from repro.memory.topology import simulated_baseline, symmetric_topology
+from repro.policies.base import PlacementContext
+from repro.vm.allocator import PhysicalMemory
+from repro.vm.process import Process
+
+#: raw-trace length used by workload-driven tests; long enough to touch
+#: every page of the scaled footprints, short enough to keep the full
+#: suite fast.
+TEST_ACCESSES = 30_000
+
+
+@pytest.fixture
+def baseline():
+    """The Table 1 topology with default capacities."""
+    return simulated_baseline()
+
+
+@pytest.fixture
+def tiny_baseline():
+    """Table 1 bandwidths with tiny capacities (for spill tests)."""
+    return simulated_baseline(bo_capacity_gib=0.001, co_capacity_gib=0.01)
+
+
+@pytest.fixture
+def symmetric():
+    return symmetric_topology()
+
+
+@pytest.fixture
+def process(baseline):
+    return Process(baseline, seed=7)
+
+
+@pytest.fixture
+def context(baseline):
+    return PlacementContext(
+        tables=enumerate_tables(baseline),
+        physical=PhysicalMemory(baseline),
+        local_zone=baseline.gpu_local_zone,
+        rng=np.random.default_rng(7),
+    )
+
+
+def make_context(topology, seed: int = 7) -> PlacementContext:
+    """Context factory for tests needing custom topologies."""
+    return PlacementContext(
+        tables=enumerate_tables(topology),
+        physical=PhysicalMemory(topology),
+        local_zone=topology.gpu_local_zone,
+        rng=np.random.default_rng(seed),
+    )

@@ -1,0 +1,71 @@
+"""The reproduction scorecard."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    Claim,
+    ClaimResult,
+    paper_claims,
+    run_scorecard,
+)
+
+# Balanced the way the full suite is: mostly linear-CDF workloads with
+# one skewed representative, plus the two controls — the scorecard
+# bands are calibrated against full-suite geomeans.
+SUBSET = ("lbm", "hotspot", "stencil", "srad", "needle", "bfs",
+          "sgemm", "comd")
+
+
+@pytest.fixture(scope="module")
+def scorecard():
+    return run_scorecard(SUBSET)
+
+
+class TestClaimResult:
+    def test_within_band(self):
+        result = ClaimResult("c", 1.18, 1.20, 1.05, 1.35)
+        assert result.within_band
+        assert result.relative_error == pytest.approx(0.0169, abs=1e-3)
+
+    def test_out_of_band(self):
+        result = ClaimResult("c", 1.18, 2.0, 1.05, 1.35)
+        assert not result.within_band
+
+    def test_render_marks_status(self):
+        ok = ClaimResult("fine", 1.0, 1.0, 0.9, 1.1)
+        bad = ClaimResult("broken", 1.0, 5.0, 0.9, 1.1)
+        assert "[OK ]" in ok.render()
+        assert "[OUT]" in bad.render()
+
+
+class TestPaperClaims:
+    def test_claim_catalog_covers_the_headlines(self):
+        names = [claim.name for claim in paper_claims()]
+        assert any("BW-AWARE vs LOCAL" in n for n in names)
+        assert any("ORACLE" in n for n in names)
+        assert any("ANNOTATED vs ORACLE" in n for n in names)
+        assert len(names) == 8
+
+    def test_bands_contain_paper_values(self):
+        for claim in paper_claims():
+            assert claim.lower <= claim.paper_value <= claim.upper, (
+                claim.name
+            )
+
+
+class TestScorecard:
+    def test_subset_scorecard_all_within_band(self, scorecard):
+        assert scorecard.all_within_band, scorecard.render()
+
+    def test_every_claim_evaluated(self, scorecard):
+        assert len(scorecard.results) == len(paper_claims())
+
+    def test_render_lists_verdict(self, scorecard):
+        text = scorecard.render()
+        assert "scorecard" in text
+        assert "within band" in text
+
+    def test_out_of_band_reporting(self):
+        impossible = Claim("never", 1.0, 2.0, 3.0, lambda w: 1.0)
+        result = impossible.evaluate(SUBSET)
+        assert not result.within_band

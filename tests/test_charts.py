@@ -1,0 +1,81 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import MARKERS, ascii_chart
+from repro.analysis.report import FigureResult, Series
+from repro.core.errors import ReproError
+
+
+def _figure(n_series=2):
+    series = tuple(
+        Series(f"s{i}", (0.0, 1.0, 2.0), (float(i), 1.0 + i, 0.5 + i))
+        for i in range(n_series)
+    )
+    return FigureResult(figure_id="f", title="t", x_label="x",
+                        y_label="y", series=series)
+
+
+class TestAsciiChart:
+    def test_contains_frame_and_legend(self):
+        text = ascii_chart(_figure())
+        assert text.splitlines()[1].endswith("|")
+        assert "o=s0" in text and "x=s1" in text
+        assert "x = x, y = y" in text
+
+    def test_axis_labels_show_ranges(self):
+        text = ascii_chart(_figure())
+        assert "0" in text and "2" in text
+
+    def test_dimensions_respected(self):
+        text = ascii_chart(_figure(), width=30, height=8)
+        rows = [line for line in text.splitlines() if line.endswith("|")]
+        assert len(rows) == 8
+        assert all(len(row.split("|")[1]) == 30 for row in rows)
+
+    def test_markers_land_on_grid(self):
+        text = ascii_chart(_figure(1))
+        assert "o" in text
+
+    def test_flat_series_handled(self):
+        figure = FigureResult(
+            figure_id="f", title="t", x_label="x", y_label="y",
+            series=(Series("flat", (1.0, 2.0), (1.0, 1.0)),),
+        )
+        assert "flat" in ascii_chart(figure)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_chart(_figure(), width=5)
+
+    def test_too_many_series_truncated_with_note(self):
+        series = tuple(
+            Series(f"s{i}", (0.0, 1.0), (0.0, float(i)))
+            for i in range(len(MARKERS) + 4)
+        ) + (Series("geomean", (0.0, 1.0), (0.0, 1.0)),)
+        figure = FigureResult(figure_id="f", title="t", x_label="x",
+                              y_label="y", series=series)
+        text = ascii_chart(figure)
+        assert "not shown" in text
+        # The summary series is always kept.
+        assert "geomean" in text
+
+
+class TestCliChart:
+    def test_figure_chart_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(["figure", "fig01_topologies"])
+        assert code == 0
+        capsys.readouterr()
+        # fig4 run() returns a FigureResult: chart mode works.
+        code = main(["figure", "ext_granularity", "--chart"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "|" in out and "scattered-hot" in out
+
+    def test_chart_on_table_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["figure", "fig01_topologies", "--chart"])

@@ -1,0 +1,109 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestList:
+    def test_workloads(self, capsys):
+        code, out = run_cli(capsys, "list", "workloads")
+        assert code == 0
+        assert "bfs" in out and "sgemm" in out
+        assert len(out.strip().splitlines()) == 19
+
+    def test_policies(self, capsys):
+        code, out = run_cli(capsys, "list", "policies")
+        assert code == 0
+        assert "BW-AWARE" in out and "ORACLE" in out
+
+    def test_experiments(self, capsys):
+        code, out = run_cli(capsys, "list", "experiments")
+        assert code == 0
+        assert "fig03_ratio_sweep" in out
+        assert "ext_migration" in out
+
+    def test_topologies(self, capsys):
+        code, out = run_cli(capsys, "list", "topologies")
+        assert code == 0
+        assert "baseline" in out and "three-pool" in out
+
+    def test_bad_kind_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["list", "kernels"])
+
+
+class TestRun:
+    def test_basic_run(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "-w", "lbm", "-p", "BW-AWARE", "-n", "20000"
+        )
+        assert code == 0
+        assert "lbm" in out and "GB/s" in out
+
+    def test_capacity_and_topology(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "-w", "bfs", "-p", "ORACLE",
+            "-c", "0.1", "-t", "baseline", "-n", "20000",
+        )
+        assert code == 0
+        assert "ORACLE" in out
+
+    def test_unknown_topology(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "-w", "lbm", "-t", "laptop"])
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(Exception):
+            main(["run", "-w", "lbm", "-p", "MAGIC", "-n", "20000"])
+
+
+class TestCompare:
+    def test_default_policy_set(self, capsys):
+        code, out = run_cli(capsys, "compare", "-w", "lbm",
+                            "-n", "20000")
+        assert code == 0
+        assert "LOCAL" in out and "INTERLEAVE" in out
+        assert "1.000x" in out  # baseline normalized to itself
+
+
+class TestFigure:
+    def test_known_figure(self, capsys):
+        code, out = run_cli(capsys, "figure", "fig01_topologies")
+        assert code == 0
+        assert "BW ratio" in out
+
+    def test_unknown_figure(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99_nothing"])
+
+
+class TestProfile:
+    def test_profile_output(self, capsys):
+        code, out = run_cli(capsys, "profile", "-w", "bfs",
+                            "-n", "20000")
+        assert code == 0
+        assert "d_graph_visited" in out
+        assert "hottest 10%" in out
+
+
+class TestTrace:
+    def test_trace_export(self, capsys, tmp_path):
+        out_path = tmp_path / "bfs.npz"
+        code, out = run_cli(
+            capsys, "trace", "-w", "bfs", "-n", "20000",
+            "-o", str(out_path),
+        )
+        assert code == 0
+        assert out_path.exists()
+
+        from repro.workloads.external import ExternalTraceWorkload
+
+        workload = ExternalTraceWorkload.from_file(out_path)
+        assert "d_graph_visited" in workload.page_ranges()

@@ -1,0 +1,137 @@
+"""Cross-feature integration: extensions composed with the core stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import constrained_topology, run_experiment
+from repro.core.units import PAGE_SIZE
+from repro.memory.topology import (
+    link_limited_baseline,
+    simulated_baseline,
+    three_pool_topology,
+)
+from repro.migration import (
+    EpochMigrationPolicy,
+    MigrationSimulator,
+    free_migration,
+)
+from repro.workloads import get_workload
+
+ACCESSES = 30_000
+
+
+class TestBankedEngineCompositions:
+    def test_banked_engine_with_capacity_and_annotation(self):
+        agnostic = run_experiment("bfs", policy="BW-AWARE",
+                                  engine="banked",
+                                  bo_capacity_fraction=0.1,
+                                  trace_accesses=ACCESSES)
+        annotated = run_experiment("bfs", policy="ANNOTATED",
+                                   engine="banked",
+                                   bo_capacity_fraction=0.1,
+                                   trace_accesses=ACCESSES)
+        # The Section 5 result survives row-buffer modeling.
+        assert annotated.throughput > 1.5 * agnostic.throughput
+
+    def test_banked_engine_on_three_pools(self):
+        result = run_experiment("lbm", policy="BW-AWARE",
+                                engine="banked",
+                                topology=three_pool_topology(),
+                                trace_accesses=ACCESSES)
+        assert len(result.zone_page_counts) == 3
+        assert result.time_ns > 0
+
+
+class TestLinkCompositions:
+    def test_oracle_respects_link_capped_sbit(self):
+        # With a 16 GB/s link the SBIT-derived BO traffic target rises
+        # to 200/216 ~= 93%: the oracle serves nearly everything from
+        # the local pool (using the fewest, hottest pages to do it).
+        topo = link_limited_baseline(16.0)
+        result = run_experiment("bfs", policy="ORACLE", topology=topo,
+                                trace_accesses=ACCESSES)
+        assert result.sim.zone_byte_fractions()[0] > 0.85
+
+    def test_annotated_on_link_limited_system(self):
+        topo = link_limited_baseline(16.0)
+        result = run_experiment("bfs", policy="ANNOTATED",
+                                topology=topo,
+                                trace_accesses=ACCESSES)
+        assert result.time_ns > 0
+
+
+class TestMigrationCompositions:
+    def test_migration_on_three_pool_system(self):
+        # Migrate between the HBM pool (zone 0) and the DDR pool
+        # (zone 2) of the three-technology system.
+        workload = get_workload("xsbench")
+        trace = workload.dram_trace(n_accesses=ACCESSES)
+        topo = constrained_topology(three_pool_topology(),
+                                    trace.footprint_pages, 0.1)
+        policy = EpochMigrationPolicy(
+            bo_zone=0, co_zone=2,
+            bo_capacity_pages=topo.local.capacity_pages,
+            bo_traffic_fraction=topo.bandwidth_fractions()[0],
+        )
+        start = np.full(trace.footprint_pages, 2, dtype=np.int16)
+        simulator = MigrationSimulator(topo,
+                                       cost_model=free_migration())
+        result = simulator.run(trace, start,
+                               workload.characteristics(), policy)
+        assert result.pages_migrated > 0
+        assert (result.final_zone_map == 0).sum() <= (
+            topo.local.capacity_pages
+        )
+
+    def test_migration_with_write_flagged_trace(self):
+        workload = get_workload("lbm")
+        trace = workload.dram_trace(n_accesses=ACCESSES)
+        assert trace.is_write is not None
+        topo = constrained_topology(simulated_baseline(),
+                                    trace.footprint_pages, 0.2)
+        policy = EpochMigrationPolicy(
+            bo_zone=0, co_zone=1,
+            bo_capacity_pages=topo.local.capacity_pages,
+            bo_traffic_fraction=topo.bandwidth_fractions()[0],
+        )
+        simulator = MigrationSimulator(topo,
+                                       cost_model=free_migration())
+        result = simulator.run(
+            trace, np.ones(trace.footprint_pages, dtype=np.int16),
+            workload.characteristics(), policy,
+        )
+        assert result.total_time_ns > 0
+
+
+class TestDatasetCompositions:
+    def test_capacity_constraint_follows_dataset_footprint(self):
+        # bo_capacity_fraction is relative to the *dataset's* footprint.
+        small = run_experiment("lbm", dataset="small", policy="LOCAL",
+                               bo_capacity_fraction=0.5,
+                               trace_accesses=ACCESSES)
+        large = run_experiment("lbm", dataset="large", policy="LOCAL",
+                               bo_capacity_fraction=0.5,
+                               trace_accesses=ACCESSES)
+        assert sum(small.zone_page_counts) < sum(large.zone_page_counts)
+        for result in (small, large):
+            assert result.placement_fractions()[0] == pytest.approx(
+                0.5, abs=0.01
+            )
+
+    def test_oracle_on_generic_scaled_dataset(self):
+        result = run_experiment("kmeans", dataset="large",
+                                policy="ORACLE",
+                                bo_capacity_fraction=0.1,
+                                trace_accesses=ACCESSES)
+        assert result.placement_fractions()[0] <= 0.11
+
+
+class TestCliCalibrateCommand:
+    def test_calibrate_subset_exit_code(self, capsys):
+        from repro.cli import main
+
+        code = main(["calibrate", "-w", "lbm", "hotspot", "stencil",
+                     "srad", "needle", "bfs", "sgemm", "comd"])
+        out = capsys.readouterr().out
+        assert "scorecard" in out
+        assert code == 0, out

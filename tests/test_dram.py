@@ -1,0 +1,136 @@
+"""DRAM technology and channel models."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.units import GB
+from repro.memory.dram import (
+    DDR4,
+    GDDR5,
+    HBM1,
+    LPDDR4,
+    TABLE1_TIMINGS,
+    TECHNOLOGIES,
+    WIO2,
+    DramChannelModel,
+    DramTechnology,
+    DramTimings,
+)
+
+
+class TestTimings:
+    def test_table1_values(self):
+        assert TABLE1_TIMINGS.t_rcd == 12
+        assert TABLE1_TIMINGS.t_rp == 12
+        assert TABLE1_TIMINGS.t_rc == 40
+        assert TABLE1_TIMINGS.t_cl == 12
+        assert TABLE1_TIMINGS.t_wr == 12
+
+    def test_row_miss_is_precharge_activate_cas(self):
+        assert TABLE1_TIMINGS.row_miss_cycles() == 12 + 12 + 12
+
+    def test_row_hit_is_cas_only(self):
+        assert TABLE1_TIMINGS.row_hit_cycles() == 12
+
+    def test_latency_interpolates_hit_rate(self):
+        all_hit = TABLE1_TIMINGS.access_latency_ns(1.0)
+        all_miss = TABLE1_TIMINGS.access_latency_ns(0.0)
+        half = TABLE1_TIMINGS.access_latency_ns(0.5)
+        assert all_hit < half < all_miss
+        assert half == pytest.approx((all_hit + all_miss) / 2)
+
+    def test_bad_hit_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            TABLE1_TIMINGS.access_latency_ns(1.5)
+
+    def test_trc_must_cover_rcd_plus_rp(self):
+        with pytest.raises(ConfigError):
+            DramTimings(t_rcd=20, t_rp=30, t_rc=40)
+
+    def test_negative_timing_rejected(self):
+        with pytest.raises(ConfigError):
+            DramTimings(t_cl=0)
+
+
+class TestTechnologyCatalog:
+    def test_catalog_members(self):
+        assert set(TECHNOLOGIES) == {
+            "GDDR5", "DDR4", "DDR3", "LPDDR4", "HBM", "WIO2"
+        }
+
+    def test_gddr5_channel_bandwidth(self):
+        # 6 Gbps x 32-bit = 24 GB/s per channel.
+        assert GDDR5.channel_bandwidth == pytest.approx(24 * GB)
+
+    def test_ddr4_channel_bandwidth(self):
+        # 3.2 Gbps x 64-bit = 25.6 GB/s per channel.
+        assert DDR4.channel_bandwidth == pytest.approx(25.6 * GB)
+
+    def test_on_package_parts_flagged(self):
+        assert HBM1.on_package and WIO2.on_package
+        assert not GDDR5.on_package and not LPDDR4.on_package
+
+    def test_stacked_memory_is_wide_and_slow(self):
+        assert HBM1.bus_width_bits > 8 * GDDR5.bus_width_bits
+        assert HBM1.pin_rate_gbps < GDDR5.pin_rate_gbps
+
+    def test_capacity_optimized_energy_advantage(self):
+        # The Section 2.1 motivation: CO DRAM costs less energy/access.
+        assert DDR4.energy_pj_per_bit < GDDR5.energy_pj_per_bit
+
+    def test_pool_bandwidth_scales_with_channels(self):
+        assert GDDR5.pool_bandwidth(8) == pytest.approx(
+            8 * GDDR5.channel_bandwidth
+        )
+
+    def test_pool_bandwidth_rejects_no_channels(self):
+        with pytest.raises(ConfigError):
+            GDDR5.pool_bandwidth(0)
+
+    def test_access_energy_scales_with_bytes(self):
+        assert GDDR5.access_energy_pj(256) == 2 * GDDR5.access_energy_pj(128)
+
+    def test_invalid_technology_rejected(self):
+        with pytest.raises(ConfigError):
+            DramTechnology("bad", pin_rate_gbps=0, bus_width_bits=32,
+                           energy_pj_per_bit=1.0)
+        with pytest.raises(ConfigError):
+            DramTechnology("bad", pin_rate_gbps=1, bus_width_bits=31,
+                           energy_pj_per_bit=1.0)
+
+
+class TestChannelModel:
+    def _model(self, **kwargs):
+        defaults = dict(technology=GDDR5, peak_bandwidth=25 * GB)
+        defaults.update(kwargs)
+        return DramChannelModel(**defaults)
+
+    def test_service_time_of_line(self):
+        model = self._model()
+        # 128 B at 25 GB/s = 5.12 ns.
+        assert model.service_time_ns(128) == pytest.approx(5.12)
+
+    def test_device_latency_from_timings(self):
+        model = self._model(row_hit_rate=0.0)
+        assert model.device_latency_ns == pytest.approx(
+            TABLE1_TIMINGS.row_miss_cycles() * TABLE1_TIMINGS.cycle_ns
+        )
+
+    def test_loaded_latency_grows_with_utilization(self):
+        model = self._model()
+        idle = model.loaded_latency_ns(0.0)
+        busy = model.loaded_latency_ns(0.9)
+        assert busy > idle
+
+    def test_loaded_latency_clamped_near_saturation(self):
+        model = self._model()
+        saturated = model.loaded_latency_ns(0.9999)
+        assert saturated <= model.device_latency_ns + 20 * model.service_time_ns()
+
+    def test_negative_utilization_rejected(self):
+        with pytest.raises(ConfigError):
+            self._model().loaded_latency_ns(-0.1)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ConfigError):
+            self._model(peak_bandwidth=0)

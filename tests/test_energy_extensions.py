@@ -1,0 +1,168 @@
+"""Energy accounting and the link/three-pool topology extensions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.energy import (
+    EnergyReport,
+    efficiency_gbps_per_watt,
+    energy_report,
+)
+from repro.core.errors import ConfigError
+from repro.core.experiment import run_experiment
+from repro.core.units import gbps
+from repro.gpu.trace import SimResult
+from repro.memory.acpi import enumerate_tables
+from repro.memory.topology import (
+    link_limited_baseline,
+    simulated_baseline,
+    three_pool_topology,
+)
+from repro.policies.bwaware import BwAwarePolicy
+from repro.vm.process import Process
+from repro.core.units import PAGE_SIZE
+
+ACCESSES = 30_000
+
+
+def _result(bytes_by_zone):
+    return SimResult(
+        engine="test", total_time_ns=1000.0, dram_accesses=10,
+        bytes_by_zone=np.asarray(bytes_by_zone, dtype=float),
+        time_bandwidth_ns=1.0, time_latency_ns=1.0, time_compute_ns=1.0,
+    )
+
+
+class TestEnergyReport:
+    def test_local_traffic_pays_gddr5_rate(self):
+        report = energy_report(_result([1000.0, 0.0]),
+                               simulated_baseline())
+        # GDDR5: 14 pJ/bit -> 112 pJ/B.
+        assert report.pj_per_byte == pytest.approx(112.0)
+        assert report.link_pj == 0.0
+
+    def test_remote_traffic_pays_ddr4_plus_link(self):
+        report = energy_report(_result([0.0, 1000.0]),
+                               simulated_baseline())
+        # DDR4 6 pJ/bit + link 10 pJ/bit = 128 pJ/B.
+        assert report.pj_per_byte == pytest.approx(128.0)
+        assert report.link_pj > 0.0
+        assert report.dram_pj_per_byte == pytest.approx(48.0)
+
+    def test_mixed_traffic_weighted(self):
+        report = energy_report(_result([500.0, 500.0]),
+                               simulated_baseline())
+        assert report.pj_per_byte == pytest.approx((112 + 128) / 2)
+
+    def test_zone_count_checked(self):
+        with pytest.raises(ConfigError):
+            energy_report(_result([1.0]), simulated_baseline())
+
+    def test_zero_traffic_rejected_for_normalization(self):
+        report = energy_report(_result([0.0, 0.0]), simulated_baseline())
+        with pytest.raises(ConfigError):
+            report.pj_per_byte
+
+    def test_render(self):
+        report = energy_report(_result([1000.0, 1000.0]),
+                               simulated_baseline())
+        assert "pJ/B" in report.render()
+
+    def test_efficiency_positive(self):
+        value = efficiency_gbps_per_watt(_result([1000.0, 0.0]),
+                                         simulated_baseline())
+        assert value > 0
+
+    def test_bwaware_cuts_dram_energy(self):
+        local = run_experiment("lbm", policy="LOCAL",
+                               trace_accesses=ACCESSES)
+        bwaware = run_experiment("lbm", policy="BW-AWARE",
+                                 trace_accesses=ACCESSES)
+        topo = simulated_baseline()
+        assert (energy_report(bwaware.sim, topo).dram_pj_per_byte
+                < energy_report(local.sim, topo).dram_pj_per_byte)
+
+
+class TestLinkLimitedTopology:
+    def test_usable_bandwidth_capped_by_link(self):
+        topo = link_limited_baseline(16.0)
+        remote = topo.zone(1)
+        assert remote.bandwidth == pytest.approx(gbps(80.0))
+        assert remote.usable_bandwidth == pytest.approx(gbps(16.0))
+
+    def test_default_link_is_unbound(self):
+        remote = simulated_baseline().zone(1)
+        assert math.isinf(remote.link_bandwidth)
+        assert remote.usable_bandwidth == remote.bandwidth
+
+    def test_sbit_reports_link_capped_bandwidth(self):
+        tables = enumerate_tables(link_limited_baseline(16.0))
+        assert tables.sbit.bandwidth_gbps[1] == pytest.approx(16.0)
+
+    def test_bwaware_adapts_split_to_link(self):
+        topo = link_limited_baseline(16.0)
+        process = Process(topo, seed=3)
+        process.reserve(4000 * PAGE_SIZE)
+        zone_map = process.place_all(BwAwarePolicy())
+        co_share = float((zone_map == 1).mean())
+        assert co_share == pytest.approx(16 / 216, abs=0.02)
+
+    def test_link_cap_slows_remote_heavy_placement(self):
+        limited = run_experiment(
+            "lbm", policy=BwAwarePolicy.from_ratio(50),
+            topology=link_limited_baseline(16.0),
+            trace_accesses=ACCESSES,
+        )
+        unbound = run_experiment(
+            "lbm", policy=BwAwarePolicy.from_ratio(50),
+            topology=simulated_baseline(),
+            trace_accesses=ACCESSES,
+        )
+        assert limited.time_ns > 1.5 * unbound.time_ns
+
+    def test_nonpositive_link_rejected(self):
+        with pytest.raises(ConfigError):
+            simulated_baseline().zone(1).with_link_bandwidth(0.0)
+
+
+class TestThreePoolTopology:
+    def test_three_zones(self):
+        topo = three_pool_topology()
+        assert len(topo) == 3
+        assert topo.local.name == "GPU-HBM"
+
+    def test_fractions_are_three_way_bandwidth_ratio(self):
+        topo = three_pool_topology()
+        total = 256.0 + 160.0 + 80.0
+        assert topo.bandwidth_fractions() == pytest.approx(
+            (256 / total, 160 / total, 80 / total)
+        )
+
+    def test_bwaware_places_three_ways(self):
+        topo = three_pool_topology()
+        process = Process(topo, seed=5)
+        process.reserve(6000 * PAGE_SIZE)
+        zone_map = process.place_all(BwAwarePolicy())
+        shares = np.bincount(zone_map, minlength=3) / zone_map.size
+        assert shares == pytest.approx(topo.bandwidth_fractions(),
+                                       abs=0.02)
+
+    def test_bwaware_beats_local_and_interleave(self):
+        topo = three_pool_topology()
+        times = {}
+        for policy in ("LOCAL", "INTERLEAVE", "BW-AWARE"):
+            times[policy] = run_experiment(
+                "lbm", policy=policy, topology=topo,
+                trace_accesses=ACCESSES,
+            ).time_ns
+        assert times["BW-AWARE"] < times["LOCAL"]
+        assert times["BW-AWARE"] < times["INTERLEAVE"]
+
+    def test_oracle_generalizes_to_three_zones(self):
+        result = run_experiment("bfs", policy="ORACLE",
+                                topology=three_pool_topology(),
+                                trace_accesses=ACCESSES)
+        assert len(result.zone_page_counts) == 3
+        assert all(count > 0 for count in result.zone_page_counts)

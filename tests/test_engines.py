@@ -1,0 +1,206 @@
+"""Performance engines: analytic model, event-driven model, agreement."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.core.units import gbps
+from repro.gpu.engine import DetailedEngine
+from repro.gpu.simulator import GpuSystemSimulator, make_engine
+from repro.gpu.throughput import ThroughputEngine
+from repro.gpu.config import table1_config
+from repro.gpu.trace import DramTrace, WorkloadCharacteristics
+from repro.memory.topology import simulated_baseline
+
+
+def _uniform_trace(n_pages=512, n_accesses=40_000, seed=0):
+    rng = np.random.default_rng(seed)
+    return DramTrace(
+        page_indices=rng.integers(0, n_pages, size=n_accesses),
+        footprint_pages=n_pages,
+        n_raw_accesses=n_accesses,
+    )
+
+
+def _zone_map(n_pages, co_fraction, seed=0):
+    """Exact co_fraction split, scattered across page indices.
+
+    A deterministic permutation avoids the binomial noise of a random
+    draw so bandwidth assertions can be tight.
+    """
+    n_co = int(round(n_pages * co_fraction))
+    rng = np.random.default_rng(seed)
+    zone_map = np.zeros(n_pages, dtype=np.int16)
+    zone_map[rng.permutation(n_pages)[:n_co]] = 1
+    return zone_map
+
+
+STREAMING = WorkloadCharacteristics(parallelism=512.0)
+LOW_MLP = WorkloadCharacteristics(parallelism=16.0)
+COMPUTE_BOUND = WorkloadCharacteristics(parallelism=512.0,
+                                        compute_ns_per_access=5.0)
+
+
+class TestThroughputEngine:
+    def _run(self, co_fraction, chars=STREAMING, topology=None):
+        topo = topology if topology is not None else simulated_baseline()
+        trace = _uniform_trace()
+        zone_map = _zone_map(trace.footprint_pages, co_fraction)
+        return ThroughputEngine(table1_config()).run(
+            trace, zone_map, topo, chars
+        )
+
+    def test_local_achieves_bo_bandwidth(self):
+        result = self._run(0.0)
+        assert result.achieved_bandwidth == pytest.approx(gbps(200), rel=0.01)
+
+    def test_bwaware_achieves_aggregate_bandwidth(self):
+        result = self._run(80 / 280)
+        assert result.achieved_bandwidth == pytest.approx(gbps(280),
+                                                          rel=0.05)
+
+    def test_interleave_limited_by_co_pool(self):
+        result = self._run(0.5)
+        # 50% of traffic on the 80 GB/s pool: aggregate caps at 160.
+        assert result.achieved_bandwidth == pytest.approx(gbps(160),
+                                                          rel=0.05)
+
+    def test_section31_max_formula(self):
+        # Performance is the max of per-pool service times.
+        local = self._run(0.0).total_time_ns
+        optimal = self._run(80 / 280).total_time_ns
+        assert local / optimal == pytest.approx(280 / 200, rel=0.05)
+
+    def test_low_mlp_is_latency_bound(self):
+        result = self._run(0.0, chars=LOW_MLP)
+        assert result.dominant_bound() == "latency"
+
+    def test_low_mlp_pays_the_remote_hop(self):
+        local = self._run(0.0, chars=LOW_MLP).total_time_ns
+        mixed = self._run(0.3, chars=LOW_MLP).total_time_ns
+        assert mixed > local * 1.2
+
+    def test_high_mlp_hides_the_remote_hop(self):
+        # The Figure 2b result: highly threaded workloads shrug off
+        # latency; the only penalty of CO traffic is bandwidth.
+        base = simulated_baseline()
+        no_hop = base.replace_zone(base.zone(1).with_hop_cycles(0))
+        with_hop = self._run(80 / 280).total_time_ns
+        without = self._run(80 / 280, topology=no_hop).total_time_ns
+        assert with_hop == pytest.approx(without, rel=0.02)
+
+    def test_compute_bound_insensitive_to_placement(self):
+        local = self._run(0.0, chars=COMPUTE_BOUND).total_time_ns
+        interleave = self._run(0.5, chars=COMPUTE_BOUND).total_time_ns
+        assert local == pytest.approx(interleave, rel=0.01)
+
+    def test_zone_map_size_checked(self):
+        trace = _uniform_trace()
+        with pytest.raises(SimulationError):
+            ThroughputEngine(table1_config()).run(
+                trace, np.zeros(3, dtype=np.int16),
+                simulated_baseline(), STREAMING,
+            )
+
+    def test_empty_trace_rejected(self):
+        trace = DramTrace(page_indices=np.array([0]), footprint_pages=1,
+                          n_raw_accesses=1)
+        engine = ThroughputEngine(table1_config())
+        result = engine.run(trace, np.zeros(1, dtype=np.int16),
+                            simulated_baseline(), STREAMING)
+        assert result.total_time_ns > 0
+
+    def test_bytes_by_zone_accounting(self):
+        result = self._run(0.3)
+        assert result.total_bytes == pytest.approx(40_000 * 128)
+
+
+class TestDetailedEngine:
+    def _run(self, co_fraction, chars=STREAMING):
+        trace = _uniform_trace(n_accesses=20_000)
+        zone_map = _zone_map(trace.footprint_pages, co_fraction)
+        return DetailedEngine(table1_config()).run(
+            trace, zone_map, simulated_baseline(), chars
+        )
+
+    def test_local_near_peak_bandwidth(self):
+        result = self._run(0.0)
+        assert result.achieved_bandwidth == pytest.approx(gbps(200),
+                                                          rel=0.05)
+
+    def test_policy_ordering_matches_paper(self):
+        local = self._run(0.0).total_time_ns
+        interleave = self._run(0.5).total_time_ns
+        bwaware = self._run(80 / 280).total_time_ns
+        assert bwaware < local < interleave
+
+    def test_low_mlp_slower(self):
+        fast = self._run(0.0).total_time_ns
+        slow = self._run(0.0, chars=LOW_MLP).total_time_ns
+        assert slow > fast
+
+    def test_compute_throttle(self):
+        result = self._run(0.0, chars=COMPUTE_BOUND)
+        assert result.total_time_ns == pytest.approx(
+            20_000 * 5.0, rel=0.01
+        )
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("co_fraction", [0.0, 80 / 280, 0.5, 0.9])
+    def test_throughput_within_10pct_of_detailed(self, co_fraction):
+        trace = _uniform_trace(n_accesses=20_000)
+        zone_map = _zone_map(trace.footprint_pages, co_fraction)
+        topo = simulated_baseline()
+        fast = ThroughputEngine(table1_config()).run(
+            trace, zone_map, topo, STREAMING
+        )
+        slow = DetailedEngine(table1_config()).run(
+            trace, zone_map, topo, STREAMING
+        )
+        assert fast.total_time_ns == pytest.approx(
+            slow.total_time_ns, rel=0.10
+        )
+
+    def test_same_ranking_for_low_mlp(self):
+        trace = _uniform_trace(n_accesses=20_000)
+        topo = simulated_baseline()
+        times = {}
+        for engine_name in ("throughput", "detailed"):
+            engine = make_engine(engine_name, table1_config())
+            times[engine_name] = [
+                engine.run(trace, _zone_map(trace.footprint_pages, f),
+                           topo, LOW_MLP).total_time_ns
+                for f in (0.0, 0.3, 0.6)
+            ]
+        assert (np.argsort(times["throughput"]).tolist()
+                == np.argsort(times["detailed"]).tolist())
+
+
+class TestSimulatorFacade:
+    def test_engine_selection(self):
+        topo = simulated_baseline()
+        assert GpuSystemSimulator(topo).engine.name == "throughput"
+        assert GpuSystemSimulator(topo, engine="detailed").engine.name == (
+            "detailed"
+        )
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SimulationError):
+            make_engine("magic", table1_config())
+
+    def test_describe_mentions_zones(self):
+        text = GpuSystemSimulator(simulated_baseline()).describe()
+        assert "GDDR5" in text and "200" in text
+
+    def test_peak_bandwidth(self):
+        sim = GpuSystemSimulator(simulated_baseline())
+        assert sim.peak_bandwidth() == pytest.approx(gbps(280))
+
+    def test_default_characteristics(self):
+        sim = GpuSystemSimulator(simulated_baseline())
+        trace = _uniform_trace(n_accesses=5_000)
+        result = sim.simulate(trace,
+                              np.zeros(trace.footprint_pages,
+                                       dtype=np.int16))
+        assert result.total_time_ns > 0

@@ -1,0 +1,39 @@
+"""Every example script must run cleanly end to end (deliverable b)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(path.name for path in EXAMPLES.glob("*.py"))
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+class TestExamplesRun:
+    def test_example_inventory(self):
+        assert len(ALL_EXAMPLES) >= 7
+        assert "quickstart.py" in ALL_EXAMPLES
+
+    @pytest.mark.parametrize("script", ALL_EXAMPLES)
+    def test_runs_cleanly(self, script):
+        result = _run(script)
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip()
+
+    def test_quickstart_reports_the_headline(self):
+        result = _run("quickstart.py", "lbm")
+        assert "BW-AWARE vs LOCAL" in result.stdout
+        assert "GB/s" in result.stdout
+
+    def test_workload_argument_respected(self):
+        result = _run("quickstart.py", "stencil")
+        assert "stencil" in result.stdout

@@ -1,0 +1,137 @@
+"""Extension experiment modules, exercised at reduced scale.
+
+The benches run these over larger suites with paper-shape assertions;
+these tests pin the structural contracts fast (series labels, axes,
+normalization, notes) on small workload subsets.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ext_cpu_contention,
+    ext_energy,
+    ext_granularity,
+    ext_interconnect,
+    ext_migration,
+    ext_three_pool,
+)
+
+FAST = ("lbm", "bfs")
+
+
+class TestExtEnergy:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return ext_energy.run_energy(workloads=FAST)
+
+    def test_columns(self, table):
+        assert table.columns == ("LOCAL", "INTERLEAVE", "BW-AWARE")
+
+    def test_local_pays_gddr5_rate(self, table):
+        for value in table.column("LOCAL"):
+            assert value == pytest.approx(112.0, abs=0.5)
+
+    def test_notes_present(self, table):
+        assert "bwaware_dram_pj_per_byte_vs_local" in table.notes
+        assert table.notes["bwaware_dram_pj_per_byte_vs_local"] < 1.0
+
+
+class TestExtInterconnect:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return ext_interconnect.run_links(
+            workloads=FAST, links_gbps=(16.0, 80.0, 1000.0)
+        )
+
+    def test_local_reference_flat(self, figure):
+        assert all(y == 1.0 for y in figure.get("LOCAL").y)
+
+    def test_gain_grows_with_link(self, figure):
+        bwaware = figure.get("BW-AWARE")
+        assert bwaware.y_at(1000.0) >= bwaware.y_at(16.0)
+
+    def test_saturation_beyond_pool_bandwidth(self, figure):
+        bwaware = figure.get("BW-AWARE")
+        assert bwaware.y_at(80.0) == pytest.approx(bwaware.y_at(1000.0),
+                                                   rel=0.02)
+
+
+class TestExtCpuContention:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return ext_cpu_contention.run_contention(
+            workloads=FAST, cpu_loads_gbps=(0.0, 60.0)
+        )
+
+    def test_series_labels(self, figure):
+        assert set(figure.labels()) == {
+            "LOCAL", "BW-AWARE-static-30C", "BW-AWARE-adaptive"
+        }
+
+    def test_adaptive_dominates_static_under_load(self, figure):
+        assert (figure.get("BW-AWARE-adaptive").y_at(60.0)
+                > figure.get("BW-AWARE-static-30C").y_at(60.0))
+
+    def test_excessive_load_rejected(self):
+        with pytest.raises(ValueError):
+            ext_cpu_contention.contended_topology(90.0)
+
+
+class TestExtThreePool:
+    def test_structure(self):
+        table = ext_three_pool.run_three_pool(workloads=("lbm",))
+        assert "HBM+GDDR-only" in table.columns
+        assert table.row("lbm")[0] == 1.0  # LOCAL-normalized
+        assert table.notes["max_split_error"] < 0.1
+
+
+class TestExtGranularity:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return ext_granularity.run_granularity(
+            workloads=("bfs",), block_factors=(1, 16)
+        )
+
+    def test_scattered_control_always_present(self, figure):
+        assert "scattered-hot" in figure.labels()
+
+    def test_scattered_headroom_decays(self, figure):
+        scattered = figure.get("scattered-hot")
+        assert scattered.y[0] > scattered.y[-1]
+
+    def test_notes_per_series(self, figure):
+        assert "bfs_headroom_4k" in figure.notes
+        assert "scattered-hot_headroom_2m" in figure.notes
+
+
+class TestExtMigration:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return ext_migration.run_workload(
+            "bfs", cost_scales=(1.0, 0.0)
+        )
+
+    def test_series(self, figure):
+        assert set(figure.labels()) == {
+            "migrate-from-all-CO", "static-BW-AWARE", "static-ORACLE"
+        }
+
+    def test_static_reference_is_one(self, figure):
+        assert all(y == 1.0 for y in figure.get("static-BW-AWARE").y)
+
+    def test_free_beats_costed(self, figure):
+        migrate = figure.get("migrate-from-all-CO")
+        assert migrate.y_at(0.0) > migrate.y_at(1.0)
+
+    def test_crossover_note(self, figure):
+        crossover = figure.notes["crossover_cost_scale"]
+        assert math.isnan(crossover) or 0.0 <= crossover <= 1.0
+
+    def test_scaled_cost_helper(self):
+        paper = ext_migration.scaled_cost(1.0)
+        cheap = ext_migration.scaled_cost(0.01)
+        free = ext_migration.scaled_cost(0.0)
+        assert cheap.total_time_ns(100) < paper.total_time_ns(100)
+        assert free.total_time_ns(100) == 0.0

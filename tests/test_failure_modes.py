@@ -1,0 +1,136 @@
+"""Failure injection: the stack must fail loudly and precisely.
+
+Exercises error paths across module boundaries — misconfigured
+systems, capacity exhaustion mid-placement, stale policies, mismatched
+profiles — the conditions a downstream user hits first.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    ConfigError,
+    OutOfMemoryError,
+    PolicyError,
+    ReproError,
+    SimulationError,
+    TranslationError,
+    WorkloadError,
+)
+from repro.core.experiment import run_experiment
+from repro.core.units import GIB, PAGE_SIZE
+from repro.gpu.simulator import GpuSystemSimulator
+from repro.gpu.trace import DramTrace, WorkloadCharacteristics
+from repro.memory.topology import simulated_baseline
+from repro.policies.bwaware import BwAwarePolicy
+from repro.policies.oracle import OraclePolicy
+from repro.vm.mempolicy import BindPolicy
+from repro.vm.process import Process
+from repro.workloads import get_workload
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigError, OutOfMemoryError, PolicyError, SimulationError,
+        TranslationError, WorkloadError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_one_except_clause_catches_everything(self):
+        with pytest.raises(ReproError):
+            simulated_baseline().zone(9)
+
+
+class TestCapacityExhaustion:
+    def test_whole_system_oom_is_loud(self):
+        topo = simulated_baseline(
+            bo_capacity_gib=2 * PAGE_SIZE / GIB,
+            co_capacity_gib=2 * PAGE_SIZE / GIB,
+        )
+        process = Process(topo)
+        with pytest.raises(OutOfMemoryError):
+            process.mmap(16 * PAGE_SIZE)
+
+    def test_partial_placement_rolls_forward_not_silent(self):
+        # Spilling is silent by design; only total exhaustion raises.
+        topo = simulated_baseline(
+            bo_capacity_gib=2 * PAGE_SIZE / GIB,
+            co_capacity_gib=64 * PAGE_SIZE / GIB,
+        )
+        process = Process(topo)
+        process.mmap(32 * PAGE_SIZE)
+        assert process.physical.used_pages(0) == 2
+        assert process.physical.used_pages(1) == 30
+
+    def test_strict_bind_oom_leaves_consistent_state(self):
+        topo = simulated_baseline(bo_capacity_gib=2 * PAGE_SIZE / GIB)
+        process = Process(topo)
+        allocation = process.reserve(4 * PAGE_SIZE)
+        process.mbind(allocation, BindPolicy([0]))
+        with pytest.raises(OutOfMemoryError):
+            process.fault_in(allocation)
+        # The two frames placed before the OOM stay accounted for.
+        assert process.physical.used_pages(0) == 2
+
+    def test_experiment_capacity_fraction_cannot_oom(self):
+        # The harness sizes CO generously: any fraction must complete.
+        result = run_experiment("bfs", policy="LOCAL",
+                                bo_capacity_fraction=0.01,
+                                trace_accesses=20_000)
+        assert result.placement_fractions()[0] <= 0.02
+
+
+class TestStalePolicies:
+    def test_oracle_reuse_across_programs_rejected(self):
+        workload = get_workload("bfs")
+        trace = workload.dram_trace(n_accesses=20_000)
+        policy = OraclePolicy(trace.page_access_counts())
+        process = Process(simulated_baseline())
+        process.reserve(PAGE_SIZE)  # wrong program shape
+        with pytest.raises(PolicyError):
+            process.place_all(policy)
+
+    def test_bwaware_wrong_zone_arity(self):
+        process = Process(simulated_baseline())
+        process.reserve(PAGE_SIZE)
+        with pytest.raises(PolicyError):
+            process.place_all(BwAwarePolicy(fractions=(0.5, 0.3, 0.2)))
+
+
+class TestSimulatorContracts:
+    def test_trace_topology_mismatch(self):
+        trace = DramTrace(page_indices=np.zeros(10, dtype=np.int64),
+                          footprint_pages=10, n_raw_accesses=10)
+        simulator = GpuSystemSimulator(simulated_baseline())
+        with pytest.raises(SimulationError):
+            simulator.simulate(trace, np.zeros(5, dtype=np.int16))
+
+    def test_zone_ids_outside_topology_fail(self):
+        trace = DramTrace(page_indices=np.zeros(10, dtype=np.int64),
+                          footprint_pages=10, n_raw_accesses=10)
+        simulator = GpuSystemSimulator(simulated_baseline())
+        bad_map = np.full(10, 7, dtype=np.int16)
+        with pytest.raises(SimulationError):
+            simulator.simulate(trace, bad_map)
+
+    def test_characteristics_validated_at_construction(self):
+        with pytest.raises(WorkloadError):
+            WorkloadCharacteristics(parallelism=-1)
+
+
+class TestWorkloadContracts:
+    def test_dataset_typo_names_alternatives(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            get_workload("bfs").dram_trace("graph1m")  # wrong case
+        assert "graph1M" in str(excinfo.value)
+
+    def test_workload_typo_names_alternatives(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            get_workload("bsf")
+        assert "bfs" in str(excinfo.value)
+
+    def test_experiment_rejects_bad_capacity(self):
+        with pytest.raises(ConfigError):
+            run_experiment("bfs", bo_capacity_fraction=-0.5,
+                           trace_accesses=20_000)

@@ -1,0 +1,229 @@
+"""Figure regenerators: shape checks on reduced workload subsets.
+
+Full-suite numeric reproduction lives in the benchmark harness; these
+tests verify each regenerator produces correctly-shaped, paper-
+consistent output quickly.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig01_topologies,
+    fig02_sensitivity,
+    fig03_ratio_sweep,
+    fig04_capacity,
+    fig05_bw_ratio,
+    fig06_cdf,
+    fig07_datastructs,
+    fig08_oracle,
+    fig10_annotated,
+    fig11_datasets,
+    tab01_config,
+)
+
+FAST = ("lbm", "bfs", "sgemm", "comd")
+
+
+class TestFig1:
+    def test_three_rows(self):
+        table = fig01_topologies.run()
+        assert table.row_labels() == ("hpc", "simulated-baseline",
+                                      "mobile")
+
+    def test_ratio_column_matches_paper_spread(self):
+        ratios = fig01_topologies.run().column("BW ratio")
+        assert max(ratios) > 10 and min(ratios) > 2
+
+    def test_render(self):
+        assert "BW ratio" in fig01_topologies.run().render()
+
+
+class TestTab1:
+    def test_table1_strings(self):
+        table = tab01_config.run()
+        assert table["GPU Cores"] == "15 SMs @ 1.4Ghz"
+        assert "200GB/sec" in table["GPU-Local"]
+        assert "80GB/sec" in table["GPU-Remote"]
+        assert table["GPU-CPU Interconnect Latency"] == "100 GPU core cycles"
+
+    def test_render(self):
+        assert "RCD=12" in tab01_config.render()
+
+
+class TestFig2:
+    def test_bandwidth_sensitivity_shapes(self):
+        figure = fig02_sensitivity.run_bandwidth(workloads=FAST)
+        lbm = figure.get("lbm")
+        # Streaming workloads scale ~linearly with bandwidth.
+        assert lbm.y_at(2.0) > 1.8
+        # comd is compute bound: flat above the baseline.
+        assert figure.get("comd").y_at(2.0) < 1.1
+        # sgemm is latency bound: flat.
+        assert figure.get("sgemm").y_at(2.0) < 1.1
+
+    def test_latency_sensitivity_shapes(self):
+        figure = fig02_sensitivity.run_latency(workloads=FAST)
+        # Only sgemm collapses under added latency (Figure 2b).
+        assert figure.get("sgemm").y_at(200.0) < 0.6
+        assert figure.get("lbm").y_at(200.0) > 0.9
+        assert figure.get("comd").y_at(200.0) > 0.9
+
+    def test_normalized_at_baseline(self):
+        figure = fig02_sensitivity.run_bandwidth(workloads=("lbm",))
+        assert figure.get("lbm").y_at(1.0) == pytest.approx(1.0)
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return fig03_ratio_sweep.run(workloads=FAST,
+                                     ratios=(0, 30, 50, 70, 100))
+
+    def test_geomean_row_present(self, table):
+        assert "geomean" in table.row_labels()
+
+    def test_streaming_peaks_at_30c70b(self, table):
+        row = dict(zip(table.columns, table.row("lbm")))
+        assert row["30C-70B"] == max(row.values())
+
+    def test_sgemm_peaks_at_local(self, table):
+        row = dict(zip(table.columns, table.row("sgemm")))
+        assert row["0C-100B"] == max(row.values())
+
+    def test_100c_is_terrible(self, table):
+        row = dict(zip(table.columns, table.row("lbm")))
+        assert row["100C-0B"] < 0.5
+
+    def test_notes_carry_headline_numbers(self, table):
+        assert table.notes["bwaware_vs_local"] > 1.0
+        assert table.notes["bwaware_vs_interleave"] > 1.0
+
+    def test_requires_baseline_ratio(self):
+        with pytest.raises(ValueError):
+            fig03_ratio_sweep.run(workloads=("lbm",), ratios=(30, 50))
+
+
+class TestFig4:
+    def test_knee_at_70_percent(self):
+        figure = fig04_capacity.run(workloads=("lbm", "bfs"),
+                                    fractions=(1.0, 0.7, 0.4, 0.1))
+        mean = figure.get("geomean")
+        assert mean.y_at(0.7) > 0.95      # near peak at 70%...
+        assert mean.y_at(0.1) < 0.6       # ...collapsed at 10%.
+
+    def test_monotone_degradation(self):
+        figure = fig04_capacity.run(workloads=("lbm",),
+                                    fractions=(1.0, 0.7, 0.4, 0.1))
+        ys = figure.get("lbm").y
+        assert all(a >= b - 0.02 for a, b in zip(ys, ys[1:]))
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return fig05_bw_ratio.run(workloads=("lbm", "hotspot"),
+                                  co_bandwidths_gbps=(10.0, 80.0, 200.0))
+
+    def test_local_is_flat_reference(self, figure):
+        assert figure.get("LOCAL").y == pytest.approx((1.0, 1.0, 1.0))
+
+    def test_interleave_crosses_local(self, figure):
+        interleave = figure.get("INTERLEAVE")
+        assert interleave.y_at(10.0) < 1.0   # oversubscribed CO pool
+        assert interleave.y_at(200.0) > 1.0  # symmetric: wins
+
+    def test_bwaware_robust_everywhere(self, figure):
+        bwaware = figure.get("BW-AWARE")
+        interleave = figure.get("INTERLEAVE")
+        for x, y in zip(bwaware.x, bwaware.y):
+            assert y >= min(1.0, interleave.y_at(x)) - 0.08
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            fig05_bw_ratio.run(workloads=("lbm",),
+                               co_bandwidths_gbps=(0.0,))
+
+
+class TestFig6:
+    def test_cdf_series_monotone(self):
+        figure = fig06_cdf.run(workloads=("bfs", "hotspot"), n_points=10)
+        for series in figure.series:
+            assert list(series.y) == sorted(series.y)
+            assert series.y[-1] == pytest.approx(1.0)
+
+    def test_skew_notes(self):
+        figure = fig06_cdf.run(workloads=("bfs", "hotspot"), n_points=10)
+        assert figure.notes["bfs_top10"] > 0.55
+        assert figure.notes["hotspot_top10"] < 0.25
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig07_datastructs.run()
+
+    def test_case_study_workloads(self, results):
+        assert set(results) == {"bfs", "mummergpu", "needle"}
+
+    def test_bfs_three_hot_structures(self, results):
+        bfs = results["bfs"]
+        hot = bfs.hottest_structures(0.75)
+        assert set(hot) <= {"d_graph_visited", "d_updating_graph_mask",
+                            "d_cost"}
+        assert bfs.footprint_of(hot) < 0.25
+
+    def test_mummergpu_unaccessed_ranges(self, results):
+        assert results["mummergpu"].never_accessed_pages > 100
+
+    def test_scatter_present(self, results):
+        assert len(results["bfs"].scatter) > 10
+
+    def test_render(self, results):
+        assert "never-accessed" in results["mummergpu"].render()
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return fig08_oracle.run(workloads=("bfs", "lbm"))
+
+    def test_oracle_matches_bwaware_unconstrained(self, table):
+        for label in table.row_labels():
+            row = dict(zip(table.columns, table.row(label)))
+            assert row["ORACLE"] == pytest.approx(1.0, abs=0.1)
+
+    def test_oracle_big_win_on_skewed_workload(self, table):
+        row = dict(zip(table.columns, table.row("bfs")))
+        assert row["ORACLE-10%"] > 1.8 * row["BW-AWARE-10%"]
+
+    def test_no_win_on_linear_workload(self, table):
+        row = dict(zip(table.columns, table.row("lbm")))
+        assert row["ORACLE-10%"] < 1.2 * row["BW-AWARE-10%"]
+
+
+class TestFig10:
+    def test_annotated_between_bwaware_and_oracle(self):
+        table = fig10_annotated.run(workloads=("bfs", "xsbench"))
+        for label in table.row_labels():
+            row = dict(zip(table.columns, table.row(label)))
+            assert row["ANNOTATED"] > row["BW-AWARE"]
+            assert row["ANNOTATED"] <= row["ORACLE"] * 1.05
+
+    def test_notes(self):
+        table = fig10_annotated.run(workloads=("bfs",))
+        assert table.notes["annotated_vs_oracle"] <= 1.05
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return fig11_datasets.run(workloads=("bfs", "xsbench"))
+
+    def test_rows_are_test_datasets_only(self, table):
+        assert len(table.row_labels()) == 4  # 2 workloads x 2 alternates
+
+    def test_cross_dataset_annotation_still_wins(self, table):
+        assert table.notes["annotated_vs_interleave"] > 1.2
+
+    def test_within_oracle_envelope(self, table):
+        assert 0.5 < table.notes["annotated_vs_oracle"] <= 1.05

@@ -1,0 +1,164 @@
+"""End-to-end integration tests asserting the paper's headline claims.
+
+Each test runs the full stack — trace synthesis, cache filtering, OS
+placement, GPU simulation — over meaningful workload subsets and checks
+the *shape* of the paper's results: who wins, roughly by how much,
+where the crossovers are.
+"""
+
+import pytest
+
+from repro.core.experiment import compare_policies, run_experiment
+from repro.core.metrics import geomean, normalize
+from repro.memory.topology import simulated_baseline, symmetric_topology
+from repro.policies.bwaware import BwAwarePolicy, CounterBwAwarePolicy
+from repro.runtime.cuda import CudaRuntime
+from repro.runtime.hints import hints_from_profile
+from repro.profiling.profiler import PageAccessProfiler
+from repro.workloads import bandwidth_sensitive_workloads, get_workload
+
+ACCESSES = 60_000
+
+#: a representative spread: heavy streamers, skewed, moderate, controls.
+SUBSET = ("lbm", "stencil", "bfs", "xsbench", "kmeans", "needle",
+          "comd", "sgemm")
+
+
+def _norm(workload, policies, **kwargs):
+    kwargs.setdefault("trace_accesses", ACCESSES)
+    results = compare_policies(workload, policies, **kwargs)
+    return normalize({k: v.throughput for k, v in results.items()},
+                     policies[0])
+
+
+class TestSection3Claims:
+    def test_bwaware_beats_local_and_interleave_on_average(self):
+        gains_local, gains_interleave = [], []
+        for name in SUBSET:
+            norm = _norm(name, ("LOCAL", "INTERLEAVE", "BW-AWARE"))
+            gains_local.append(norm["BW-AWARE"])
+            gains_interleave.append(norm["BW-AWARE"] / norm["INTERLEAVE"])
+        # Paper: +18% over LOCAL, +35% over INTERLEAVE on average.
+        assert 1.05 <= geomean(gains_local) <= 1.35
+        assert 1.20 <= geomean(gains_interleave) <= 1.70
+
+    def test_every_bw_sensitive_workload_prefers_bwaware_to_interleave(self):
+        for workload in bandwidth_sensitive_workloads()[:6]:
+            norm = _norm(workload.name, ("INTERLEAVE", "BW-AWARE"))
+            assert norm["BW-AWARE"] > 1.05, workload.name
+
+    def test_sgemm_worst_case_degradation_vs_local(self):
+        # Paper: BW-AWARE loses at most ~12% to LOCAL on the latency
+        # sensitive outlier; ours stays within a similar band.
+        norm = _norm("sgemm", ("LOCAL", "BW-AWARE"))
+        assert 0.75 <= norm["BW-AWARE"] <= 1.0
+
+    def test_symmetric_system_bwaware_close_to_interleave(self):
+        # The argument for making BW-AWARE the default: on symmetric
+        # memory it degenerates to the same 50/50 split as INTERLEAVE
+        # (random draws vs round-robin differ only by sampling noise).
+        topo = symmetric_topology()
+        norm = _norm("lbm", ("INTERLEAVE", "BW-AWARE"), topology=topo)
+        assert norm["BW-AWARE"] == pytest.approx(1.0, abs=0.08)
+
+    def test_effective_capacity_gain(self):
+        # Figure 4: at 70% BO capacity, BW-AWARE keeps ~peak perf,
+        # i.e. 30% extra effective capacity for free.
+        full = run_experiment("lbm", policy="BW-AWARE",
+                              trace_accesses=ACCESSES)
+        at70 = run_experiment("lbm", policy="BW-AWARE",
+                              bo_capacity_fraction=0.7,
+                              trace_accesses=ACCESSES)
+        assert at70.throughput >= 0.93 * full.throughput
+
+
+class TestSection4Claims:
+    def test_oracle_doubles_bwaware_on_skewed_workloads_at_10pct(self):
+        for name in ("bfs", "xsbench"):
+            norm = _norm(name, ("BW-AWARE", "ORACLE"),
+                         bo_capacity_fraction=0.1)
+            assert norm["ORACLE"] >= 1.8, name
+
+    def test_oracle_never_loses_to_bwaware_at_10pct(self):
+        for name in SUBSET:
+            norm = _norm(name, ("BW-AWARE", "ORACLE"),
+                         bo_capacity_fraction=0.1)
+            assert norm["ORACLE"] >= 0.99, name
+
+    def test_oracle_matches_bwaware_unconstrained(self):
+        for name in ("bfs", "lbm", "kmeans"):
+            norm = _norm(name, ("BW-AWARE", "ORACLE"))
+            assert norm["ORACLE"] == pytest.approx(1.0, abs=0.08), name
+
+
+class TestSection5Claims:
+    def test_annotated_reaches_90pct_of_oracle_on_average(self):
+        ratios = []
+        for name in SUBSET:
+            norm = _norm(name, ("ORACLE", "ANNOTATED"),
+                         bo_capacity_fraction=0.1)
+            ratios.append(norm["ANNOTATED"])
+        assert geomean(ratios) >= 0.80  # paper: ~0.90 across all 19
+
+    def test_annotated_beats_interleave_under_constraint(self):
+        gains = []
+        for name in SUBSET:
+            norm = _norm(name, ("INTERLEAVE", "ANNOTATED"),
+                         bo_capacity_fraction=0.1)
+            gains.append(norm["ANNOTATED"])
+        assert geomean(gains) >= 1.10  # paper: +19%
+
+    def test_cross_dataset_annotation_beats_interleave(self):
+        # Figure 11: train on the first dataset, test on another.
+        gains = []
+        for name in ("bfs", "xsbench", "minife"):
+            workload = get_workload(name)
+            test_dataset = workload.datasets()[1]
+            norm = _norm(
+                name, ("INTERLEAVE", "ANNOTATED"),
+                dataset=test_dataset,
+                bo_capacity_fraction=0.1,
+                training_dataset=workload.datasets()[0],
+            )
+            gains.append(norm["ANNOTATED"])
+        assert geomean(gains) >= 1.15  # paper: +29%
+
+    def test_full_runtime_workflow(self):
+        # Profile -> GetAllocation hints -> hinted cudaMalloc -> launch,
+        # all through the public runtime API.
+        workload = get_workload("bfs")
+        profile = PageAccessProfiler().profile(workload,
+                                               n_accesses=ACCESSES)
+        constrained = simulated_baseline().with_bo_capacity(
+            (workload.footprint_pages() // 10) * 4096
+        )
+        runtime = CudaRuntime(topology=constrained, seed=0)
+        hints = hints_from_profile(
+            workload, profile, runtime.process.tables,
+            bo_capacity_bytes=constrained.local.capacity_bytes,
+        )
+        runtime.malloc_workload(workload, hints=hints)
+        hinted = runtime.launch(workload, n_accesses=ACCESSES)
+
+        plain = CudaRuntime(topology=constrained, seed=0)
+        plain.malloc_workload(workload)
+        unhinted = plain.launch(workload, n_accesses=ACCESSES)
+        assert hinted.throughput > 1.5 * unhinted.throughput
+
+
+class TestAblation:
+    def test_counter_bwaware_at_least_as_good_as_random(self):
+        for name in ("lbm", "hotspot"):
+            random_draw = run_experiment(
+                name, policy=BwAwarePolicy(),
+                trace_accesses=ACCESSES).throughput
+            counter = run_experiment(
+                name, policy=CounterBwAwarePolicy(),
+                trace_accesses=ACCESSES).throughput
+            assert counter >= random_draw * 0.98, name
+
+    def test_engines_agree_on_policy_ranking(self):
+        for engine in ("throughput", "detailed"):
+            norm = _norm("lbm", ("INTERLEAVE", "LOCAL", "BW-AWARE"),
+                         engine=engine)
+            assert norm["BW-AWARE"] > norm["LOCAL"] > 1.0

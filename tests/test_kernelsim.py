@@ -1,0 +1,303 @@
+"""Kernel IR, executor, instrumentation, TraceWorkload adapter."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.core.units import LINE_SIZE, PAGE_SIZE
+from repro.kernelsim.executor import WARP_SIZE, KernelExecutor
+from repro.kernelsim.instrument import profile_program
+from repro.kernelsim.ir import (
+    ArrayDecl,
+    BlockIndex,
+    IndirectIndex,
+    Kernel,
+    MemoryRef,
+    ThreadIndex,
+    UniformIndex,
+    ZipfIndex,
+)
+from repro.kernelsim.programs import (
+    histogram_workload,
+    spmv_program,
+    spmv_workload,
+)
+from repro.kernelsim.workload import KernelWorkload
+
+RNG = lambda: np.random.default_rng(3)  # noqa: E731
+TIDS = np.arange(1024, dtype=np.int64)
+
+
+class TestIndexExprs:
+    def test_thread_index_streaming(self):
+        idx = ThreadIndex().evaluate(TIDS, 4096, RNG())
+        assert idx.tolist() == TIDS.tolist()
+
+    def test_thread_index_wraps(self):
+        idx = ThreadIndex().evaluate(TIDS, 100, RNG())
+        assert idx.max() < 100
+
+    def test_thread_index_affine(self):
+        idx = ThreadIndex(coeff=2, offset=5).evaluate(TIDS, 10_000, RNG())
+        assert idx[3] == 11
+
+    def test_block_index_broadcast(self):
+        idx = BlockIndex(block=256).evaluate(TIDS, 64, RNG())
+        assert np.unique(idx[:256]).size == 1
+        assert idx[0] != idx[256]
+
+    def test_uniform_in_range(self):
+        idx = UniformIndex().evaluate(TIDS, 17, RNG())
+        assert idx.min() >= 0 and idx.max() < 17
+
+    def test_zipf_skewed(self):
+        idx = ZipfIndex(alpha=1.3).evaluate(
+            np.arange(50_000), 1000, RNG()
+        )
+        counts = np.sort(np.bincount(idx, minlength=1000))[::-1]
+        assert counts[:100].sum() / counts.sum() > 0.5
+
+    def test_indirect_is_deterministic_scatter(self):
+        inner = ThreadIndex()
+        a = IndirectIndex(inner, salt=1).evaluate(TIDS, 4096, RNG())
+        b = IndirectIndex(inner, salt=1).evaluate(TIDS, 4096, RNG())
+        c = IndirectIndex(inner, salt=2).evaluate(TIDS, 4096, RNG())
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+        # Scattered, not sequential.
+        assert not np.array_equal(a, np.sort(a))
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ThreadIndex(coeff=0)
+        with pytest.raises(WorkloadError):
+            BlockIndex(block=0)
+        with pytest.raises(WorkloadError):
+            ZipfIndex(alpha=0)
+
+
+class TestIrValidation:
+    def test_array_decl(self):
+        decl = ArrayDecl("a", 1000, element_bytes=8)
+        assert decl.size_bytes == 8000
+        assert decl.n_pages == 2
+        with pytest.raises(WorkloadError):
+            ArrayDecl("a", 0)
+        with pytest.raises(WorkloadError):
+            ArrayDecl("a", 10, element_bytes=0)
+
+    def test_kernel_validation(self):
+        ref = MemoryRef("a", ThreadIndex())
+        with pytest.raises(WorkloadError):
+            Kernel("k", (), n_threads=32)
+        with pytest.raises(WorkloadError):
+            Kernel("k", (ref,), n_threads=0)
+        with pytest.raises(WorkloadError):
+            Kernel("k", (ref,), n_threads=32, launches=0)
+
+    def test_arrays_referenced_deduped_in_order(self):
+        kernel = Kernel("k", (
+            MemoryRef("b", ThreadIndex()),
+            MemoryRef("a", ThreadIndex()),
+            MemoryRef("b", ThreadIndex(), is_store=True),
+        ), n_threads=32)
+        assert kernel.arrays_referenced() == ("b", "a")
+
+
+class TestExecutor:
+    def _arrays(self):
+        return (
+            ArrayDecl("a", 32 * 1024, element_bytes=4),   # 128 KiB
+            ArrayDecl("b", 1024, element_bytes=4),        # 1 page
+        )
+
+    def test_layout_is_contiguous_page_aligned(self):
+        executor = KernelExecutor(self._arrays())
+        a = executor.layout("a")
+        b = executor.layout("b")
+        assert a.first_page == 0
+        assert b.first_page == a.decl.n_pages
+        assert executor.footprint_pages == a.decl.n_pages + 1
+
+    def test_undeclared_array_rejected(self):
+        executor = KernelExecutor(self._arrays())
+        with pytest.raises(WorkloadError):
+            executor.layout("nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(WorkloadError):
+            KernelExecutor((ArrayDecl("a", 10), ArrayDecl("a", 10)))
+
+    def test_coalescing_streaming_ref(self):
+        # 32 consecutive 4-byte elements span one 128-byte line: the
+        # whole warp coalesces to a single transaction.
+        executor = KernelExecutor(self._arrays())
+        kernel = Kernel("k", (MemoryRef("a", ThreadIndex()),),
+                        n_threads=WARP_SIZE)
+        trace = executor.line_trace([kernel])
+        assert trace.size == 1
+
+    def test_gather_does_not_coalesce(self):
+        executor = KernelExecutor(self._arrays())
+        kernel = Kernel("k", (MemoryRef("a", UniformIndex()),),
+                        n_threads=WARP_SIZE)
+        trace = executor.line_trace([kernel])
+        assert trace.size > WARP_SIZE // 2
+
+    def test_lines_fall_inside_owning_array(self):
+        executor = KernelExecutor(self._arrays())
+        kernel = Kernel("k", (MemoryRef("b", UniformIndex()),),
+                        n_threads=4096)
+        trace = executor.line_trace([kernel])
+        b = executor.layout("b")
+        lines_per_page = PAGE_SIZE // LINE_SIZE
+        assert trace.min() >= b.first_line
+        assert trace.max() < b.first_line + b.decl.n_pages * lines_per_page
+
+    def test_launches_repeat_the_kernel(self):
+        executor = KernelExecutor(self._arrays())
+        one = executor.line_trace([
+            Kernel("k", (MemoryRef("a", ThreadIndex()),), n_threads=1024)
+        ])
+        two = executor.line_trace([
+            Kernel("k", (MemoryRef("a", ThreadIndex()),), n_threads=1024,
+                   launches=2)
+        ])
+        assert two.size == 2 * one.size
+
+    def test_deterministic_per_seed(self):
+        kernel = Kernel("k", (MemoryRef("a", UniformIndex()),),
+                        n_threads=2048)
+        a = KernelExecutor(self._arrays(), seed=5).line_trace([kernel])
+        b = KernelExecutor(self._arrays(), seed=5).line_trace([kernel])
+        c = KernelExecutor(self._arrays(), seed=6).line_trace([kernel])
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_schedules_emit_same_transactions(self):
+        kernel = Kernel("k", (
+            MemoryRef("a", ThreadIndex()),
+            MemoryRef("b", UniformIndex()),
+        ), n_threads=1024)
+        round_robin = KernelExecutor(
+            self._arrays(), schedule="round-robin"
+        ).line_trace([kernel])
+        warp_major = KernelExecutor(
+            self._arrays(), schedule="warp-major"
+        ).line_trace([kernel])
+        assert round_robin.size == warp_major.size
+        assert sorted(round_robin.tolist()) == sorted(warp_major.tolist())
+
+    def test_round_robin_interleaves_refs(self):
+        # Round-robin: every warp issues ref0 before any warp reaches
+        # ref1, so array "a" traffic fronts the stream.
+        kernel = Kernel("k", (
+            MemoryRef("a", ThreadIndex()),
+            MemoryRef("b", UniformIndex()),
+        ), n_threads=1024)
+        executor = KernelExecutor(self._arrays(), schedule="round-robin")
+        trace = executor.line_trace([kernel])
+        b_first_line = executor.layout("b").first_line
+        first_b = int(np.argmax(trace >= b_first_line))
+        # All of a's transactions (32 warps coalescing to 1 line each
+        # for the affine ref) come before the first b transaction.
+        assert first_b >= 32
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(WorkloadError):
+            KernelExecutor(self._arrays(), schedule="fifo")
+
+    def test_access_counts(self):
+        executor = KernelExecutor(self._arrays())
+        kernel = Kernel("k", (
+            MemoryRef("a", ThreadIndex()),
+            MemoryRef("a", ThreadIndex(), is_store=True),
+            MemoryRef("b", UniformIndex()),
+        ), n_threads=100, launches=3)
+        counts = executor.access_counts_per_array([kernel])
+        assert counts == {"a": 600, "b": 300}
+
+
+class TestInstrumentation:
+    def test_spmv_profile(self):
+        arrays, kernels = spmv_program()
+        profile = profile_program(arrays, kernels)
+        x = next(a for a in profile.arrays if a.name == "x_vec")
+        vals = next(a for a in profile.arrays if a.name == "csr_values")
+        # Same access count, but x is far denser per page.
+        assert x.accesses == vals.accesses
+        assert x.hotness_density > 4 * vals.hotness_density
+
+    def test_loads_vs_stores(self):
+        arrays, kernels = spmv_program()
+        profile = profile_program(arrays, kernels)
+        y = next(a for a in profile.arrays if a.name == "y_vec")
+        assert y.loads == 0 and y.stores > 0
+
+    def test_figure9_arrays(self):
+        arrays, kernels = spmv_program()
+        sizes, hotness = profile_program(arrays, kernels).hotness_arrays()
+        assert len(sizes) == len(hotness) == len(arrays)
+        assert sizes[0] == arrays[0].size_bytes
+
+    def test_render(self):
+        arrays, kernels = spmv_program()
+        assert "acc/page" in profile_program(arrays, kernels).render()
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(WorkloadError):
+            profile_program((), ())
+
+
+class TestKernelWorkloadAdapter:
+    def test_specs_derived_from_instrumentation(self):
+        workload = spmv_workload()
+        specs = {s.name: s for s in workload.data_structures()}
+        assert specs["y_vec"].read_fraction == 0.0
+        assert specs["csr_values"].read_fraction == 1.0
+        total = sum(s.traffic_weight for s in specs.values())
+        assert total == pytest.approx(100.0)
+
+    def test_trace_is_placement_ready(self):
+        workload = spmv_workload()
+        trace = workload.dram_trace(n_accesses=40_000)
+        assert trace.footprint_pages == workload.footprint_pages()
+        assert trace.page_indices.max() < trace.footprint_pages
+
+    def test_trace_extends_to_requested_length(self):
+        workload = histogram_workload()
+        raw = workload.raw_line_trace(n_accesses=300_000)
+        assert raw.size == 300_000
+
+    def test_dataset_scaling(self):
+        workload = spmv_workload()
+        assert (workload.footprint_pages("large")
+                > workload.footprint_pages("default"))
+
+    def test_undeclared_reference_rejected(self):
+        def bad_builder(dataset):
+            return ((ArrayDecl("a", 100),),
+                    (Kernel("k", (MemoryRef("ghost", ThreadIndex()),),
+                            n_threads=32),))
+
+        workload = KernelWorkload("bad", bad_builder)
+        with pytest.raises(WorkloadError):
+            workload.data_structures()
+
+    def test_empty_program_rejected(self):
+        workload = KernelWorkload("empty", lambda d: ((), ()))
+        with pytest.raises(WorkloadError):
+            workload.data_structures()
+
+    def test_full_policy_stack_runs(self):
+        from repro.core.experiment import run_experiment
+
+        workload = spmv_workload()
+        agnostic = run_experiment(workload, policy="BW-AWARE",
+                                  bo_capacity_fraction=0.1,
+                                  trace_accesses=40_000)
+        annotated = run_experiment(workload, policy="ANNOTATED",
+                                   bo_capacity_fraction=0.1,
+                                   trace_accesses=40_000)
+        # The hot x/y vectors fit in 10% BO: annotation must win.
+        assert annotated.throughput > 1.3 * agnostic.throughput

@@ -1,0 +1,87 @@
+"""The libNUMA-shaped interface."""
+
+import pytest
+
+from repro.core.errors import OutOfMemoryError, PolicyError
+from repro.core.units import PAGE_SIZE
+from repro.memory.topology import simulated_baseline
+from repro.vm.libnuma import LibNuma
+from repro.vm.process import Process
+
+
+@pytest.fixture
+def numa():
+    return LibNuma(Process(simulated_baseline(), seed=1))
+
+
+@pytest.fixture
+def tiny_numa():
+    topo = simulated_baseline(bo_capacity_gib=2 * PAGE_SIZE / 2**30)
+    return LibNuma(Process(topo, seed=1))
+
+
+class TestDiscovery:
+    def test_numa_available(self, numa):
+        assert numa.numa_available() == 0
+
+    def test_max_node(self, numa):
+        assert numa.numa_max_node() == 1
+        assert numa.numa_num_configured_nodes() == 2
+
+    def test_node_size_tracks_allocation(self, numa):
+        total_before, free_before = numa.numa_node_size(0)
+        numa.numa_alloc_onnode(4 * PAGE_SIZE, 0)
+        total_after, free_after = numa.numa_node_size(0)
+        assert total_after == total_before
+        assert free_after == free_before - 4 * PAGE_SIZE
+
+    def test_distance_matrix(self, numa):
+        assert numa.numa_distance(0, 0) == 10
+        assert numa.numa_distance(0, 1) > 10
+
+    def test_preferred_is_gpu_local(self, numa):
+        assert numa.numa_preferred() == 0
+
+
+class TestAllocation:
+    def test_alloc_onnode(self, numa):
+        allocation = numa.numa_alloc_onnode(4 * PAGE_SIZE, 1)
+        zones = {numa.process.space.translate(va).zone_id
+                 for va in range(allocation.va_start, allocation.va_end,
+                                 PAGE_SIZE)}
+        assert zones == {1}
+
+    def test_alloc_onnode_falls_back(self, tiny_numa):
+        allocation = tiny_numa.numa_alloc_onnode(4 * PAGE_SIZE, 0)
+        zone_map = tiny_numa.process.zone_map()
+        assert (zone_map == 0).sum() == 2  # BO holds 2 pages
+        assert (zone_map == 1).sum() == 2
+
+    def test_alloc_strict_ooms(self, tiny_numa):
+        with pytest.raises(OutOfMemoryError):
+            tiny_numa.numa_alloc_strict(4 * PAGE_SIZE, 0)
+
+    def test_alloc_interleaved(self, numa):
+        numa.numa_alloc_interleaved(8 * PAGE_SIZE)
+        zone_map = numa.process.zone_map()
+        assert (zone_map == 0).sum() == 4
+        assert (zone_map == 1).sum() == 4
+
+    def test_alloc_interleaved_subset(self, numa):
+        numa.numa_alloc_interleaved(4 * PAGE_SIZE, nodes=[1])
+        assert set(numa.process.zone_map().tolist()) == {1}
+
+    def test_alloc_local(self, numa):
+        numa.numa_alloc_local(4 * PAGE_SIZE)
+        assert set(numa.process.zone_map().tolist()) == {0}
+
+    def test_free(self, numa):
+        allocation = numa.numa_alloc_onnode(4 * PAGE_SIZE, 0)
+        numa.numa_free(allocation)
+        assert numa.process.physical.used_pages(0) == 0
+
+    def test_bad_node_rejected(self, numa):
+        with pytest.raises(PolicyError):
+            numa.numa_alloc_onnode(PAGE_SIZE, 7)
+        with pytest.raises(PolicyError):
+            numa.numa_alloc_interleaved(PAGE_SIZE, nodes=[9])

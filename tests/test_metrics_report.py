@@ -1,0 +1,197 @@
+"""Aggregate metrics and result rendering."""
+
+import pytest
+
+from repro.analysis.report import FigureResult, Series, TableResult
+from repro.core.errors import ReproError
+from repro.core.metrics import (
+    geomean,
+    geomean_by_key,
+    normalize,
+    percent_gain,
+    speedup,
+)
+
+
+class TestGeomean:
+    def test_single_value(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_classic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_order_invariant(self):
+        assert geomean([2, 8, 4]) == pytest.approx(geomean([8, 4, 2]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestSpeedupHelpers:
+    def test_speedup(self):
+        assert speedup(test_time=50.0, baseline_time=100.0) == 2.0
+
+    def test_speedup_validation(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+    def test_percent_gain(self):
+        assert percent_gain(1.18) == pytest.approx(18.0)
+        assert percent_gain(0.88) == pytest.approx(-12.0)
+
+    def test_normalize(self):
+        normalized = normalize({"a": 2.0, "b": 4.0}, "a")
+        assert normalized == {"a": 1.0, "b": 2.0}
+
+    def test_normalize_missing_baseline(self):
+        with pytest.raises(ValueError):
+            normalize({"a": 1.0}, "z")
+
+    def test_geomean_by_key(self):
+        rows = [{"x": 1.0, "y": 2.0}, {"x": 4.0, "y": 8.0}]
+        assert geomean_by_key(rows) == pytest.approx({"x": 2.0, "y": 4.0})
+
+    def test_geomean_by_key_mismatched(self):
+        with pytest.raises(ValueError):
+            geomean_by_key([{"x": 1.0}, {"y": 1.0}])
+
+
+class TestSeries:
+    def test_y_at(self):
+        series = Series("s", (1.0, 2.0), (10.0, 20.0))
+        assert series.y_at(2.0) == 20.0
+        with pytest.raises(ReproError):
+            series.y_at(3.0)
+
+    def test_peak_x(self):
+        series = Series("s", (1.0, 2.0, 3.0), (5.0, 9.0, 7.0))
+        assert series.peak_x() == 2.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            Series("s", (1.0,), (1.0, 2.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            Series("s", (), ())
+
+
+class TestFigureResult:
+    def _figure(self):
+        return FigureResult(
+            figure_id="figX", title="t", x_label="x", y_label="y",
+            series=(
+                Series("a", (1.0, 2.0), (1.0, 1.5)),
+                Series("b", (1.0, 2.0), (0.5, 0.7)),
+            ),
+            notes={"k": 1.234},
+        )
+
+    def test_get_series(self):
+        assert self._figure().get("a").y == (1.0, 1.5)
+        with pytest.raises(ReproError):
+            self._figure().get("zzz")
+
+    def test_labels(self):
+        assert self._figure().labels() == ("a", "b")
+
+    def test_render_contains_values_and_notes(self):
+        text = self._figure().render()
+        assert "figX" in text
+        assert "1.500" in text
+        assert "k=1.234" in text
+
+    def test_render_rejects_mismatched_axes(self):
+        figure = FigureResult(
+            figure_id="f", title="t", x_label="x", y_label="y",
+            series=(
+                Series("a", (1.0,), (1.0,)),
+                Series("b", (2.0,), (1.0,)),
+            ),
+        )
+        with pytest.raises(ReproError):
+            figure.render()
+
+
+class TestTableResult:
+    def _table(self):
+        return TableResult(
+            figure_id="figY", title="t",
+            columns=("p1", "p2"),
+            rows=(("w1", (1.0, 2.0)), ("w2", (3.0, 4.0))),
+        )
+
+    def test_row_and_column_access(self):
+        table = self._table()
+        assert table.row("w2") == (3.0, 4.0)
+        assert table.column("p2") == (2.0, 4.0)
+        assert table.row_labels() == ("w1", "w2")
+
+    def test_missing_lookups(self):
+        with pytest.raises(ReproError):
+            self._table().row("nope")
+        with pytest.raises(ReproError):
+            self._table().column("nope")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ReproError):
+            TableResult(figure_id="f", title="t", columns=("a",),
+                        rows=(("w", (1.0, 2.0)),))
+
+    def test_render(self):
+        text = self._table().render()
+        assert "w1" in text and "p2" in text and "4.000" in text
+
+    def test_to_csv(self):
+        csv_text = self._table().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "workload,p1,p2"
+        assert lines[1] == "w1,1.0,2.0"
+
+    def test_to_json(self):
+        import json
+
+        payload = json.loads(self._table().to_json())
+        assert payload["columns"] == ["p1", "p2"]
+        assert payload["rows"][1] == {"label": "w2",
+                                      "values": [3.0, 4.0]}
+
+
+class TestFigureExport:
+    def _figure(self):
+        return FigureResult(
+            figure_id="figX", title="t", x_label="x", y_label="y",
+            series=(
+                Series("a", (1.0, 2.0), (1.0, 1.5)),
+                Series("b", (1.0, 2.0), (0.5, 0.7)),
+            ),
+            notes={"k": 1.0},
+        )
+
+    def test_to_csv(self):
+        lines = self._figure().to_csv().strip().splitlines()
+        assert lines[0] == "x,a,b"
+        assert lines[1] == "1.0,1.0,0.5"
+        assert len(lines) == 3
+
+    def test_to_json(self):
+        import json
+
+        payload = json.loads(self._figure().to_json())
+        assert payload["x_label"] == "x"
+        assert payload["series"][0]["y"] == [1.0, 1.5]
+        assert payload["notes"] == {"k": 1.0}
+
+    def test_csv_rejects_mismatched_axes(self):
+        figure = FigureResult(
+            figure_id="f", title="t", x_label="x", y_label="y",
+            series=(Series("a", (1.0,), (1.0,)),
+                    Series("b", (2.0,), (1.0,))),
+        )
+        with pytest.raises(ReproError):
+            figure.to_csv()

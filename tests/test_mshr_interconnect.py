@@ -1,0 +1,100 @@
+"""MSHR file and interconnect link models."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigError, SimulationError
+from repro.gpu.interconnect import (
+    InterconnectLink,
+    local_link,
+    table1_remote_link,
+)
+from repro.gpu.mshr import MshrFile
+
+
+class TestMshrFile:
+    def test_primary_miss_consumes_entry(self):
+        mshrs = MshrFile(4)
+        assert mshrs.allocate(10) is True
+        assert mshrs.occupancy == 1
+        assert mshrs.primary_misses == 1
+
+    def test_secondary_miss_merges(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(10)
+        assert mshrs.allocate(10) is False
+        assert mshrs.occupancy == 1
+        assert mshrs.merged_misses == 1
+
+    def test_release_returns_waiter_count(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(10)
+        mshrs.allocate(10)
+        mshrs.allocate(10)
+        assert mshrs.release(10) == 3
+        assert mshrs.occupancy == 0
+
+    def test_release_of_idle_line_rejected(self):
+        with pytest.raises(SimulationError):
+            MshrFile(4).release(10)
+
+    def test_full_allocation_raises_and_counts_stall(self):
+        mshrs = MshrFile(1)
+        mshrs.allocate(10)
+        assert mshrs.full
+        with pytest.raises(SimulationError):
+            mshrs.allocate(20)
+        assert mshrs.stalls == 1
+
+    def test_merge_allowed_when_full(self):
+        mshrs = MshrFile(1)
+        mshrs.allocate(10)
+        assert mshrs.allocate(10) is False
+
+    def test_inflight_query(self):
+        mshrs = MshrFile(2)
+        mshrs.allocate(10)
+        assert mshrs.inflight(10)
+        assert not mshrs.inflight(11)
+
+    def test_reset(self):
+        mshrs = MshrFile(2)
+        mshrs.allocate(10)
+        mshrs.reset()
+        assert mshrs.occupancy == 0
+        assert mshrs.primary_misses == 0
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(SimulationError):
+            MshrFile(0)
+
+
+class TestInterconnectLink:
+    def test_table1_remote_hop(self):
+        link = table1_remote_link()
+        assert link.hop_cycles == 100
+        # 100 cycles at 1.4 GHz ~= 71.4 ns.
+        assert link.latency_ns(1.4) == pytest.approx(71.43, rel=1e-3)
+
+    def test_local_link_is_free(self):
+        link = local_link()
+        assert link.latency_ns(1.4) == 0.0
+        assert link.transfer_time_ns(1 << 20) == 0.0
+
+    def test_unconstrained_bandwidth_default(self):
+        assert math.isinf(table1_remote_link().bandwidth)
+
+    def test_constrained_transfer_time(self):
+        link = InterconnectLink(hop_cycles=100, bandwidth=16e9)
+        assert link.transfer_time_ns(16_000) == pytest.approx(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            InterconnectLink(hop_cycles=-1)
+        with pytest.raises(ConfigError):
+            InterconnectLink(bandwidth=0)
+        with pytest.raises(ConfigError):
+            local_link().latency_ns(0)
+        with pytest.raises(ConfigError):
+            local_link().transfer_time_ns(-1)

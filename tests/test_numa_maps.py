@@ -1,0 +1,75 @@
+"""numa_maps-style placement introspection."""
+
+import pytest
+
+from repro.core.units import PAGE_SIZE
+from repro.memory.topology import simulated_baseline
+from repro.policies.bwaware import BwAwarePolicy
+from repro.policies.interleave import InterleavePolicy
+from repro.vm.numa_maps import allocation_breakdown, numa_maps
+from repro.vm.process import Process
+
+
+@pytest.fixture
+def process():
+    proc = Process(simulated_baseline(), seed=2)
+    proc.mmap(4 * PAGE_SIZE, name="weights")
+    proc.set_mempolicy(InterleavePolicy())
+    proc.mmap(4 * PAGE_SIZE, name="activations")
+    return proc
+
+
+class TestAllocationBreakdown:
+    def test_one_entry_per_allocation(self, process):
+        breakdown = allocation_breakdown(process)
+        assert [item.name for item in breakdown] == ["weights",
+                                                     "activations"]
+
+    def test_local_allocation_all_in_zone0(self, process):
+        weights = allocation_breakdown(process)[0]
+        assert weights.pages_by_zone == (4, 0)
+        assert weights.dominant_zone == 0
+        assert weights.zone_fraction(0) == 1.0
+
+    def test_interleaved_allocation_split(self, process):
+        activations = allocation_breakdown(process)[1]
+        assert activations.pages_by_zone == (2, 2)
+        assert activations.mapped_pages == 4
+
+    def test_unmapped_allocation_reported(self):
+        proc = Process(simulated_baseline())
+        proc.reserve(2 * PAGE_SIZE, name="lazy")
+        item = allocation_breakdown(proc)[0]
+        assert item.mapped_pages == 0
+        assert item.zone_fraction(0) == 0.0
+
+    def test_counts_match_physical_occupancy(self):
+        proc = Process(simulated_baseline(), seed=0)
+        proc.reserve(500 * PAGE_SIZE, name="heap")
+        proc.place_all(BwAwarePolicy())
+        breakdown = allocation_breakdown(proc)[0]
+        occupancy = proc.physical.occupancy()
+        assert breakdown.pages_by_zone[0] == occupancy[0][0]
+        assert breakdown.pages_by_zone[1] == occupancy[1][0]
+
+
+class TestNumaMapsRendering:
+    def test_lines_per_allocation_plus_summary(self, process):
+        text = numa_maps(process)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[-1].startswith("total:")
+
+    def test_node_counts_rendered(self, process):
+        text = numa_maps(process)
+        assert "name=weights" in text
+        assert "N0=4" in text
+        assert "N0=2 N1=2" in text
+
+    def test_unmapped_marker(self):
+        proc = Process(simulated_baseline())
+        proc.reserve(PAGE_SIZE, name="lazy")
+        assert "unmapped" in numa_maps(proc)
+
+    def test_policy_name_included(self, process):
+        assert "policy=INTERLEAVE" in numa_maps(process)

@@ -1,0 +1,156 @@
+"""Oracle and annotated placement policies."""
+
+import numpy as np
+import pytest
+
+from conftest import make_context
+from repro.core.errors import PolicyError
+from repro.core.units import PAGE_SIZE
+from repro.memory.topology import simulated_baseline
+from repro.policies.annotated import AnnotatedPolicy, PlacementHint, coerce_hint
+from repro.policies.oracle import OraclePolicy
+from repro.vm.page import Allocation
+from repro.vm.process import Process
+
+
+def _allocs(pages=(4, 4)):
+    allocations = []
+    va = PAGE_SIZE * 1000
+    for i, n in enumerate(pages):
+        allocations.append(Allocation(
+            alloc_id=i, name=f"a{i}", va_start=va,
+            size_bytes=n * PAGE_SIZE,
+        ))
+        va += n * PAGE_SIZE
+    return tuple(allocations)
+
+
+class TestOraclePolicy:
+    def test_hottest_pages_go_to_bo(self, context):
+        # 8 pages; pages 4..7 are 10x hotter.
+        counts = np.array([1, 1, 1, 1, 10, 10, 10, 10], dtype=float)
+        policy = OraclePolicy(counts)
+        allocations = _allocs((4, 4))
+        policy.prepare(allocations, context)
+        zones = [policy.preferred_zones(allocations[k // 4], k % 4,
+                                        context)[0]
+                 for k in range(8)]
+        # All hot pages must be BO (zone 0).
+        assert zones[4:] == [0, 0, 0, 0]
+
+    def test_bo_share_matches_bandwidth_fraction(self, context):
+        rng = np.random.default_rng(0)
+        counts = rng.integers(1, 100, size=200).astype(float)
+        policy = OraclePolicy(counts)
+        alloc = _allocs((200,))
+        policy.prepare(alloc, context)
+        zones = np.array([
+            policy.preferred_zones(alloc[0], k, context)[0]
+            for k in range(200)
+        ])
+        bo_traffic = counts[zones == 0].sum() / counts.sum()
+        # Must serve approximately the SBIT bandwidth fraction from BO.
+        assert bo_traffic == pytest.approx(200 / 280, abs=0.05)
+
+    def test_capacity_constraint_limits_bo_pages(self):
+        topo = simulated_baseline(bo_capacity_gib=10 * PAGE_SIZE / 2**30)
+        ctx = make_context(topo)
+        counts = np.linspace(100, 1, 50)
+        policy = OraclePolicy(counts)
+        alloc = _allocs((50,))
+        policy.prepare(alloc, ctx)
+        zones = [policy.preferred_zones(alloc[0], k, ctx)[0]
+                 for k in range(50)]
+        bo_pages = [k for k, z in enumerate(zones) if z == 0]
+        assert len(bo_pages) <= topo.local.capacity_pages
+        # And they are exactly the hottest (lowest-index) pages.
+        assert bo_pages == list(range(len(bo_pages)))
+
+    def test_profile_size_mismatch_rejected(self, context):
+        policy = OraclePolicy(np.ones(5))
+        with pytest.raises(PolicyError):
+            policy.prepare(_allocs((4, 4)), context)
+
+    def test_use_before_prepare_rejected(self, context):
+        policy = OraclePolicy(np.ones(4))
+        with pytest.raises(PolicyError):
+            policy.preferred_zones(_allocs((4,))[0], 0, context)
+
+    def test_unknown_allocation_rejected(self, context):
+        policy = OraclePolicy(np.ones(4))
+        allocations = _allocs((4,))
+        policy.prepare(allocations, context)
+        stranger = Allocation(alloc_id=9, name="x",
+                              va_start=PAGE_SIZE * 9000,
+                              size_bytes=PAGE_SIZE)
+        with pytest.raises(PolicyError):
+            policy.preferred_zones(stranger, 0, context)
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(PolicyError):
+            OraclePolicy(np.array([]))
+        with pytest.raises(PolicyError):
+            OraclePolicy(np.array([-1.0, 2.0]))
+        with pytest.raises(PolicyError):
+            OraclePolicy(np.ones((2, 2)))
+
+
+class TestCoerceHint:
+    def test_enum_passthrough(self):
+        assert coerce_hint(PlacementHint.BW_AWARE) is PlacementHint.BW_AWARE
+
+    def test_string_values(self):
+        assert coerce_hint("BO") is PlacementHint.BANDWIDTH_OPTIMIZED
+        assert coerce_hint("co") is PlacementHint.CAPACITY_OPTIMIZED
+
+    def test_none_passthrough(self):
+        assert coerce_hint(None) is None
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PolicyError):
+            coerce_hint("FAST")
+        with pytest.raises(PolicyError):
+            coerce_hint(42)
+
+
+class TestAnnotatedPolicy:
+    def _place(self, hints, topology=None):
+        topo = topology if topology is not None else simulated_baseline()
+        process = Process(topo, seed=3)
+        for i, hint in enumerate(hints):
+            process.reserve(4 * PAGE_SIZE, name=f"d{i}", hint=hint)
+        return process.place_all(AnnotatedPolicy())
+
+    def test_bo_hint_lands_in_bandwidth_zone(self):
+        zone_map = self._place([PlacementHint.BANDWIDTH_OPTIMIZED])
+        assert set(zone_map.tolist()) == {0}
+
+    def test_co_hint_lands_in_capacity_zone(self):
+        zone_map = self._place([PlacementHint.CAPACITY_OPTIMIZED])
+        assert set(zone_map.tolist()) == {1}
+
+    def test_string_hints_accepted(self):
+        zone_map = self._place(["CO"])
+        assert set(zone_map.tolist()) == {1}
+
+    def test_unhinted_falls_back_to_bwaware(self):
+        # With many pages, unannotated placement approaches 70/30.
+        topo = simulated_baseline()
+        process = Process(topo, seed=3)
+        process.reserve(4000 * PAGE_SIZE, name="big")
+        zone_map = process.place_all(AnnotatedPolicy())
+        co_share = float((zone_map == 1).mean())
+        assert co_share == pytest.approx(80 / 280, abs=0.03)
+
+    def test_bw_hint_same_as_unhinted(self):
+        zone_map = self._place([PlacementHint.BW_AWARE] * 4)
+        assert set(zone_map.tolist()) <= {0, 1}
+
+    def test_full_bo_spills_to_co(self):
+        topo = simulated_baseline(bo_capacity_gib=2 * PAGE_SIZE / 2**30)
+        zone_map = self._place(
+            [PlacementHint.BANDWIDTH_OPTIMIZED], topology=topo
+        )
+        # 4 pages hinted BO, 2 frames of BO: half must spill.
+        assert (zone_map == 0).sum() == 2
+        assert (zone_map == 1).sum() == 2

@@ -1,0 +1,160 @@
+"""Access pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.workloads import patterns
+
+RNG = lambda: np.random.default_rng(42)  # noqa: E731
+N_LINES = 4096
+
+
+def _counts(addrs, n_lines=N_LINES):
+    return np.bincount(addrs, minlength=n_lines)
+
+
+class TestBounds:
+    @pytest.mark.parametrize("name", sorted(patterns.PATTERNS))
+    def test_all_patterns_stay_in_range(self, name):
+        addrs = patterns.generate(name, RNG(), 10_000, N_LINES)
+        assert addrs.min() >= 0
+        assert addrs.max() < N_LINES
+        assert addrs.dtype == np.int64
+
+    @pytest.mark.parametrize("name", sorted(patterns.PATTERNS))
+    def test_requested_length(self, name):
+        assert patterns.generate(name, RNG(), 777, N_LINES).size == 777
+
+    @pytest.mark.parametrize("name", sorted(patterns.PATTERNS))
+    def test_zero_accesses(self, name):
+        assert patterns.generate(name, RNG(), 0, N_LINES).size == 0
+
+    def test_unknown_pattern(self):
+        with pytest.raises(WorkloadError):
+            patterns.generate("fractal", RNG(), 10, N_LINES)
+
+
+class TestSequential:
+    def test_full_pass_in_order(self):
+        addrs = patterns.sequential(RNG(), N_LINES, N_LINES, {})
+        assert addrs.tolist() == list(range(N_LINES))
+
+    def test_partial_pass_spans_whole_structure(self):
+        # A partial sweep is an evenly spaced subsample, not a prefix:
+        # no contiguous chunk of the structure may be artificially hot.
+        addrs = patterns.sequential(RNG(), 100, N_LINES, {})
+        assert addrs.size == 100
+        assert addrs.max() > 0.9 * N_LINES
+        assert addrs.min() < 0.1 * N_LINES
+
+    def test_partial_pass_monotone_in_order(self):
+        addrs = patterns.sequential(RNG(), 100, N_LINES, {})
+        deltas = np.diff(addrs) % N_LINES
+        # In-order sweep: strictly forward steps of ~n_lines/n each.
+        assert np.all(deltas > 0)
+
+    def test_multiple_passes_uniform_counts(self):
+        addrs = patterns.sequential(RNG(), 3 * N_LINES, N_LINES, {})
+        counts = _counts(addrs)
+        assert counts.min() == counts.max() == 3
+
+    def test_start_fraction_rotates_full_pass(self):
+        addrs = patterns.sequential(RNG(), N_LINES, N_LINES,
+                                    {"start_fraction": 0.5})
+        assert addrs[0] == N_LINES // 2
+
+
+class TestStrided:
+    def test_constant_stride(self):
+        addrs = patterns.strided(RNG(), 10, N_LINES, {"stride": 7})
+        assert np.all(np.diff(addrs) % N_LINES == 7)
+
+    def test_bad_stride(self):
+        with pytest.raises(WorkloadError):
+            patterns.strided(RNG(), 10, N_LINES, {"stride": 0})
+
+
+class TestZipf:
+    def test_skewed_hotness(self):
+        addrs = patterns.zipf(RNG(), 50_000, N_LINES, {"alpha": 1.2})
+        counts = np.sort(_counts(addrs))[::-1]
+        top10 = counts[: N_LINES // 10].sum() / counts.sum()
+        assert top10 > 0.5
+
+    def test_higher_alpha_more_skew(self):
+        mild = patterns.zipf(RNG(), 50_000, N_LINES, {"alpha": 0.6})
+        sharp = patterns.zipf(RNG(), 50_000, N_LINES, {"alpha": 1.5})
+        skew = lambda a: np.sort(_counts(a))[::-1][:410].sum() / 50_000
+        assert skew(sharp) > skew(mild)
+
+    def test_hot_lines_scattered_not_clustered(self):
+        addrs = patterns.zipf(RNG(), 50_000, N_LINES, {"alpha": 1.2})
+        counts = _counts(addrs)
+        hottest = np.argsort(-counts)[:10]
+        # The 10 hottest lines should span the structure, not sit in
+        # one corner (the permutation scatters ranks).
+        assert hottest.max() - hottest.min() > N_LINES // 4
+
+    def test_alpha_validated(self):
+        with pytest.raises(WorkloadError):
+            patterns.zipf(RNG(), 10, N_LINES, {"alpha": 0})
+
+
+class TestHotCold:
+    def test_traffic_split(self):
+        addrs = patterns.hot_cold(
+            RNG(), 100_000, N_LINES,
+            {"hot_fraction": 0.1, "hot_traffic": 0.6},
+        )
+        n_hot = round(N_LINES * 0.1)
+        hot_traffic = (addrs < n_hot).mean()
+        assert hot_traffic == pytest.approx(0.6, abs=0.02)
+
+    def test_paper_skew_reproduced(self):
+        # "60% of bandwidth from 10% of pages" (Figure 6, bfs/xsbench).
+        addrs = patterns.hot_cold(
+            RNG(), 100_000, N_LINES,
+            {"hot_fraction": 0.1, "hot_traffic": 0.6},
+        )
+        counts = np.sort(_counts(addrs))[::-1]
+        assert counts[: N_LINES // 10].sum() / counts.sum() >= 0.58
+
+    def test_params_validated(self):
+        with pytest.raises(WorkloadError):
+            patterns.hot_cold(RNG(), 10, N_LINES, {"hot_fraction": 0.0})
+        with pytest.raises(WorkloadError):
+            patterns.hot_cold(RNG(), 10, N_LINES, {"hot_traffic": 1.0})
+
+
+class TestGaussian:
+    def test_clusters_around_center(self):
+        addrs = patterns.gaussian(
+            RNG(), 50_000, N_LINES,
+            {"center_fraction": 0.25, "sigma_fraction": 0.05},
+        )
+        center = N_LINES * 0.25
+        within = np.abs(addrs - center) < N_LINES * 0.1
+        assert within.mean() > 0.9
+
+
+class TestPartial:
+    def test_untouched_tail(self):
+        addrs = patterns.partial(RNG(), 50_000, N_LINES,
+                                 {"used_fraction": 0.6})
+        used = round(N_LINES * 0.6)
+        assert addrs.max() < used
+        counts = _counts(addrs)
+        assert (counts[used:] == 0).all()
+
+    def test_used_fraction_validated(self):
+        with pytest.raises(WorkloadError):
+            patterns.partial(RNG(), 10, N_LINES, {"used_fraction": 0.0})
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(patterns.PATTERNS))
+    def test_same_rng_state_same_stream(self, name):
+        a = patterns.generate(name, np.random.default_rng(9), 1000, N_LINES)
+        b = patterns.generate(name, np.random.default_rng(9), 1000, N_LINES)
+        assert np.array_equal(a, b)

@@ -1,0 +1,185 @@
+"""Profiler, CDF analytics and the data-structure reverse map."""
+
+import numpy as np
+import pytest
+
+from conftest import TEST_ACCESSES
+from repro.core.errors import ProfileError
+from repro.profiling.cdf import AccessCdf
+from repro.profiling.datastruct_map import DataStructureMap
+from repro.profiling.profiler import (
+    PageAccessProfiler,
+    StructureProfile,
+    WorkloadProfile,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def bfs_profile():
+    return PageAccessProfiler().profile(
+        get_workload("bfs"), n_accesses=TEST_ACCESSES
+    )
+
+
+class TestProfiler:
+    def test_counts_cover_footprint(self, bfs_profile):
+        workload = get_workload("bfs")
+        assert bfs_profile.footprint_pages == workload.footprint_pages()
+
+    def test_structure_totals_match_page_counts(self, bfs_profile):
+        total = sum(s.accesses for s in bfs_profile.structures)
+        assert total == bfs_profile.total_accesses
+
+    def test_structure_lookup(self, bfs_profile):
+        structure = bfs_profile.structure_by_name("d_cost")
+        assert structure.accesses > 0
+        with pytest.raises(ProfileError):
+            bfs_profile.structure_by_name("d_missing")
+
+    def test_hotness_ranking_descends(self, bfs_profile):
+        ranking = bfs_profile.hotness_ranking()
+        densities = [s.hotness_density for s in ranking]
+        assert densities == sorted(densities, reverse=True)
+
+    def test_bfs_masks_hotter_than_edges(self, bfs_profile):
+        hotness = bfs_profile.hotness_by_name()
+        assert hotness["d_graph_visited"] > hotness["d_graph_edges"]
+
+    def test_json_round_trip(self, bfs_profile):
+        clone = WorkloadProfile.from_json(bfs_profile.to_json())
+        assert clone.workload == bfs_profile.workload
+        assert np.array_equal(clone.page_counts, bfs_profile.page_counts)
+        assert clone.structures == bfs_profile.structures
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ProfileError):
+            WorkloadProfile.from_json("{}")
+
+    def test_mismatched_structures_rejected(self):
+        with pytest.raises(ProfileError):
+            WorkloadProfile(
+                workload="w", dataset="d",
+                page_counts=np.ones(4, dtype=np.int64),
+                structures=(StructureProfile("a", 2, 2),),
+            )
+
+    def test_profile_trace_directly(self):
+        workload = get_workload("needle")
+        trace = workload.dram_trace(n_accesses=TEST_ACCESSES)
+        profile = PageAccessProfiler().profile_trace(
+            trace, workload.page_ranges(), workload="needle"
+        )
+        assert profile.total_accesses == trace.n_accesses
+
+
+class TestAccessCdf:
+    def test_from_counts_sorts_descending(self):
+        cdf = AccessCdf.from_counts(np.array([1, 5, 3]))
+        assert cdf.sorted_pages.tolist() == [1, 2, 0]
+        assert cdf.sorted_fractions.tolist() == pytest.approx(
+            [5 / 9, 3 / 9, 1 / 9]
+        )
+
+    def test_cumulative_monotone_to_one(self):
+        cdf = AccessCdf.from_counts(np.array([4, 1, 2, 3]))
+        cumulative = cdf.cumulative()
+        assert np.all(np.diff(cumulative) >= 0)
+        assert cumulative[-1] == pytest.approx(1.0)
+
+    def test_traffic_at_footprint(self):
+        cdf = AccessCdf.from_counts(np.array([6, 2, 1, 1]))
+        assert cdf.traffic_at_footprint(0.25) == pytest.approx(0.6)
+        assert cdf.traffic_at_footprint(1.0) == pytest.approx(1.0)
+        assert cdf.traffic_at_footprint(0.0) == 0.0
+
+    def test_footprint_for_traffic_inverse(self):
+        cdf = AccessCdf.from_counts(np.array([6, 2, 1, 1]))
+        assert cdf.footprint_for_traffic(0.6) == pytest.approx(0.25)
+        assert cdf.footprint_for_traffic(1.0) == pytest.approx(1.0)
+
+    def test_uniform_counts_have_zero_skew(self):
+        cdf = AccessCdf.from_counts(np.full(100, 7))
+        assert cdf.skew() == pytest.approx(0.0, abs=1e-9)
+        assert not cdf.is_skewed()
+
+    def test_concentrated_counts_have_high_skew(self):
+        counts = np.zeros(100)
+        counts[0] = 1000
+        cdf = AccessCdf.from_counts(counts)
+        assert cdf.skew() > 0.9
+        assert cdf.is_skewed()
+
+    def test_inflection_at_hotness_cliff(self):
+        counts = np.array([100, 100, 100, 5, 5, 5], dtype=float)
+        cdf = AccessCdf.from_counts(counts)
+        assert 2 in cdf.inflection_points(min_jump=2.0)
+
+    def test_inflection_at_zero_boundary(self):
+        counts = np.array([10, 10, 0, 0], dtype=float)
+        cdf = AccessCdf.from_counts(counts)
+        assert cdf.inflection_points() == (1,)
+
+    def test_series_downsampling(self):
+        cdf = AccessCdf.from_counts(np.arange(1, 1001, dtype=float))
+        x, y = cdf.series(n_points=10)
+        assert len(x) == 10
+        assert y[-1] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ProfileError):
+            AccessCdf.from_counts(np.array([]))
+        with pytest.raises(ProfileError):
+            AccessCdf.from_counts(np.array([-1.0, 2.0]))
+        with pytest.raises(ProfileError):
+            AccessCdf.from_counts(np.array([1.0])).traffic_at_footprint(2.0)
+
+
+class TestDataStructureMap:
+    def _map(self):
+        return DataStructureMap({"a": range(0, 4), "b": range(4, 10)})
+
+    def test_structure_of_page(self):
+        mapping = self._map()
+        assert mapping.structure_of_page(0) == "a"
+        assert mapping.structure_of_page(9) == "b"
+
+    def test_out_of_range_page(self):
+        with pytest.raises(ProfileError):
+            self._map().structure_of_page(10)
+
+    def test_gaps_rejected(self):
+        with pytest.raises(ProfileError):
+            DataStructureMap({"a": range(0, 3), "b": range(4, 6)})
+
+    def test_virtual_addresses_increase_with_page(self):
+        mapping = self._map()
+        assert (mapping.virtual_address_of_page(1)
+                > mapping.virtual_address_of_page(0))
+
+    def test_traffic_by_structure(self, bfs_profile):
+        workload = get_workload("bfs")
+        mapping = DataStructureMap(workload.page_ranges())
+        shares = mapping.traffic_by_structure(bfs_profile)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_scatter_points_colored_by_structure(self, bfs_profile):
+        workload = get_workload("bfs")
+        mapping = DataStructureMap(workload.page_ranges())
+        points = mapping.scatter(bfs_profile, max_points=50)
+        assert 0 < len(points) <= 51
+        structures = {p.structure for p in points}
+        assert structures <= set(workload.page_ranges())
+        traffic = [p.cumulative_traffic for p in points]
+        assert traffic == sorted(traffic)
+
+    def test_scatter_footprint_mismatch_rejected(self, bfs_profile):
+        with pytest.raises(ProfileError):
+            self._map().scatter(bfs_profile)
+
+    def test_hottest_structures_smallest_cover(self, bfs_profile):
+        workload = get_workload("bfs")
+        mapping = DataStructureMap(workload.page_ranges())
+        hot = mapping.hottest_structures(bfs_profile, 0.5)
+        shares = mapping.traffic_by_structure(bfs_profile)
+        assert sum(shares[name] for name in hot) >= 0.5

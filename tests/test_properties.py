@@ -1,0 +1,318 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from conftest import make_context
+from repro.core.metrics import geomean
+from repro.core.units import PAGE_SIZE, bytes_to_pages, pages_to_bytes
+from repro.gpu.cache import SetAssocCache
+from repro.gpu.config import table1_config
+from repro.gpu.throughput import ThroughputEngine
+from repro.gpu.trace import DramTrace, WorkloadCharacteristics
+from repro.memory.acpi import Sbit
+from repro.memory.topology import simulated_baseline
+from repro.policies.bwaware import BwAwarePolicy, two_zone_fractions
+from repro.policies.oracle import OraclePolicy
+from repro.profiling.cdf import AccessCdf
+from repro.vm.allocator import ZoneAllocator
+from repro.vm.page import Allocation
+from repro.vm.process import Process
+
+COMMON = settings(deadline=None, max_examples=50,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestUnitProperties:
+    @given(st.integers(min_value=0, max_value=2**40))
+    @COMMON
+    def test_pages_cover_bytes(self, n_bytes):
+        pages = bytes_to_pages(n_bytes)
+        assert pages_to_bytes(pages) >= n_bytes
+        assert pages_to_bytes(pages) - n_bytes < PAGE_SIZE
+
+
+class TestSbitProperties:
+    @given(st.lists(st.floats(min_value=0.1, max_value=2000.0),
+                    min_size=1, max_size=6))
+    @COMMON
+    def test_fractions_always_a_distribution(self, bandwidths):
+        fractions = Sbit(tuple(bandwidths)).fractions()
+        assert all(f >= 0 for f in fractions)
+        assert sum(fractions) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.1, max_value=2000.0),
+           st.floats(min_value=0.1, max_value=2000.0))
+    @COMMON
+    def test_higher_bandwidth_higher_fraction(self, a, b):
+        fractions = Sbit((a, b)).fractions()
+        assert (fractions[0] >= fractions[1]) == (a >= b)
+
+
+class TestAllocatorProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    @COMMON
+    def test_used_plus_free_is_capacity(self, ops):
+        allocator = ZoneAllocator(0, 64)
+        live = []
+        for is_alloc in ops:
+            if is_alloc and not allocator.full:
+                live.append(allocator.allocate())
+            elif live:
+                allocator.free(live.pop())
+            assert allocator.used_pages + allocator.free_pages == 64
+            assert allocator.used_pages == len(live)
+
+    @given(st.integers(min_value=1, max_value=64))
+    @COMMON
+    def test_frames_unique_while_live(self, count):
+        allocator = ZoneAllocator(0, 64)
+        frames = [allocator.allocate() for _ in range(count)]
+        assert len(set(frames)) == count
+
+
+class TestCdfProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    min_size=1, max_size=500).filter(lambda c: sum(c) > 0))
+    @COMMON
+    def test_cdf_monotone_and_normalized(self, counts):
+        cdf = AccessCdf.from_counts(np.asarray(counts, dtype=float))
+        cumulative = cdf.cumulative()
+        assert np.all(np.diff(cumulative) >= -1e-12)
+        assert cumulative[-1] == pytest.approx(1.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    min_size=2, max_size=500).filter(lambda c: sum(c) > 0))
+    @COMMON
+    def test_cdf_dominates_uniform_diagonal(self, counts):
+        # Sorting hot-to-cold means the CDF is always at or above the
+        # diagonal; skew is therefore non-negative.
+        cdf = AccessCdf.from_counts(np.asarray(counts, dtype=float))
+        cumulative = cdf.cumulative()
+        diagonal = np.arange(1, len(counts) + 1) / len(counts)
+        assert np.all(cumulative >= diagonal - 1e-9)
+        assert cdf.skew() >= -1e-9
+
+    @given(st.lists(st.integers(min_value=1, max_value=100),
+                    min_size=1, max_size=200),
+           st.floats(min_value=0.0, max_value=1.0))
+    @COMMON
+    def test_footprint_for_traffic_inverts(self, counts, target):
+        cdf = AccessCdf.from_counts(np.asarray(counts, dtype=float))
+        footprint = cdf.footprint_for_traffic(target)
+        assert cdf.traffic_at_footprint(footprint) >= target - 1e-9
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=63),
+                    min_size=1, max_size=400))
+    @COMMON
+    def test_small_working_set_eventually_all_hits(self, addrs):
+        # 64 lines fit entirely in a 64-line cache: after one cold miss
+        # per distinct line, everything hits.
+        cache = SetAssocCache(64 * 128, 128, 64)  # fully associative set
+        misses = sum(0 if cache.access(a) else 1 for a in addrs)
+        assert misses == len(set(addrs[:1])) if len(addrs) == 1 else True
+        assert misses <= len(set(addrs))
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    min_size=1, max_size=400))
+    @COMMON
+    def test_resident_lines_bounded_by_capacity(self, addrs):
+        cache = SetAssocCache(1024, 128, 2)
+        for addr in addrs:
+            cache.access(addr)
+        assert cache.resident_lines() <= 8
+        assert cache.stats.accesses == len(addrs)
+
+
+class TestPlacementProperties:
+    @given(st.integers(min_value=0, max_value=100),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @COMMON
+    def test_bwaware_ratio_converges(self, co_percent, seed):
+        topo = simulated_baseline()
+        process = Process(topo, seed=seed)
+        process.reserve(3000 * PAGE_SIZE)
+        zone_map = process.place_all(
+            BwAwarePolicy(two_zone_fractions(co_percent))
+        )
+        co_share = float((zone_map == 1).mean())
+        assert co_share == pytest.approx(co_percent / 100, abs=0.04)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=8, max_size=256))
+    @COMMON
+    def test_oracle_bo_set_is_hottest_prefix_under_capacity(self, counts):
+        accesses = np.asarray(counts, dtype=float)
+        bo_pages = max(1, len(counts) // 10)
+        topo = simulated_baseline(
+            bo_capacity_gib=bo_pages * PAGE_SIZE / 2**30
+        )
+        ctx = make_context(topo)
+        alloc = Allocation(alloc_id=0, name="a",
+                           va_start=PAGE_SIZE * 4096,
+                           size_bytes=len(counts) * PAGE_SIZE)
+        policy = OraclePolicy(accesses)
+        policy.prepare((alloc,), ctx)
+        zones = np.array([
+            policy.preferred_zones(alloc, k, ctx)[0]
+            for k in range(len(counts))
+        ])
+        if (zones == 0).any() and (zones == 1).any():
+            # Every BO page must be at least as hot as every CO page.
+            assert accesses[zones == 0].min() >= accesses[zones == 1].max() - 1e-9
+
+
+class TestEngineProperties:
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @COMMON
+    def test_runtime_positive_and_bandwidth_bounded(self, co_fraction,
+                                                    seed):
+        rng = np.random.default_rng(seed)
+        n_pages = 128
+        trace = DramTrace(
+            page_indices=rng.integers(0, n_pages, size=2000),
+            footprint_pages=n_pages,
+            n_raw_accesses=2000,
+        )
+        n_co = int(round(co_fraction * n_pages))
+        zone_map = np.zeros(n_pages, dtype=np.int16)
+        zone_map[:n_co] = 1
+        topo = simulated_baseline()
+        result = ThroughputEngine(table1_config()).run(
+            trace, zone_map, topo, WorkloadCharacteristics()
+        )
+        assert result.total_time_ns > 0
+        # Achieved bandwidth can never exceed the aggregate peak.
+        assert result.achieved_bandwidth <= topo.total_bandwidth * 1.001
+
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    @COMMON
+    def test_optimal_split_is_at_bandwidth_fraction(self, scale):
+        # For uniform traffic, no split beats the Section 3.1 ratio.
+        rng = np.random.default_rng(1)
+        n_pages = 1000
+        trace = DramTrace(
+            page_indices=rng.permutation(
+                np.repeat(np.arange(n_pages), 20)
+            ),
+            footprint_pages=n_pages,
+            n_raw_accesses=20 * n_pages,
+        )
+        topo = simulated_baseline()
+        engine = ThroughputEngine(table1_config())
+
+        def time_at(co_share):
+            n_co = int(round(co_share * n_pages))
+            zone_map = np.zeros(n_pages, dtype=np.int16)
+            zone_map[rng.permutation(n_pages)[:n_co]] = 1
+            return engine.run(trace, zone_map, topo,
+                              WorkloadCharacteristics()).total_time_ns
+
+        optimal = time_at(80 / 280)
+        other = time_at(80 / 280 * scale)
+        assert optimal <= other * 1.05
+
+
+class TestMigrationProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=8, max_size=128),
+           st.integers(min_value=1, max_value=32),
+           st.integers(min_value=0, max_value=64))
+    @COMMON
+    def test_plan_never_overfills_bo(self, counts, capacity, budget):
+        from repro.migration.policy import EpochMigrationPolicy
+        from repro.migration.tracker import HotnessTracker
+
+        n = len(counts)
+        tracker = HotnessTracker(n, decay=1.0)
+        tracker.observe_epoch(
+            np.repeat(np.arange(n), np.asarray(counts))
+        )
+        policy = EpochMigrationPolicy(
+            bo_zone=0, co_zone=1,
+            bo_capacity_pages=capacity,
+            bo_traffic_fraction=200 / 280,
+            budget_pages_per_epoch=budget,
+        )
+        zone_map = np.ones(n, dtype=np.int16)
+        plan = policy.plan(zone_map, tracker)
+        # Budget respected; applying the plan stays within capacity.
+        assert plan.n_pages <= budget
+        zone_map[plan.demote] = 1
+        zone_map[plan.promote] = 0
+        assert int((zone_map == 0).sum()) <= capacity
+        # A page is never both promoted and demoted.
+        assert not set(plan.promote.tolist()) & set(plan.demote.tolist())
+
+    @given(st.floats(min_value=0.001, max_value=1.0),
+           st.integers(min_value=0, max_value=10_000))
+    @COMMON
+    def test_cost_model_monotone_in_pages(self, scale, n_pages):
+        from repro.core.units import gbps
+        from repro.migration.cost import MigrationCostModel
+
+        model = MigrationCostModel(migration_bandwidth=gbps(4.0) / scale)
+        assert model.total_time_ns(n_pages) <= model.total_time_ns(
+            n_pages + 1
+        )
+
+
+class TestKernelsimProperties:
+    @given(st.integers(min_value=1, max_value=4096),
+           st.integers(min_value=1, max_value=3))
+    @COMMON
+    def test_executor_lines_stay_in_footprint(self, n_threads, n_refs):
+        from repro.kernelsim.executor import KernelExecutor
+        from repro.kernelsim.ir import (ArrayDecl, Kernel, MemoryRef,
+                                        UniformIndex)
+
+        arrays = (ArrayDecl("a", 4096, 4), ArrayDecl("b", 128, 8))
+        refs = tuple(
+            MemoryRef("a" if i % 2 == 0 else "b", UniformIndex())
+            for i in range(n_refs)
+        )
+        executor = KernelExecutor(arrays)
+        trace = executor.line_trace([
+            Kernel("k", refs, n_threads=n_threads)
+        ])
+        lines_per_page = 32
+        assert trace.min() >= 0
+        assert trace.max() < executor.footprint_pages * lines_per_page
+
+    @given(st.integers(min_value=32, max_value=2048))
+    @COMMON
+    def test_coalescing_never_inflates_transactions(self, n_threads):
+        from repro.kernelsim.executor import WARP_SIZE, KernelExecutor
+        from repro.kernelsim.ir import (ArrayDecl, Kernel, MemoryRef,
+                                        UniformIndex)
+
+        executor = KernelExecutor((ArrayDecl("a", 65536, 4),))
+        trace = executor.line_trace([
+            Kernel("k", (MemoryRef("a", UniformIndex()),),
+                   n_threads=n_threads)
+        ])
+        # At most one transaction per lane, at least one per warp.
+        assert trace.size <= n_threads
+        assert trace.size >= -(-n_threads // WARP_SIZE)
+
+
+class TestMetricsProperties:
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0),
+                    min_size=1, max_size=50))
+    @COMMON
+    def test_geomean_between_min_and_max(self, values):
+        mean = geomean(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0),
+                    min_size=1, max_size=50),
+           st.floats(min_value=0.01, max_value=100.0))
+    @COMMON
+    def test_geomean_scale_invariance(self, values, factor):
+        scaled = geomean([v * factor for v in values])
+        assert scaled == pytest.approx(geomean(values) * factor, rel=1e-6)

@@ -1,0 +1,94 @@
+"""The generic sweep runner."""
+
+import pytest
+
+from repro.analysis.sweep import SweepRunner
+from repro.core.errors import ConfigError
+from repro.memory.topology import simulated_baseline, symmetric_topology
+
+ACCESSES = 20_000
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SweepRunner(
+        workloads=("lbm", "bfs"),
+        policies=("LOCAL", "BW-AWARE"),
+        trace_accesses=ACCESSES,
+    )
+
+
+class TestSweepRunner:
+    def test_cartesian_size(self, runner):
+        cells = runner.run()
+        assert len(cells) == 2 * 2  # workloads x policies
+
+    def test_run_is_idempotent(self, runner):
+        first = runner.run()
+        second = runner.run()
+        assert first == second
+
+    def test_cell_lookup(self, runner):
+        cell = runner.cell("lbm", "BW-AWARE")
+        assert cell.result.workload == "lbm"
+        assert cell.result.policy == "BW-AWARE"
+
+    def test_missing_cell(self, runner):
+        with pytest.raises(ConfigError):
+            runner.cell("lbm", "ORACLE")
+
+    def test_table_normalized(self, runner):
+        table = runner.table(baseline_policy="LOCAL")
+        assert table.columns == ("LOCAL", "BW-AWARE")
+        assert table.column("LOCAL") == pytest.approx((1.0, 1.0))
+        assert all(v > 1.0 for v in table.column("BW-AWARE"))
+        assert table.notes["geomean_BW-AWARE"] > 1.0
+
+    def test_table_unnormalized(self, runner):
+        table = runner.table()
+        assert all(v > 0 for v in table.column("LOCAL"))
+        assert not table.notes
+
+    def test_multiple_topologies(self):
+        runner = SweepRunner(
+            workloads=("lbm",),
+            policies=("INTERLEAVE", "BW-AWARE"),
+            topologies={
+                "baseline": simulated_baseline(),
+                "symmetric": symmetric_topology(),
+            },
+            trace_accesses=ACCESSES,
+        )
+        baseline = runner.table(baseline_policy="INTERLEAVE",
+                                topology="baseline")
+        symmetric = runner.table(baseline_policy="INTERLEAVE",
+                                 topology="symmetric")
+        # Heterogeneous: BW-AWARE wins big; symmetric: a wash.
+        assert baseline.row("lbm")[1] > 1.3
+        assert symmetric.row("lbm")[1] == pytest.approx(1.0, abs=0.1)
+
+    def test_capacity_dimension(self):
+        runner = SweepRunner(
+            workloads=("bfs",),
+            policies=("BW-AWARE", "ORACLE"),
+            capacities=(None, 0.1),
+            trace_accesses=ACCESSES,
+        )
+        unconstrained = runner.table(baseline_policy="BW-AWARE",
+                                     capacity=None)
+        constrained = runner.table(baseline_policy="BW-AWARE",
+                                   capacity=0.1)
+        assert unconstrained.row("bfs")[1] == pytest.approx(1.0, abs=0.1)
+        assert constrained.row("bfs")[1] > 1.8
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SweepRunner(workloads=(), policies=("LOCAL",))
+        with pytest.raises(ConfigError):
+            SweepRunner(workloads=("lbm",), policies=())
+        with pytest.raises(ConfigError):
+            SweepRunner(workloads=("lbm",), policies=("LOCAL",),
+                        capacities=())
+        with pytest.raises(ConfigError):
+            SweepRunner(workloads=("lbm",), policies=("LOCAL",),
+                        topologies={})

@@ -1,0 +1,135 @@
+"""DramTrace, SimResult and WorkloadCharacteristics schema."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SimulationError, WorkloadError
+from repro.gpu.trace import DramTrace, SimResult, WorkloadCharacteristics
+
+
+def _trace(pages=None, footprint=8, raw=None, **kwargs):
+    if pages is None:
+        pages = np.array([0, 1, 2, 3, 0, 1, 2, 3])
+    if raw is None:
+        raw = 2 * len(pages)
+    return DramTrace(page_indices=np.asarray(pages),
+                     footprint_pages=footprint,
+                     n_raw_accesses=raw, **kwargs)
+
+
+class TestDramTrace:
+    def test_basic_accounting(self):
+        trace = _trace()
+        assert trace.n_accesses == 8
+        assert trace.total_bytes == 8 * 128
+        assert trace.miss_rate() == pytest.approx(0.5)
+
+    def test_page_outside_footprint_rejected(self):
+        with pytest.raises(SimulationError):
+            _trace(pages=[0, 9], footprint=4)
+
+    def test_negative_page_rejected(self):
+        with pytest.raises(SimulationError):
+            _trace(pages=[-1, 0])
+
+    def test_raw_below_dram_rejected(self):
+        with pytest.raises(SimulationError):
+            _trace(raw=2)
+
+    def test_epoch_slices_partition_stream(self):
+        trace = _trace(pages=np.arange(10) % 4, n_epochs=3)
+        slices = trace.epoch_slices()
+        assert len(slices) == 3
+        covered = sum(s.stop - s.start for s in slices)
+        assert covered == trace.n_accesses
+        assert slices[0].start == 0
+        assert slices[-1].stop == trace.n_accesses
+
+    def test_page_access_counts(self):
+        trace = _trace(pages=[0, 0, 3], footprint=4)
+        assert trace.page_access_counts().tolist() == [2, 0, 0, 1]
+
+    def test_counts_cover_untouched_pages(self):
+        trace = _trace(pages=[0], footprint=10)
+        assert trace.page_access_counts().size == 10
+
+
+class TestCoarsening:
+    def test_factor_one_is_identity(self):
+        trace = _trace()
+        assert trace.coarsened(1) is trace
+
+    def test_blocks_group_consecutive_pages(self):
+        trace = _trace(pages=[0, 1, 2, 3, 4, 5, 6, 7], footprint=8)
+        coarse = trace.coarsened(4)
+        assert coarse.footprint_pages == 2
+        assert coarse.page_indices.tolist() == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_footprint_rounds_up(self):
+        trace = _trace(pages=[0, 4], footprint=5)
+        assert trace.coarsened(4).footprint_pages == 2
+
+    def test_traffic_and_flags_preserved(self):
+        trace = DramTrace(
+            page_indices=np.array([0, 1, 2, 3]),
+            footprint_pages=4,
+            n_raw_accesses=4,
+            is_write=np.array([True, False, True, False]),
+        )
+        coarse = trace.coarsened(2)
+        assert coarse.n_accesses == trace.n_accesses
+        assert coarse.total_bytes == trace.total_bytes
+        assert np.array_equal(coarse.is_write, trace.is_write)
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(SimulationError):
+            _trace().coarsened(0)
+
+
+class TestWorkloadCharacteristics:
+    def test_defaults_are_highly_threaded(self):
+        chars = WorkloadCharacteristics()
+        assert chars.parallelism >= 100
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadCharacteristics(parallelism=0)
+        with pytest.raises(WorkloadError):
+            WorkloadCharacteristics(compute_ns_per_access=-1)
+        with pytest.raises(WorkloadError):
+            WorkloadCharacteristics(write_fraction=1.5)
+
+
+class TestSimResult:
+    def _result(self, **kwargs):
+        defaults = dict(
+            engine="test", total_time_ns=1000.0, dram_accesses=100,
+            bytes_by_zone=np.array([900.0, 100.0]),
+            time_bandwidth_ns=800.0, time_latency_ns=100.0,
+            time_compute_ns=50.0,
+        )
+        defaults.update(kwargs)
+        return SimResult(**defaults)
+
+    def test_achieved_bandwidth(self):
+        result = self._result()
+        assert result.achieved_bandwidth == pytest.approx(1e9)
+
+    def test_zone_byte_fractions(self):
+        assert self._result().zone_byte_fractions() == pytest.approx(
+            (0.9, 0.1)
+        )
+
+    def test_throughput_inverse_of_time(self):
+        fast = self._result(total_time_ns=500.0)
+        slow = self._result(total_time_ns=1000.0)
+        assert fast.throughput == pytest.approx(2 * slow.throughput)
+
+    def test_dominant_bound(self):
+        assert self._result().dominant_bound() == "bandwidth"
+        latency_bound = self._result(time_latency_ns=2000.0)
+        assert latency_bound.dominant_bound() == "latency"
+
+    def test_nonpositive_time_rejected(self):
+        with pytest.raises(SimulationError):
+            self._result(total_time_ns=0.0)

@@ -1,0 +1,129 @@
+"""Trace serialization and external-trace workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SimulationError, WorkloadError
+from repro.core.experiment import run_experiment
+from repro.gpu.trace import DramTrace
+from repro.gpu.trace_io import FORMAT_VERSION, load_trace, save_trace
+from repro.workloads import get_workload
+from repro.workloads.external import ExternalTraceWorkload
+
+
+@pytest.fixture
+def trace():
+    rng = np.random.default_rng(0)
+    return DramTrace(
+        page_indices=rng.integers(0, 100, size=5000),
+        footprint_pages=100,
+        n_raw_accesses=8000,
+        n_epochs=8,
+    )
+
+
+class TestTraceIo:
+    def test_round_trip(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.npz")
+        loaded, structures = load_trace(path)
+        assert np.array_equal(loaded.page_indices, trace.page_indices)
+        assert loaded.footprint_pages == trace.footprint_pages
+        assert loaded.n_raw_accesses == trace.n_raw_accesses
+        assert loaded.n_epochs == trace.n_epochs
+        assert structures is None
+
+    def test_round_trip_with_structures(self, trace, tmp_path):
+        layout = {"a": range(0, 30), "b": range(30, 100)}
+        path = save_trace(trace, tmp_path / "t.npz", structures=layout)
+        _, structures = load_trace(path)
+        assert structures == layout
+
+    def test_suffix_added(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "plain")
+        assert path.suffix == ".npz"
+        load_trace(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SimulationError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_malformed_file(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, something=np.arange(3))
+        with pytest.raises(SimulationError):
+            load_trace(bad)
+
+    def test_version_checked(self, trace, tmp_path, monkeypatch):
+        import repro.gpu.trace_io as trace_io
+
+        path = save_trace(trace, tmp_path / "t.npz")
+        monkeypatch.setattr(trace_io, "FORMAT_VERSION",
+                            FORMAT_VERSION + 1)
+        with pytest.raises(SimulationError):
+            trace_io.load_trace(path)
+
+    def test_real_workload_trace_round_trips(self, tmp_path):
+        workload = get_workload("bfs")
+        original = workload.dram_trace(n_accesses=20_000)
+        path = save_trace(original, tmp_path / "bfs.npz",
+                          structures=workload.page_ranges())
+        loaded, structures = load_trace(path)
+        assert np.array_equal(loaded.page_indices,
+                              original.page_indices)
+        assert set(structures) == set(workload.page_ranges())
+
+
+class TestExternalTraceWorkload:
+    def test_default_single_heap_structure(self, trace):
+        workload = ExternalTraceWorkload("mine", trace)
+        specs = workload.data_structures()
+        assert len(specs) == 1
+        assert specs[0].name == "heap"
+        assert workload.footprint_pages() == 100
+
+    def test_structured_layout(self, trace):
+        workload = ExternalTraceWorkload(
+            "mine", trace,
+            structures={"hot": range(0, 20), "cold": range(20, 100)},
+        )
+        assert set(workload.page_ranges()) == {"hot", "cold"}
+
+    def test_layout_must_tile_footprint(self, trace):
+        with pytest.raises(WorkloadError):
+            ExternalTraceWorkload(
+                "mine", trace, structures={"a": range(0, 50)}
+            )
+        with pytest.raises(WorkloadError):
+            ExternalTraceWorkload(
+                "mine", trace,
+                structures={"a": range(0, 50), "b": range(40, 100)},
+            )
+
+    def test_dram_trace_is_verbatim(self, trace):
+        workload = ExternalTraceWorkload("mine", trace)
+        assert workload.dram_trace() is trace
+
+    def test_raw_trace_unavailable(self, trace):
+        workload = ExternalTraceWorkload("mine", trace)
+        with pytest.raises(WorkloadError):
+            workload.raw_line_trace()
+
+    def test_from_file(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "captured.npz",
+                          structures={"x": range(0, 100)})
+        workload = ExternalTraceWorkload.from_file(path)
+        assert workload.name == "captured"
+        assert set(workload.page_ranges()) == {"x"}
+
+    def test_experiment_stack_runs_on_external_trace(self, trace):
+        workload = ExternalTraceWorkload("mine", trace,
+                                         parallelism=448.0)
+        local = run_experiment(workload, policy="LOCAL")
+        bwaware = run_experiment(workload, policy="BW-AWARE")
+        assert bwaware.throughput > local.throughput
+
+    def test_oracle_runs_on_external_trace(self, trace):
+        workload = ExternalTraceWorkload("mine", trace)
+        result = run_experiment(workload, policy="ORACLE",
+                                bo_capacity_fraction=0.2)
+        assert result.placement_fractions()[0] <= 0.21

@@ -1,0 +1,83 @@
+"""Unit constants and conversions."""
+
+import pytest
+
+from repro.core import units
+
+
+class TestConstants:
+    def test_page_size_is_4k(self):
+        assert units.PAGE_SIZE == 4096
+
+    def test_line_size_is_gpu_sector(self):
+        assert units.LINE_SIZE == 128
+
+    def test_lines_per_page_divides_evenly(self):
+        assert units.PAGE_SIZE % units.LINE_SIZE == 0
+
+    def test_binary_vs_decimal_units(self):
+        assert units.KIB == 1024
+        assert units.GB == 10**9
+        assert units.GIB == 1024**3
+
+
+class TestBandwidthConversion:
+    def test_gbps_round_trip(self):
+        assert units.to_gbps(units.gbps(200.0)) == pytest.approx(200.0)
+
+    def test_gbps_is_decimal(self):
+        assert units.gbps(1.0) == 1e9
+
+
+class TestPageMath:
+    def test_exact_pages(self):
+        assert units.bytes_to_pages(units.PAGE_SIZE * 5) == 5
+
+    def test_partial_page_rounds_up(self):
+        assert units.bytes_to_pages(1) == 1
+        assert units.bytes_to_pages(units.PAGE_SIZE + 1) == 2
+
+    def test_zero_bytes_is_zero_pages(self):
+        assert units.bytes_to_pages(0) == 0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            units.bytes_to_pages(-1)
+
+    def test_pages_to_bytes_inverse(self):
+        assert units.pages_to_bytes(3) == 3 * units.PAGE_SIZE
+
+    def test_negative_pages_rejected(self):
+        with pytest.raises(ValueError):
+            units.pages_to_bytes(-2)
+
+
+class TestCycleConversion:
+    def test_cycles_to_ns_at_1ghz(self):
+        assert units.cycles_to_ns(100, 1.0) == pytest.approx(100.0)
+
+    def test_table1_hop_is_71ns(self):
+        # 100 cycles at 1.4 GHz, the remote hop of Table 1.
+        assert units.cycles_to_ns(100, 1.4) == pytest.approx(71.43, rel=1e-3)
+
+    def test_round_trip(self):
+        assert units.ns_to_cycles(units.cycles_to_ns(123, 1.4), 1.4) == (
+            pytest.approx(123)
+        )
+
+    def test_zero_clock_rejected(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_ns(1, 0)
+        with pytest.raises(ValueError):
+            units.ns_to_cycles(1, -1)
+
+
+class TestFormatting:
+    def test_bytes(self):
+        assert units.format_bytes(512) == "512 B"
+
+    def test_mebibytes(self):
+        assert units.format_bytes(3 * units.MIB) == "3.0 MiB"
+
+    def test_gibibytes(self):
+        assert units.format_bytes(2 * units.GIB) == "2.0 GiB"

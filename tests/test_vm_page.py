@@ -1,0 +1,69 @@
+"""Page primitives and allocations."""
+
+import pytest
+
+from repro.core.errors import AllocationError
+from repro.core.units import PAGE_SIZE
+from repro.vm.page import Allocation, PageMapping, page_offset, vpn_of
+
+
+class TestAddressHelpers:
+    def test_vpn_of(self):
+        assert vpn_of(0) == 0
+        assert vpn_of(PAGE_SIZE - 1) == 0
+        assert vpn_of(PAGE_SIZE) == 1
+
+    def test_page_offset(self):
+        assert page_offset(PAGE_SIZE + 17) == 17
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(AllocationError):
+            vpn_of(-1)
+        with pytest.raises(AllocationError):
+            page_offset(-5)
+
+
+class TestAllocation:
+    def _alloc(self, size=3 * PAGE_SIZE, start=PAGE_SIZE * 100, **kwargs):
+        defaults = dict(alloc_id=0, name="buf", va_start=start,
+                        size_bytes=size)
+        defaults.update(kwargs)
+        return Allocation(**defaults)
+
+    def test_n_pages_rounds_up(self):
+        assert self._alloc(size=PAGE_SIZE + 1).n_pages == 2
+
+    def test_first_vpn(self):
+        assert self._alloc().first_vpn == 100
+
+    def test_va_end_page_aligned(self):
+        alloc = self._alloc(size=PAGE_SIZE + 1)
+        assert alloc.va_end == alloc.va_start + 2 * PAGE_SIZE
+
+    def test_contains(self):
+        alloc = self._alloc()
+        assert alloc.contains(alloc.va_start)
+        assert alloc.contains(alloc.va_end - 1)
+        assert not alloc.contains(alloc.va_end)
+        assert not alloc.contains(alloc.va_start - 1)
+
+    def test_vpns_cover_allocation(self):
+        alloc = self._alloc(size=2 * PAGE_SIZE)
+        assert list(alloc.vpns()) == [100, 101]
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(AllocationError):
+            self._alloc(size=0)
+
+    def test_unaligned_start_rejected(self):
+        with pytest.raises(AllocationError):
+            self._alloc(start=17)
+
+    def test_negative_hotness_rejected(self):
+        with pytest.raises(AllocationError):
+            self._alloc(hotness=-1.0)
+
+    def test_mapping_is_zone_frame_pair(self):
+        mapping = PageMapping(1, 42)
+        assert mapping.zone_id == 1
+        assert mapping.frame == 42

@@ -1,0 +1,166 @@
+"""Memory zones and system topologies."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.units import GIB, PAGE_SIZE, gbps
+from repro.memory.dram import DDR4, GDDR5
+from repro.memory.topology import (
+    SystemTopology,
+    desktop_topology,
+    figure1_systems,
+    hpc_topology,
+    mobile_topology,
+    simulated_baseline,
+    symmetric_topology,
+)
+from repro.memory.zone import MemoryZone, ZoneKind
+
+
+def _zone(zone_id=0, capacity=GIB, bandwidth=gbps(200.0), hop=0,
+          kind=ZoneKind.BANDWIDTH_OPTIMIZED, name="z"):
+    return MemoryZone(
+        zone_id=zone_id, name=name, kind=kind, technology=GDDR5,
+        capacity_bytes=capacity, bandwidth=bandwidth, channels=8,
+        device_latency_ns=36.0, hop_cycles=hop,
+    )
+
+
+class TestMemoryZone:
+    def test_capacity_pages(self):
+        assert _zone(capacity=GIB).capacity_pages == GIB // PAGE_SIZE
+
+    def test_unaligned_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            _zone(capacity=PAGE_SIZE + 1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            _zone(capacity=0)
+
+    def test_bandwidth_gbps_reporting(self):
+        assert _zone(bandwidth=gbps(80.0)).bandwidth_gbps == pytest.approx(80.0)
+
+    def test_latency_includes_hop(self):
+        local = _zone(hop=0)
+        remote = _zone(hop=100)
+        # 100 cycles at 1.4 GHz adds ~71.4 ns.
+        delta = remote.latency_ns(1.4) - local.latency_ns(1.4)
+        assert delta == pytest.approx(100 / 1.4)
+
+    def test_resized_preserves_everything_else(self):
+        zone = _zone()
+        resized = zone.resized(2 * GIB)
+        assert resized.capacity_bytes == 2 * GIB
+        assert resized.bandwidth == zone.bandwidth
+        assert resized.zone_id == zone.zone_id
+
+    def test_rescaled_bandwidth(self):
+        zone = _zone()
+        rescaled = zone.rescaled_bandwidth(gbps(100.0))
+        assert rescaled.bandwidth_gbps == pytest.approx(100.0)
+        assert rescaled.capacity_bytes == zone.capacity_bytes
+
+    def test_with_hop_cycles(self):
+        assert _zone().with_hop_cycles(250).hop_cycles == 250
+
+
+class TestSimulatedBaseline:
+    def test_table1_bandwidths(self, baseline):
+        assert baseline.local.bandwidth_gbps == pytest.approx(200.0)
+        assert baseline.zone(1).bandwidth_gbps == pytest.approx(80.0)
+
+    def test_table1_channels(self, baseline):
+        assert baseline.local.channels == 8
+        assert baseline.zone(1).channels == 4
+
+    def test_remote_hop_is_100_cycles(self, baseline):
+        assert baseline.local.hop_cycles == 0
+        assert baseline.zone(1).hop_cycles == 100
+
+    def test_bandwidth_fractions_match_section31(self, baseline):
+        f_bo, f_co = baseline.bandwidth_fractions()
+        assert f_bo == pytest.approx(200 / 280)
+        assert f_co == pytest.approx(80 / 280)
+
+    def test_bw_ratio(self, baseline):
+        assert baseline.bw_ratio() == pytest.approx(2.5)
+
+    def test_gpu_local_is_the_bo_zone(self, baseline):
+        assert baseline.local.kind is ZoneKind.BANDWIDTH_OPTIMIZED
+
+    def test_zone_kinds(self, baseline):
+        assert baseline.bo_zones() == (baseline.local,)
+        assert baseline.co_zones() == (baseline.zone(1),)
+
+
+class TestFigure1Systems:
+    def test_three_system_classes(self):
+        names = {topology.name for topology in figure1_systems()}
+        assert names == {"hpc", "simulated-baseline", "mobile"}
+
+    def test_hpc_ratio_means_8pct_extra_bandwidth(self):
+        # The paper: DDR expanders add "just 8%" to the HBM pool.
+        topo = hpc_topology()
+        extra = 1 / topo.bw_ratio()
+        assert extra == pytest.approx(0.08, abs=0.01)
+
+    def test_mobile_ratio_means_31pct_extra_bandwidth(self):
+        topo = mobile_topology()
+        extra = 1 / topo.bw_ratio()
+        assert extra == pytest.approx(0.31, abs=0.01)
+
+    def test_desktop_is_the_baseline(self):
+        assert desktop_topology().bw_ratio() == pytest.approx(2.5)
+
+    def test_ratio_ordering_spans_figure1(self):
+        hpc, desk, mob = figure1_systems()
+        assert hpc.bw_ratio() > mob.bw_ratio() > 1.0
+        assert desk.bw_ratio() < mob.bw_ratio()
+
+
+class TestSymmetricTopology:
+    def test_equal_bandwidth_fractions(self, symmetric):
+        assert symmetric.bandwidth_fractions() == pytest.approx((0.5, 0.5))
+
+    def test_no_co_zone_means_ratio_error(self, symmetric):
+        with pytest.raises(ConfigError):
+            symmetric.bw_ratio()
+
+
+class TestTopologyValidation:
+    def test_zone_ids_must_be_dense(self):
+        with pytest.raises(ConfigError):
+            SystemTopology("bad", (_zone(zone_id=0), _zone(zone_id=2)), 0)
+
+    def test_local_zone_must_exist(self):
+        with pytest.raises(ConfigError):
+            SystemTopology("bad", (_zone(zone_id=0),), 3)
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemTopology("bad", (), 0)
+
+    def test_zones_sorted_by_id(self):
+        topo = SystemTopology(
+            "ok", (_zone(zone_id=1, name="b"), _zone(zone_id=0, name="a")), 0
+        )
+        assert [z.zone_id for z in topo] == [0, 1]
+
+    def test_replace_zone(self, baseline):
+        shrunk = baseline.replace_zone(baseline.local.resized(GIB))
+        assert shrunk.local.capacity_bytes == GIB
+        assert shrunk.zone(1).capacity_bytes == (
+            baseline.zone(1).capacity_bytes
+        )
+
+    def test_with_bo_capacity(self, baseline):
+        small = baseline.with_bo_capacity(8 * PAGE_SIZE)
+        assert small.local.capacity_pages == 8
+
+    def test_unknown_zone_lookup(self, baseline):
+        with pytest.raises(ConfigError):
+            baseline.zone(9)
+
+    def test_total_bandwidth(self, baseline):
+        assert baseline.total_bandwidth == pytest.approx(gbps(280.0))
