@@ -13,11 +13,12 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence, Union
 
 from repro.analysis.report import TableResult
-from repro.core.errors import ConfigError
+from repro.core.errors import ConfigError, UncacheableSpecError
 from repro.core.experiment import ExperimentResult, run_experiment
 from repro.core.metrics import geomean
 from repro.memory.topology import SystemTopology, simulated_baseline
 from repro.policies.base import PlacementPolicy
+from repro.runner import active, make_spec
 from repro.workloads.base import TraceWorkload
 from repro.workloads.suite import get_workload
 
@@ -73,28 +74,58 @@ class SweepRunner:
         return policy if isinstance(policy, str) else policy.name
 
     def run(self) -> tuple[SweepCell, ...]:
-        """Execute the full sweep (idempotent; cached afterwards)."""
+        """Execute the full sweep (idempotent; cached afterwards).
+
+        Cells whose policies canonicalize go through the active
+        :mod:`repro.runner` (cache + worker pool) as one batch;
+        non-canonicalizable policy objects run in-process, so arbitrary
+        policies keep working at the cost of cacheability.
+        """
         if self._cells:
             return tuple(self._cells)
-        for workload in self.workloads:
-            for topo_name, topology in self.topologies.items():
-                for capacity in self.capacities:
-                    for policy in self.policies:
-                        result = run_experiment(
-                            workload,
-                            policy=policy,
-                            topology=topology,
-                            bo_capacity_fraction=capacity,
-                            trace_accesses=self.trace_accesses,
-                            seed=self.seed,
-                        )
-                        self._cells.append(SweepCell(
-                            workload=workload.name,
-                            policy=self._policy_label(policy),
-                            topology=topo_name,
-                            capacity=capacity,
-                            result=result,
-                        ))
+        grid = [
+            (workload, topo_name, topology, capacity, policy)
+            for workload in self.workloads
+            for topo_name, topology in self.topologies.items()
+            for capacity in self.capacities
+            for policy in self.policies
+        ]
+        specs, spec_slots = [], []
+        for slot, (workload, _, topology, capacity, policy) \
+                in enumerate(grid):
+            try:
+                specs.append(make_spec(
+                    workload, policy,
+                    topology=topology,
+                    bo_capacity_fraction=capacity,
+                    trace_accesses=self.trace_accesses,
+                    seed=self.seed,
+                ))
+                spec_slots.append(slot)
+            except UncacheableSpecError:
+                pass
+        results: dict[int, ExperimentResult] = dict(
+            zip(spec_slots, active().run(specs).results)
+        )
+        for slot, (workload, topo_name, topology, capacity, policy) \
+                in enumerate(grid):
+            result = results.get(slot)
+            if result is None:
+                result = run_experiment(
+                    workload,
+                    policy=policy,
+                    topology=topology,
+                    bo_capacity_fraction=capacity,
+                    trace_accesses=self.trace_accesses,
+                    seed=self.seed,
+                )
+            self._cells.append(SweepCell(
+                workload=workload.name,
+                policy=self._policy_label(policy),
+                topology=topo_name,
+                capacity=capacity,
+                result=result,
+            ))
         return tuple(self._cells)
 
     def cell(self, workload: str, policy: str,

@@ -4,12 +4,21 @@ Everything the library does is reachable from the shell::
 
     repro list workloads
     repro run --workload bfs --policy BW-AWARE --capacity 0.1
-    repro compare --workload lbm
-    repro figure fig3
+    repro compare --workload lbm bfs --jobs 4
+    repro figure fig03_ratio_sweep --jobs 4
     repro profile --workload bfs
     repro trace --workload bfs --out bfs.npz
 
 (or ``python -m repro ...`` without the console script installed).
+
+``compare`` and ``figure`` execute their experiment grids through
+:mod:`repro.runner`: ``--jobs N`` fans misses across N worker
+processes, and completed results are cached on disk (default
+``$REPRO_CACHE_DIR`` or ``./.repro-cache``; disable with
+``--no-cache``) so re-running a figure after an unrelated edit is
+near-instant.  Each sweep writes a manifest under
+``<cache>/runs/<run-id>/manifest.json`` recording specs, timings and
+cache hits.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ from repro.memory.topology import (
 from repro.policies.registry import policy_names
 from repro.profiling.cdf import AccessCdf
 from repro.profiling.profiler import PageAccessProfiler
+from repro.runner import ResultCache, configured, make_spec
 from repro.workloads import get_workload, workload_names
 
 TOPOLOGIES = {
@@ -100,25 +110,54 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_runner(args: argparse.Namespace):
+    """A scoped :mod:`repro.runner` configuration from CLI flags.
+
+    Caching defaults ON for CLI sweeps; ``--no-cache`` bypasses it and
+    ``--cache-dir`` relocates it (otherwise ``$REPRO_CACHE_DIR`` or
+    ``./.repro-cache``).
+    """
+    if args.no_cache:
+        cache: object = False
+    elif args.cache_dir:
+        cache = ResultCache(args.cache_dir)
+    else:
+        cache = True
+    return configured(jobs=args.jobs, cache=cache,
+                      runs_dir=args.runs_dir)
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
-    results = compare_policies(
-        args.workload,
-        tuple(args.policies),
-        dataset=args.dataset,
-        topology=_topology(args.topology),
-        bo_capacity_fraction=args.capacity,
-        trace_accesses=args.accesses,
-        seed=args.seed,
-    )
-    normalized = normalize(
-        {name: r.throughput for name, r in results.items()},
-        args.policies[0],
-    )
-    for name in args.policies:
-        result = results[name]
-        print(f"{name:18s} {normalized[name]:6.3f}x  "
-              f"{result.time_ns / 1e6:8.3f} ms  "
-              f"{result.sim.achieved_bandwidth / 1e9:6.1f} GB/s")
+    topology = _topology(args.topology)
+    with _sweep_runner(args) as runner:
+        outcome = runner.run([
+            make_spec(
+                workload, policy,
+                dataset=args.dataset,
+                topology=topology,
+                bo_capacity_fraction=args.capacity,
+                trace_accesses=args.accesses,
+                seed=args.seed,
+            )
+            for workload in args.workload
+            for policy in args.policies
+        ])
+        results = iter(outcome.results)
+        for workload in args.workload:
+            per_policy = {policy: next(results)
+                          for policy in args.policies}
+            normalized = normalize(
+                {name: r.throughput for name, r in per_policy.items()},
+                args.policies[0],
+            )
+            if len(args.workload) > 1:
+                print(f"{workload}:")
+            for name in args.policies:
+                result = per_policy[name]
+                print(f"{name:18s} {normalized[name]:6.3f}x  "
+                      f"{result.time_ns / 1e6:8.3f} ms  "
+                      f"{result.sim.achieved_bandwidth / 1e9:6.1f} GB/s")
+        print(outcome.manifest.summary())
     return 0
 
 
@@ -131,29 +170,32 @@ def cmd_figure(args: argparse.Namespace) -> int:
             "experiments`"
         )
     module = importlib.import_module(f"repro.experiments.{args.name}")
-    if args.chart:
-        from repro.analysis.charts import ascii_chart
-        from repro.analysis.report import FigureResult
+    with _sweep_runner(args) as runner:
+        if args.chart:
+            from repro.analysis.charts import ascii_chart
+            from repro.analysis.report import FigureResult
 
-        candidates = [getattr(module, "run", None)] + [
-            getattr(module, name) for name in sorted(dir(module))
-            if name.startswith("run_")
-        ]
-        result = None
-        for candidate in candidates:
-            if callable(candidate):
-                produced = candidate()
-                if isinstance(produced, FigureResult):
-                    result = produced
-                    break
-        if result is None:
-            raise SystemExit(
-                f"{args.name} does not produce a line figure; run "
-                "without --chart"
-            )
-        print(ascii_chart(result))
-        return 0
-    module.main()
+            candidates = [getattr(module, "run", None)] + [
+                getattr(module, name) for name in sorted(dir(module))
+                if name.startswith("run_")
+            ]
+            result = None
+            for candidate in candidates:
+                if callable(candidate):
+                    produced = candidate()
+                    if isinstance(produced, FigureResult):
+                        result = produced
+                        break
+            if result is None:
+                raise SystemExit(
+                    f"{args.name} does not produce a line figure; run "
+                    "without --chart"
+                )
+            print(ascii_chart(result))
+        else:
+            module.main()
+        if runner.last_manifest is not None:
+            print(runner.last_manifest.summary())
     return 0
 
 
@@ -212,9 +254,16 @@ def build_parser() -> argparse.ArgumentParser:
                                          "experiments", "topologies"))
     p_list.set_defaults(fn=cmd_list)
 
-    def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--workload", "-w", required=True,
-                       help="benchmark name (see `repro list workloads`)")
+    def common(p: argparse.ArgumentParser,
+               multi_workload: bool = False) -> None:
+        if multi_workload:
+            p.add_argument("--workload", "-w", required=True, nargs="+",
+                           help="benchmark name(s) "
+                                "(see `repro list workloads`)")
+        else:
+            p.add_argument("--workload", "-w", required=True,
+                           help="benchmark name "
+                                "(see `repro list workloads`)")
         p.add_argument("--dataset", "-d", default="default")
         p.add_argument("--topology", "-t", default="baseline",
                        choices=sorted(TOPOLOGIES))
@@ -224,6 +273,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="raw trace length")
         p.add_argument("--seed", type=int, default=0)
 
+    def runner_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", "-j", type=int, default=None,
+                       help="worker processes for the sweep "
+                            "(default: $REPRO_JOBS or 1)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
+        p.add_argument("--cache-dir", default=None,
+                       help="result cache root (default: "
+                            "$REPRO_CACHE_DIR or ./.repro-cache)")
+        p.add_argument("--runs-dir", default=None,
+                       help="manifest directory "
+                            "(default: <cache-dir>/runs)")
+
     p_run = sub.add_parser("run", help="run one placement experiment")
     common(p_run)
     p_run.add_argument("--policy", "-p", default="BW-AWARE")
@@ -232,9 +294,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(fn=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare policies")
-    common(p_cmp)
+    common(p_cmp, multi_workload=True)
     p_cmp.add_argument("--policies", "-p", nargs="+",
                        default=["LOCAL", "INTERLEAVE", "BW-AWARE"])
+    runner_options(p_cmp)
     p_cmp.set_defaults(fn=cmd_compare)
 
     p_fig = sub.add_parser("figure",
@@ -243,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="experiment module, e.g. fig03_ratio_sweep")
     p_fig.add_argument("--chart", action="store_true",
                        help="render line figures as an ASCII chart")
+    runner_options(p_fig)
     p_fig.set_defaults(fn=cmd_figure)
 
     p_prof = sub.add_parser("profile",

@@ -48,3 +48,16 @@ class SimulationError(ReproError):
 class WorkloadError(ReproError):
     """A workload or dataset name could not be resolved, or a trace request
     was invalid for the given workload."""
+
+
+class RunnerError(ReproError):
+    """The sweep runner was misconfigured or a worker failed."""
+
+
+class UncacheableSpecError(RunnerError):
+    """An experiment input cannot be canonicalized into a :class:`RunSpec`
+    (e.g. a custom policy object with state the runner cannot serialize).
+
+    Callers usually fall back to a direct, uncached
+    :func:`repro.core.experiment.run_experiment` call.
+    """

@@ -4,15 +4,26 @@ Every experiment module uses the same trace length and seed so results
 are comparable across figures and stable across runs; traces are
 memoized by the workload layer, so the cache-filter cost is paid once
 per (workload, dataset) per process.
+
+All grid execution goes through :mod:`repro.runner`: figure modules
+build their full spec list with :func:`spec` and hand it to
+:func:`sweep`, which resolves specs through the active runner's result
+cache and worker pool.  The single-run helpers :func:`run` and
+:func:`throughput` take the same path, so even one-off calls benefit
+from (and populate) the cache when one is configured.  Policy objects
+the runner cannot canonicalize fall back to direct in-process
+execution — correctness never depends on cacheability.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence, Union
 
+from repro.core.errors import UncacheableSpecError
 from repro.core.experiment import ExperimentResult, run_experiment
 from repro.memory.topology import SystemTopology
 from repro.policies.base import PlacementPolicy
+from repro.runner import RunSpec, active, make_spec
 from repro.workloads.base import TraceWorkload
 from repro.workloads.suite import get_workload, workload_names
 
@@ -27,18 +38,64 @@ EXP_SEED = 0
 #: The three policies Figure 3/5 compare.
 BASE_POLICIES = ("LOCAL", "INTERLEAVE", "BW-AWARE")
 
+#: memoized resolutions of name-only workload selections, so the
+#: figure regenerators share one tuple (and the workload singletons
+#: behind it) instead of rebuilding it per figure.
+_RESOLVE_CACHE: dict[Optional[tuple[str, ...]], tuple[TraceWorkload, ...]] = {}
+
 
 def resolve_workloads(workloads: Optional[Sequence[Union[str, TraceWorkload]]]
                       ) -> tuple[TraceWorkload, ...]:
-    """Default to the full 19-benchmark suite."""
-    if workloads is None:
-        names: Sequence[Union[str, TraceWorkload]] = workload_names()
-    else:
-        names = workloads
-    return tuple(
-        w if isinstance(w, TraceWorkload) else get_workload(w)
-        for w in names
+    """Default to the full 19-benchmark suite.
+
+    Resolution is memoized for name-only selections (including the
+    ``None`` = full-suite default): repeated calls return the same
+    tuple of registry-singleton workload models, so their memoized
+    traces are shared across every figure in the process.
+    """
+    key: Optional[tuple[str, ...]] = None
+    if workloads is not None:
+        if not all(isinstance(w, str) for w in workloads):
+            return tuple(
+                w if isinstance(w, TraceWorkload) else get_workload(w)
+                for w in workloads
+            )
+        key = tuple(workloads)
+    cached = _RESOLVE_CACHE.get(key)
+    if cached is None:
+        names = workload_names() if key is None else key
+        cached = tuple(get_workload(name) for name in names)
+        _RESOLVE_CACHE[key] = cached
+    return cached
+
+
+def spec(workload: Union[str, TraceWorkload],
+         policy: Union[str, PlacementPolicy],
+         topology: Optional[SystemTopology] = None,
+         dataset: str = "default",
+         bo_capacity_fraction: Optional[float] = None,
+         training_dataset: Optional[str] = None,
+         trace_accesses: int = EXP_ACCESSES,
+         seed: int = EXP_SEED) -> RunSpec:
+    """A :class:`RunSpec` with the experiment-suite defaults."""
+    return make_spec(
+        workload, policy,
+        dataset=dataset,
+        topology=topology,
+        bo_capacity_fraction=bo_capacity_fraction,
+        trace_accesses=trace_accesses,
+        seed=seed,
+        training_dataset=training_dataset,
     )
+
+
+def sweep(specs: Sequence[RunSpec]) -> tuple[ExperimentResult, ...]:
+    """Resolve a batch of specs through the active sweep runner.
+
+    Results come back in spec order; figure modules iterate them in
+    the same nested order they built the specs in.
+    """
+    return active().run(specs).results
 
 
 def throughput(workload: Union[str, TraceWorkload],
@@ -64,14 +121,22 @@ def run(workload: Union[str, TraceWorkload],
         training_dataset: Optional[str] = None,
         trace_accesses: int = EXP_ACCESSES,
         seed: int = EXP_SEED) -> ExperimentResult:
-    """One experiment with the suite defaults."""
-    return run_experiment(
-        workload,
-        dataset=dataset,
-        policy=policy,
-        topology=topology,
-        bo_capacity_fraction=bo_capacity_fraction,
-        trace_accesses=trace_accesses,
-        seed=seed,
-        training_dataset=training_dataset,
-    )
+    """One experiment with the suite defaults (through the runner)."""
+    try:
+        one = spec(workload, policy, topology=topology, dataset=dataset,
+                   bo_capacity_fraction=bo_capacity_fraction,
+                   training_dataset=training_dataset,
+                   trace_accesses=trace_accesses, seed=seed)
+    except UncacheableSpecError:
+        # Custom policy objects bypass the runner (and its cache).
+        return run_experiment(
+            workload,
+            dataset=dataset,
+            policy=policy,
+            topology=topology,
+            bo_capacity_fraction=bo_capacity_fraction,
+            trace_accesses=trace_accesses,
+            seed=seed,
+            training_dataset=training_dataset,
+        )
+    return active().run((one,)).results[0]

@@ -25,9 +25,9 @@ from typing import Optional, Sequence, Union
 from repro.analysis.report import FigureResult, Series
 from repro.core.metrics import geomean
 from repro.core.units import gbps
-from repro.experiments.common import resolve_workloads, throughput
+from repro.experiments.common import resolve_workloads, spec, sweep
 from repro.memory.topology import SystemTopology, simulated_baseline
-from repro.policies.bwaware import BwAwarePolicy
+from repro.runner import bw_ratio_policy
 from repro.workloads.base import TraceWorkload
 
 #: CPU bandwidth consumption on the 80 GB/s CO pool, GB/s.
@@ -59,17 +59,21 @@ def run_contention(workloads: Optional[Sequence[Union[str,
     static_policy_label = "BW-AWARE-static-30C"
     adaptive_label = "BW-AWARE-adaptive"
     ys = {static_policy_label: [], adaptive_label: []}
+    topologies = {load: contended_topology(load)
+                  for load in cpu_loads_gbps}
+    policies = ("LOCAL", bw_ratio_policy(30), "BW-AWARE")
+    results = iter(sweep([
+        spec(workload, policy, topology=topologies[load])
+        for load in cpu_loads_gbps
+        for workload in picked
+        for policy in policies
+    ]))
     for load in cpu_loads_gbps:
-        topo = contended_topology(load)
         static_ratios, adaptive_ratios = [], []
         for workload in picked:
-            local = throughput(workload, "LOCAL", topology=topo)
-            static = throughput(workload, BwAwarePolicy.from_ratio(30),
-                                topology=topo)
-            adaptive = throughput(workload, BwAwarePolicy(),
-                                  topology=topo)
-            static_ratios.append(static / local)
-            adaptive_ratios.append(adaptive / local)
+            local = next(results).throughput
+            static_ratios.append(next(results).throughput / local)
+            adaptive_ratios.append(next(results).throughput / local)
         ys[static_policy_label].append(geomean(static_ratios))
         ys[adaptive_label].append(geomean(adaptive_ratios))
     xs = tuple(float(l) for l in cpu_loads_gbps)

@@ -16,7 +16,7 @@ from typing import Optional, Sequence, Union
 from repro.analysis.energy import energy_report
 from repro.analysis.report import TableResult
 from repro.core.metrics import geomean
-from repro.experiments.common import resolve_workloads, run
+from repro.experiments.common import resolve_workloads, spec, sweep
 from repro.memory.topology import simulated_baseline
 from repro.workloads.base import TraceWorkload
 
@@ -33,12 +33,16 @@ def run_energy(workloads: Optional[Sequence[Union[str, TraceWorkload]]]
     ratios = {policy: [] for policy in POLICIES}
     dram_ratios = {policy: [] for policy in POLICIES}
     perf_per_watt = {policy: [] for policy in POLICIES}
+    outcomes = iter(sweep([
+        spec(workload, policy)
+        for workload in picked for policy in POLICIES
+    ]))
     for workload in picked:
         values = []
         reports = {}
         results = {}
         for policy in POLICIES:
-            result = run(workload, policy)
+            result = next(outcomes)
             results[policy] = result
             reports[policy] = energy_report(result.sim, topology)
             values.append(reports[policy].pj_per_byte)

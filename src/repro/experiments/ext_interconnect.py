@@ -19,7 +19,7 @@ from typing import Optional, Sequence, Union
 
 from repro.analysis.report import FigureResult, Series
 from repro.core.metrics import geomean
-from repro.experiments.common import resolve_workloads, throughput
+from repro.experiments.common import resolve_workloads, spec, sweep
 from repro.memory.topology import link_limited_baseline
 from repro.workloads.base import TraceWorkload
 
@@ -35,14 +35,20 @@ def run_links(workloads: Optional[Sequence[Union[str, TraceWorkload]]]
     picked = resolve_workloads(workloads)
     policies = ("INTERLEAVE", "BW-AWARE")
     ys = {policy: [] for policy in policies}
+    topologies = {link: link_limited_baseline(link)
+                  for link in links_gbps}
+    results = iter(sweep([
+        spec(workload, policy, topology=topologies[link])
+        for link in links_gbps
+        for workload in picked
+        for policy in ("LOCAL",) + policies
+    ]))
     for link in links_gbps:
-        topo = link_limited_baseline(link)
         ratios = {policy: [] for policy in policies}
         for workload in picked:
-            local = throughput(workload, "LOCAL", topology=topo)
+            local = next(results).throughput
             for policy in policies:
-                value = throughput(workload, policy, topology=topo)
-                ratios[policy].append(value / local)
+                ratios[policy].append(next(results).throughput / local)
         for policy in policies:
             ys[policy].append(geomean(ratios[policy]))
     xs = tuple(float(l) for l in links_gbps)

@@ -18,9 +18,10 @@ import numpy as np
 
 from repro.analysis.report import TableResult
 from repro.core.metrics import geomean
-from repro.experiments.common import resolve_workloads, run
+from repro.experiments.common import resolve_workloads, spec, sweep
 from repro.memory.topology import three_pool_topology
 from repro.policies.bwaware import BwAwarePolicy
+from repro.runner import canonical_policy
 from repro.workloads.base import TraceWorkload
 
 #: columns: the Linux policies, SBIT BW-AWARE, and two-pool ablations
@@ -42,25 +43,24 @@ def run_three_pool(workloads: Optional[Sequence[Union[str, TraceWorkload]]]
         masked /= masked.sum()
         return BwAwarePolicy(fractions=tuple(masked))
 
-    policy_objects = {
+    policy_specs = {
         "LOCAL": "LOCAL",
         "INTERLEAVE": "INTERLEAVE",
         "BW-AWARE": "BW-AWARE",
-        "HBM+GDDR-only": two_pool(2),
-        "HBM+DDR-only": two_pool(1),
+        # Canonical spec strings; workers build fresh policy objects
+        # per run, so no BwAwarePolicy state leaks between cells.
+        "HBM+GDDR-only": canonical_policy(two_pool(2)),
+        "HBM+DDR-only": canonical_policy(two_pool(1)),
     }
     rows = []
     by_column: dict[str, list[float]] = {c: [] for c in COLUMNS}
     split_errors = []
+    results = iter(sweep([
+        spec(workload, policy_specs[column], topology=topo)
+        for workload in picked for column in COLUMNS
+    ]))
     for workload in picked:
-        raw = {}
-        for column in COLUMNS:
-            policy = policy_objects[column]
-            if not isinstance(policy, str):
-                # Fresh object per run: BwAwarePolicy caches fractions.
-                policy = two_pool(2 if column == "HBM+GDDR-only" else 1)
-            result = run(workload, policy, topology=topo)
-            raw[column] = result
+        raw = {column: next(results) for column in COLUMNS}
         local = raw["LOCAL"].throughput
         normalized = tuple(raw[c].throughput / local for c in COLUMNS)
         for column, value in zip(COLUMNS, normalized):

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional, Sequence, Union
 
 from repro.analysis.report import FigureResult, Series
-from repro.experiments.common import resolve_workloads, throughput
+from repro.experiments.common import resolve_workloads, spec, sweep, throughput
 from repro.memory.topology import simulated_baseline
 from repro.workloads.base import TraceWorkload
 
@@ -26,16 +26,24 @@ def run_bandwidth(workloads: Optional[Sequence[Union[str, TraceWorkload]]]
                   ) -> FigureResult:
     """Figure 2a: performance vs memory bandwidth scaling."""
     picked = resolve_workloads(workloads)
+
+    def scaled(scale: float):
+        base = simulated_baseline()
+        return base.replace_zone(
+            base.local.rescaled_bandwidth(base.local.bandwidth * scale)
+        )
+
+    topologies = {scale: scaled(scale) for scale in scales}
+    results = iter(sweep([
+        spec(workload, "LOCAL", topology=topologies[scale])
+        for workload in picked for scale in scales
+    ]))
     series = []
     for workload in picked:
         baseline = None
         ys = []
         for scale in scales:
-            base = simulated_baseline()
-            topo = base.replace_zone(
-                base.local.rescaled_bandwidth(base.local.bandwidth * scale)
-            )
-            value = throughput(workload, "LOCAL", topology=topo)
+            value = next(results).throughput
             ys.append(value)
             if scale == 1.0:
                 baseline = value
@@ -62,16 +70,24 @@ def run_latency(workloads: Optional[Sequence[Union[str, TraceWorkload]]]
                 ) -> FigureResult:
     """Figure 2b: performance vs added memory latency."""
     picked = resolve_workloads(workloads)
+
+    def delayed(cycles: int):
+        base = simulated_baseline()
+        return base.replace_zone(
+            base.local.with_hop_cycles(base.local.hop_cycles + cycles)
+        )
+
+    topologies = {cycles: delayed(cycles) for cycles in added_cycles}
+    results = iter(sweep([
+        spec(workload, "LOCAL", topology=topologies[cycles])
+        for workload in picked for cycles in added_cycles
+    ]))
     series = []
     for workload in picked:
         baseline = None
         ys = []
         for cycles in added_cycles:
-            base = simulated_baseline()
-            topo = base.replace_zone(
-                base.local.with_hop_cycles(base.local.hop_cycles + cycles)
-            )
-            value = throughput(workload, "LOCAL", topology=topo)
+            value = next(results).throughput
             ys.append(value)
             if cycles == 0:
                 baseline = value

@@ -14,8 +14,8 @@ from typing import Optional, Sequence, Union
 
 from repro.analysis.report import TableResult
 from repro.core.metrics import geomean
-from repro.experiments.common import resolve_workloads, throughput
-from repro.policies.bwaware import BwAwarePolicy
+from repro.experiments.common import resolve_workloads, spec, sweep
+from repro.runner import bw_ratio_policy
 from repro.workloads.base import TraceWorkload
 
 DEFAULT_RATIOS = (0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
@@ -32,13 +32,14 @@ def run(workloads: Optional[Sequence[Union[str, TraceWorkload]]] = None,
     if 0 not in ratios:
         raise ValueError("the ratio sweep needs the 0C-100B baseline")
     columns = tuple(f"{r}C-{100 - r}B" for r in ratios)
+    results = iter(sweep([
+        spec(workload, bw_ratio_policy(float(ratio)))
+        for workload in picked for ratio in ratios
+    ]))
     rows = []
     per_ratio: dict[int, list[float]] = {r: [] for r in ratios}
     for workload in picked:
-        values = {}
-        for ratio in ratios:
-            policy = BwAwarePolicy.from_ratio(float(ratio))
-            values[ratio] = throughput(workload, policy)
+        values = {ratio: next(results).throughput for ratio in ratios}
         baseline = values[0]
         normalized = tuple(values[r] / baseline for r in ratios)
         for ratio, value in zip(ratios, normalized):

@@ -13,7 +13,7 @@ from typing import Optional, Sequence, Union
 
 from repro.analysis.report import FigureResult, Series
 from repro.core.metrics import geomean
-from repro.experiments.common import resolve_workloads, throughput
+from repro.experiments.common import resolve_workloads, spec, sweep
 from repro.workloads.base import TraceWorkload
 
 DEFAULT_FRACTIONS = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1)
@@ -24,14 +24,21 @@ def run(workloads: Optional[Sequence[Union[str, TraceWorkload]]] = None,
     """BW-AWARE throughput vs BO capacity (fraction of footprint),
     normalized per workload to the unconstrained run."""
     picked = resolve_workloads(workloads)
+    specs = []
+    for workload in picked:
+        specs.append(spec(workload, "BW-AWARE"))
+        specs.extend(
+            spec(workload, "BW-AWARE", bo_capacity_fraction=fraction)
+            for fraction in fractions
+        )
+    results = iter(sweep(specs))
     series = []
     per_fraction: dict[float, list[float]] = {f: [] for f in fractions}
     for workload in picked:
-        unconstrained = throughput(workload, "BW-AWARE")
+        unconstrained = next(results).throughput
         ys = []
         for fraction in fractions:
-            value = throughput(workload, "BW-AWARE",
-                               bo_capacity_fraction=fraction)
+            value = next(results).throughput
             ys.append(value / unconstrained)
             per_fraction[fraction].append(value / unconstrained)
         series.append(Series(

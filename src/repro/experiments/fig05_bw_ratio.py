@@ -19,7 +19,12 @@ from typing import Optional, Sequence, Union
 from repro.analysis.report import FigureResult, Series
 from repro.core.metrics import geomean
 from repro.core.units import gbps
-from repro.experiments.common import BASE_POLICIES, resolve_workloads, throughput
+from repro.experiments.common import (
+    BASE_POLICIES,
+    resolve_workloads,
+    spec,
+    sweep,
+)
 from repro.memory.topology import simulated_baseline
 from repro.workloads.base import TraceWorkload
 
@@ -35,17 +40,26 @@ def run(workloads: Optional[Sequence[Union[str, TraceWorkload]]] = None,
         raise ValueError("CO bandwidth sweep points must be positive; "
                          "the paper's 0 GB/s endpoint degenerates to a "
                          "single-pool system (use LOCAL directly)")
+    def contended(co_bw: float):
+        base = simulated_baseline()
+        return base.replace_zone(
+            base.zone(1).rescaled_bandwidth(gbps(co_bw))
+        )
+
+    topologies = {co_bw: contended(co_bw) for co_bw in co_bandwidths_gbps}
+    results = iter(sweep([
+        spec(workload, policy, topology=topologies[co_bw])
+        for co_bw in co_bandwidths_gbps
+        for workload in picked
+        for policy in ("LOCAL",) + BASE_POLICIES
+    ]))
     ys = {policy: [] for policy in BASE_POLICIES}
     for co_bw in co_bandwidths_gbps:
-        base = simulated_baseline()
-        co_zone = base.zone(1).rescaled_bandwidth(gbps(co_bw))
-        topo = base.replace_zone(co_zone)
         ratios = {policy: [] for policy in BASE_POLICIES}
         for workload in picked:
-            local = throughput(workload, "LOCAL", topology=topo)
+            local = next(results).throughput
             for policy in BASE_POLICIES:
-                value = throughput(workload, policy, topology=topo)
-                ratios[policy].append(value / local)
+                ratios[policy].append(next(results).throughput / local)
         for policy in BASE_POLICIES:
             ys[policy].append(geomean(ratios[policy]))
     series = tuple(

@@ -15,7 +15,7 @@ from typing import Optional, Sequence, Union
 
 from repro.analysis.report import TableResult
 from repro.core.metrics import geomean
-from repro.experiments.common import resolve_workloads, throughput
+from repro.experiments.common import resolve_workloads, spec, sweep
 from repro.workloads.base import TraceWorkload
 
 DEFAULT_CAPACITY_FRACTION = 0.10
@@ -33,17 +33,27 @@ def run(workloads: Optional[Sequence[Union[str, TraceWorkload]]] = None,
     columns_values: dict[str, list[float]] = {c: [] for c in COLUMNS}
     label_constrained_bw = COLUMNS[2]
     label_constrained_or = COLUMNS[3]
+    results = iter(sweep([
+        one
+        for workload in picked
+        for one in (
+            spec(workload, "BW-AWARE"),
+            spec(workload, "ORACLE"),
+            spec(workload, "BW-AWARE",
+                 bo_capacity_fraction=capacity_fraction),
+            spec(workload, "ORACLE",
+                 bo_capacity_fraction=capacity_fraction),
+        )
+    ]))
     for workload in picked:
-        unconstrained_bw = throughput(workload, "BW-AWARE")
+        unconstrained_bw = next(results).throughput
         values = {
             "BW-AWARE": 1.0,
-            "ORACLE": throughput(workload, "ORACLE") / unconstrained_bw,
-            label_constrained_bw: throughput(
-                workload, "BW-AWARE",
-                bo_capacity_fraction=capacity_fraction) / unconstrained_bw,
-            label_constrained_or: throughput(
-                workload, "ORACLE",
-                bo_capacity_fraction=capacity_fraction) / unconstrained_bw,
+            "ORACLE": next(results).throughput / unconstrained_bw,
+            label_constrained_bw: next(results).throughput
+            / unconstrained_bw,
+            label_constrained_or: next(results).throughput
+            / unconstrained_bw,
         }
         for column in COLUMNS:
             columns_values[column].append(values[column])

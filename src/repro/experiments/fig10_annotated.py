@@ -14,7 +14,7 @@ from typing import Optional, Sequence, Union
 
 from repro.analysis.report import TableResult
 from repro.core.metrics import geomean
-from repro.experiments.common import resolve_workloads, throughput
+from repro.experiments.common import resolve_workloads, spec, sweep
 from repro.workloads.base import TraceWorkload
 
 DEFAULT_CAPACITY_FRACTION = 0.10
@@ -30,12 +30,12 @@ def run(workloads: Optional[Sequence[Union[str, TraceWorkload]]] = None,
     picked = resolve_workloads(workloads)
     rows = []
     by_policy: dict[str, list[float]] = {p: [] for p in POLICIES}
+    results = iter(sweep([
+        spec(workload, policy, bo_capacity_fraction=capacity_fraction)
+        for workload in picked for policy in POLICIES
+    ]))
     for workload in picked:
-        raw = {
-            policy: throughput(workload, policy,
-                               bo_capacity_fraction=capacity_fraction)
-            for policy in POLICIES
-        }
+        raw = {policy: next(results).throughput for policy in POLICIES}
         baseline = raw["INTERLEAVE"]
         normalized = {p: raw[p] / baseline for p in POLICIES}
         for policy in POLICIES:

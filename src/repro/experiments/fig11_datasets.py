@@ -19,7 +19,7 @@ from typing import Optional, Sequence
 
 from repro.analysis.report import TableResult
 from repro.core.metrics import geomean
-from repro.experiments.common import throughput
+from repro.experiments.common import spec, sweep
 from repro.workloads.suite import CROSS_DATASET_WORKLOADS, get_workload
 
 DEFAULT_CAPACITY_FRACTION = 0.10
@@ -38,6 +38,7 @@ def run(workloads: Sequence[str] = CROSS_DATASET_WORKLOADS,
     """
     rows = []
     by_policy: dict[str, list[float]] = {p: [] for p in POLICIES}
+    cells = []
     for name in workloads:
         workload = get_workload(name)
         datasets = workload.datasets()
@@ -47,22 +48,23 @@ def run(workloads: Sequence[str] = CROSS_DATASET_WORKLOADS,
             raise ValueError(
                 f"workload {name} has no alternate datasets to test on"
             )
-        for dataset in tests:
-            raw = {}
-            for policy in POLICIES:
-                kwargs = {}
-                if policy == "ANNOTATED":
-                    kwargs["training_dataset"] = training
-                raw[policy] = throughput(
-                    workload, policy, dataset=dataset,
-                    bo_capacity_fraction=capacity_fraction, **kwargs
-                )
-            baseline = raw["INTERLEAVE"]
-            normalized = {p: raw[p] / baseline for p in POLICIES}
-            for policy in POLICIES:
-                by_policy[policy].append(normalized[policy])
-            rows.append((f"{name}/{dataset}"[:12],
-                         tuple(normalized[p] for p in POLICIES)))
+        cells.extend((name, dataset, training) for dataset in tests)
+    results = iter(sweep([
+        spec(name, policy, dataset=dataset,
+             bo_capacity_fraction=capacity_fraction,
+             training_dataset=(training if policy == "ANNOTATED"
+                               else None))
+        for name, dataset, training in cells
+        for policy in POLICIES
+    ]))
+    for name, dataset, training in cells:
+        raw = {policy: next(results).throughput for policy in POLICIES}
+        baseline = raw["INTERLEAVE"]
+        normalized = {p: raw[p] / baseline for p in POLICIES}
+        for policy in POLICIES:
+            by_policy[policy].append(normalized[policy])
+        rows.append((f"{name}/{dataset}"[:12],
+                     tuple(normalized[p] for p in POLICIES)))
     notes = {
         "annotated_vs_interleave": geomean(by_policy["ANNOTATED"]),
         "annotated_vs_bwaware": geomean(

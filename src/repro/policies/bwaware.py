@@ -94,6 +94,14 @@ class BwAwarePolicy(PlacementPolicy):
             raise PolicyError("policy not prepared and no explicit ratio")
         return self._fractions
 
+    @property
+    def explicit_fractions(self) -> Optional[tuple[float, ...]]:
+        """The constructor-pinned fraction vector, or ``None`` when the
+        policy reads the SBIT at prepare time.  This is the policy's
+        entire configuration, which is what lets the sweep runner
+        serialize BW-AWARE instances into canonical spec strings."""
+        return self._explicit
+
     def prepare(self, allocations, ctx: PlacementContext) -> None:
         if self._explicit is not None:
             fractions = self._explicit

@@ -1,0 +1,72 @@
+"""Parallel sweep execution with persistent result caching.
+
+The experiment grid every figure sweeps — (workload, dataset, policy,
+topology, capacity, seed) — is fully deterministic per point, which
+makes it embarrassingly parallel *and* cacheable.  This package supplies
+both:
+
+* :class:`RunSpec` / :func:`make_spec` — canonical, hashable, portable
+  descriptions of one experiment;
+* :class:`ResultCache` — content-addressed JSON records keyed by spec
+  hash + code-version salt, with hit/miss/invalidation accounting;
+* :class:`SweepRunner` — cache lookup, in-batch dedup, and
+  process-pool fan-out with deterministic chunking (bit-identical to
+  serial execution);
+* :class:`RunManifest` — per-batch observability records written to
+  ``<runs_dir>/<run_id>/manifest.json``;
+* :func:`active` / :func:`configure` / :func:`configured` — the shared
+  process-wide runner the CLI and figure regenerators go through.
+
+See ``docs/api.md`` ("Running sweeps in parallel") for usage.
+"""
+
+from repro.runner.cache import (
+    CacheStats,
+    ResultCache,
+    decode_result,
+    encode_result,
+)
+from repro.runner.manifest import RunManifest, SpecRecord
+from repro.runner.salt import code_version_salt
+from repro.runner.spec import (
+    RunSpec,
+    bw_ratio_policy,
+    canonical_policy,
+    describe_topology,
+    make_spec,
+    parse_policy,
+)
+from repro.runner.sweep import (
+    SweepOutcome,
+    SweepRunner,
+    active,
+    configure,
+    configured,
+    default_cache_root,
+    default_jobs,
+    execute_spec,
+)
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "RunManifest",
+    "RunSpec",
+    "SpecRecord",
+    "SweepOutcome",
+    "SweepRunner",
+    "active",
+    "bw_ratio_policy",
+    "canonical_policy",
+    "code_version_salt",
+    "configure",
+    "configured",
+    "decode_result",
+    "default_cache_root",
+    "default_jobs",
+    "describe_topology",
+    "encode_result",
+    "execute_spec",
+    "make_spec",
+    "parse_policy",
+]

@@ -1,0 +1,179 @@
+"""Content-addressed on-disk result cache.
+
+One JSON record per completed :class:`~repro.runner.spec.RunSpec`,
+stored under ``<root>/<key[:2]>/<key>.json`` where ``key`` is the
+spec's salted content hash.  Records round-trip
+:class:`~repro.core.experiment.ExperimentResult` exactly — JSON floats
+preserve every bit of a double — so a cache hit is indistinguishable
+from re-running the simulation.
+
+Robustness policy: the cache is advisory.  Any unreadable record —
+truncated write, corrupted JSON, a record produced by an older format
+version, missing fields — is counted in ``stats.invalid`` and treated
+as a miss, never raised to the caller.  Writes go through a temp file
+and ``os.replace`` so concurrent writers (pool workers, parallel CI
+shards sharing a cache volume) can never publish a half-written record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.experiment import ExperimentResult
+from repro.gpu.trace import SimResult
+
+#: bump when the record layout changes; older records become misses.
+CACHE_FORMAT_VERSION = 1
+
+
+def encode_result(result: ExperimentResult) -> dict:
+    """JSON-able representation of an experiment result (exact)."""
+    sim = result.sim
+    return {
+        "workload": result.workload,
+        "dataset": result.dataset,
+        "policy": result.policy,
+        "topology_name": result.topology_name,
+        "zone_page_counts": list(result.zone_page_counts),
+        "sim": {
+            "engine": sim.engine,
+            "total_time_ns": sim.total_time_ns,
+            "dram_accesses": sim.dram_accesses,
+            "bytes_by_zone": [float(b) for b in sim.bytes_by_zone],
+            "time_bandwidth_ns": sim.time_bandwidth_ns,
+            "time_latency_ns": sim.time_latency_ns,
+            "time_compute_ns": sim.time_compute_ns,
+            "mshr_merges": sim.mshr_merges,
+        },
+    }
+
+
+def decode_result(payload: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from its encoded form."""
+    sim = payload["sim"]
+    return ExperimentResult(
+        workload=payload["workload"],
+        dataset=payload["dataset"],
+        policy=payload["policy"],
+        sim=SimResult(
+            engine=sim["engine"],
+            total_time_ns=float(sim["total_time_ns"]),
+            dram_accesses=int(sim["dram_accesses"]),
+            bytes_by_zone=np.asarray(sim["bytes_by_zone"],
+                                     dtype=np.float64),
+            time_bandwidth_ns=float(sim["time_bandwidth_ns"]),
+            time_latency_ns=float(sim["time_latency_ns"]),
+            time_compute_ns=float(sim["time_compute_ns"]),
+            mshr_merges=int(sim["mshr_merges"]),
+        ),
+        zone_page_counts=tuple(int(c) for c in
+                               payload["zone_page_counts"]),
+        topology_name=payload["topology_name"],
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: records that existed on disk but could not be decoded.
+    invalid: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "invalid": self.invalid}
+
+
+class ResultCache:
+    """Content-addressed store of completed experiment results."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[ExperimentResult]:
+        """The cached result for ``key``, or ``None`` (counted a miss).
+
+        Unreadable records are deleted so they are recomputed once, not
+        re-parsed on every lookup.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+            if record.get("version") != CACHE_FORMAT_VERSION:
+                raise ValueError("cache format version mismatch")
+            result = decode_result(record["result"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # Truncated/corrupted/stale record: treat as a miss.
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing unlinkers
+                pass
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, spec_canonical: dict,
+            result: ExperimentResult) -> Path:
+        """Atomically persist ``result`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "spec": spec_canonical,
+            "result": encode_result(result),
+        }
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=path.parent,
+            prefix=f".{key[:8]}.", suffix=".tmp", delete=False,
+        )
+        try:
+            with handle:
+                json.dump(record, handle, default=str)
+            os.replace(handle.name, path)
+        except BaseException:  # pragma: no cover - crash mid-write
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every record; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing unlinkers
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResultCache {self.root} ({len(self)} records)>"

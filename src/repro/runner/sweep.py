@@ -1,0 +1,305 @@
+"""The parallel sweep runner.
+
+:class:`SweepRunner` turns a list of :class:`~repro.runner.spec.RunSpec`
+into a list of :class:`~repro.core.experiment.ExperimentResult`, in
+order, using three accelerations that never change the numbers:
+
+* **cache** — specs whose salted content hash is already on disk are
+  served without simulating (see :mod:`repro.runner.cache`);
+* **in-batch dedup** — identical specs within one batch execute once
+  (experiments routinely re-run their baseline per sweep point);
+* **process fan-out** — remaining specs are split into deterministic
+  contiguous chunks and executed on a ``ProcessPoolExecutor``.
+
+Determinism: every experiment is fully reproducible from its spec (all
+randomness is seeded, and no state carries over between runs), so the
+partitioning of specs onto workers cannot affect results — parallel
+output is bit-identical to a serial run.  Chunks are contiguous slices
+of the miss list, which both makes the partition a pure function of
+``(n_misses, jobs)`` and preserves the workload-major order figure
+loops emit, so each worker synthesizes every trace it needs at most
+once.  Executed results are round-tripped through the cache codec even
+on the serial path, so a value can never depend on whether it came
+from a worker, the cache, or an in-process run.
+
+A module-global *active runner* lets high-level entry points (the CLI,
+figure regenerators) share one configuration: ``configure()`` installs
+a runner, ``configured()`` scopes one to a ``with`` block, ``active()``
+returns the current one (building an environment-default runner on
+first use: ``REPRO_JOBS`` workers, caching only if ``REPRO_CACHE_DIR``
+is set).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.core.errors import RunnerError
+from repro.core.experiment import ExperimentResult, run_experiment
+from repro.runner.cache import (
+    ResultCache,
+    decode_result,
+    encode_result,
+)
+from repro.runner.manifest import RunManifest, SpecRecord
+from repro.runner.salt import code_version_salt
+from repro.runner.spec import RunSpec, parse_policy
+
+#: default on-disk locations, overridable from the environment.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+RUNS_DIR_ENV = "REPRO_RUNS_DIR"
+JOBS_ENV = "REPRO_JOBS"
+
+#: cache directory used when caching is requested without a location.
+DEFAULT_CACHE_DIRNAME = ".repro-cache"
+
+
+def default_jobs() -> int:
+    """Worker count when none is configured (``REPRO_JOBS`` or 1)."""
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            raise RunnerError(f"{JOBS_ENV} must be an integer, got {raw!r}")
+    return 1
+
+
+def default_cache_root() -> Path:
+    """Where a cache goes when enabled without an explicit directory."""
+    env = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if env:
+        return Path(env).expanduser()
+    return Path.cwd() / DEFAULT_CACHE_DIRNAME
+
+
+def execute_spec(spec: RunSpec) -> ExperimentResult:
+    """Run one spec's experiment (no cache involvement)."""
+    return run_experiment(
+        spec.workload,
+        dataset=spec.dataset,
+        policy=parse_policy(spec.policy),
+        topology=spec.topology,
+        bo_capacity_fraction=spec.bo_capacity_fraction,
+        engine=spec.engine,
+        trace_accesses=spec.trace_accesses,
+        seed=spec.seed,
+        training_dataset=spec.training_dataset,
+    )
+
+
+def _execute_chunk(specs: Sequence[RunSpec]) -> list[tuple[dict, float]]:
+    """Worker entry point: run specs, return (encoded result, seconds).
+
+    Results cross the process boundary in the cache's JSON encoding so
+    fresh and cached results are byte-for-byte the same representation.
+    """
+    out = []
+    for spec in specs:
+        start = time.perf_counter()
+        result = execute_spec(spec)
+        out.append((encode_result(result), time.perf_counter() - start))
+    return out
+
+
+def _chunk_slices(n: int, chunks: int) -> list[range]:
+    """Split ``range(n)`` into ``chunks`` contiguous balanced slices.
+
+    Pure function of its arguments — the partition (and therefore which
+    worker runs what) never depends on timing.
+    """
+    chunks = max(1, min(chunks, n))
+    base, extra = divmod(n, chunks)
+    slices, start = [], 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        slices.append(range(start, start + size))
+        start += size
+    return slices
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Results of one batch, plus its manifest."""
+
+    results: tuple[ExperimentResult, ...]
+    manifest: RunManifest
+
+    def __iter__(self) -> Iterator[ExperimentResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> ExperimentResult:
+        return self.results[index]
+
+
+class SweepRunner:
+    """Fan experiment specs across workers, through a result cache.
+
+    ``jobs``: worker processes (``None`` → ``REPRO_JOBS`` or 1; 1 runs
+    in-process).  ``cache``: a :class:`ResultCache`, ``True`` (cache at
+    the default root), ``False`` (no cache), or ``None`` (cache only if
+    ``REPRO_CACHE_DIR`` is set).  ``runs_dir``: where batch manifests
+    are written (``None`` → ``REPRO_RUNS_DIR``, else ``<cache>/runs``
+    when caching, else in-memory manifests only).
+    """
+
+    def __init__(self,
+                 jobs: Optional[int] = None,
+                 cache: Union[ResultCache, bool, None] = None,
+                 runs_dir: Union[str, Path, None] = None,
+                 salt: Optional[str] = None) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        if isinstance(cache, ResultCache):
+            self.cache: Optional[ResultCache] = cache
+        elif cache is True:
+            self.cache = ResultCache(default_cache_root())
+        elif cache is None and os.environ.get(CACHE_DIR_ENV, "").strip():
+            self.cache = ResultCache(default_cache_root())
+        else:
+            self.cache = None
+        if runs_dir is not None:
+            self.runs_dir: Optional[Path] = Path(runs_dir).expanduser()
+        elif os.environ.get(RUNS_DIR_ENV, "").strip():
+            self.runs_dir = Path(os.environ[RUNS_DIR_ENV]).expanduser()
+        elif self.cache is not None:
+            self.runs_dir = self.cache.root / "runs"
+        else:
+            self.runs_dir = None
+        self.salt = code_version_salt() if salt is None else salt
+        self.last_manifest: Optional[RunManifest] = None
+
+    # ------------------------------------------------------------------
+
+    def run(self, specs: Sequence[RunSpec]) -> SweepOutcome:
+        """Resolve every spec, in order (cache → dedup → fan-out)."""
+        specs = tuple(specs)
+        start = time.perf_counter()
+        n = len(specs)
+        keys = [spec.cache_key(self.salt) for spec in specs]
+        results: list[Optional[ExperimentResult]] = [None] * n
+        durations = [0.0] * n
+        hit = [False] * n
+        duplicate = [False] * n
+
+        first_index: dict[str, int] = {}
+        misses: list[int] = []
+        for i, key in enumerate(keys):
+            if key in first_index:
+                duplicate[i] = True
+                continue
+            first_index[key] = i
+            if self.cache is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[i] = cached
+                    hit[i] = True
+                    continue
+            misses.append(i)
+
+        if misses:
+            self._execute_misses(specs, misses, results, durations)
+            if self.cache is not None:
+                for i in misses:
+                    self.cache.put(keys[i], specs[i].canonical(),
+                                   results[i])
+        for i in range(n):
+            if duplicate[i]:
+                results[i] = results[first_index[keys[i]]]
+
+        manifest = RunManifest(
+            run_id=RunManifest.new_run_id(),
+            created=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            jobs=self.jobs,
+            n_specs=n,
+            cache_hits=sum(hit),
+            deduplicated=sum(duplicate),
+            executed=len(misses),
+            salt=self.salt,
+            wall_time_s=time.perf_counter() - start,
+            cache_dir=(str(self.cache.root)
+                       if self.cache is not None else None),
+            cache_stats=(self.cache.stats.as_dict()
+                         if self.cache is not None else {}),
+            records=tuple(
+                SpecRecord(index=i, label=specs[i].label(),
+                           cache_key=keys[i], cache_hit=hit[i],
+                           deduplicated=duplicate[i],
+                           duration_s=durations[i])
+                for i in range(n)
+            ),
+        )
+        if self.runs_dir is not None and n > 1:
+            manifest.write(self.runs_dir)
+        self.last_manifest = manifest
+        return SweepOutcome(results=tuple(results), manifest=manifest)
+
+    def _execute_misses(self, specs: Sequence[RunSpec],
+                        misses: Sequence[int],
+                        results: list, durations: list) -> None:
+        if self.jobs > 1 and len(misses) > 1:
+            slices = _chunk_slices(len(misses), self.jobs)
+            with ProcessPoolExecutor(max_workers=len(slices)) as pool:
+                futures = [
+                    pool.submit(_execute_chunk,
+                                [specs[misses[j]] for j in block])
+                    for block in slices
+                ]
+                for block, future in zip(slices, futures):
+                    for j, (encoded, spent) in zip(block, future.result()):
+                        index = misses[j]
+                        results[index] = decode_result(encoded)
+                        durations[index] = spent
+        else:
+            for index in misses:
+                encoded, spent = _execute_chunk((specs[index],))[0]
+                results[index] = decode_result(encoded)
+                durations[index] = spent
+
+
+# ----------------------------------------------------------------------
+# The active runner: one shared configuration per process (or block).
+# ----------------------------------------------------------------------
+
+_ACTIVE: Optional[SweepRunner] = None
+
+
+def active() -> SweepRunner:
+    """The process-wide runner, built from the environment on first use."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = SweepRunner()
+    return _ACTIVE
+
+
+def configure(jobs: Optional[int] = None,
+              cache: Union[ResultCache, bool, None] = None,
+              runs_dir: Union[str, Path, None] = None) -> SweepRunner:
+    """Install (and return) a new process-wide runner."""
+    global _ACTIVE
+    _ACTIVE = SweepRunner(jobs=jobs, cache=cache, runs_dir=runs_dir)
+    return _ACTIVE
+
+
+@contextmanager
+def configured(jobs: Optional[int] = None,
+               cache: Union[ResultCache, bool, None] = None,
+               runs_dir: Union[str, Path, None] = None
+               ) -> Iterator[SweepRunner]:
+    """Scope a runner configuration to a ``with`` block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    runner = SweepRunner(jobs=jobs, cache=cache, runs_dir=runs_dir)
+    _ACTIVE = runner
+    try:
+        yield runner
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) on the placement policies.
+
+The runner caches and parallelizes on the premise that placement is a
+pure function of (policy spec, topology, seed).  These properties pin
+the behavioural contracts that premise rests on:
+
+* BW-AWARE-COUNTER hits the target fraction vector to within one page
+  at every prefix of the allocation stream;
+* INTERLEAVE is an exact round-robin over its zone set;
+* LOCAL never places a page in the capacity-optimized pool while the
+  bandwidth-optimized pool still has free frames.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.units import PAGE_SIZE
+from repro.memory.topology import simulated_baseline
+from repro.policies.bwaware import BwAwarePolicy, CounterBwAwarePolicy
+from repro.policies.interleave import InterleavePolicy
+from repro.policies.local import LocalPolicy
+from repro.vm.process import Process
+
+COMMON = settings(deadline=None, max_examples=30,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+#: balanced two-zone fraction vectors: (f, 1-f) with an exact sum.
+fraction_vectors = st.integers(min_value=0, max_value=1000).map(
+    lambda k: (k / 1000.0, 1.0 - k / 1000.0)
+)
+
+#: how the footprint is split into allocations (sizes in pages).
+allocation_plans = st.lists(st.integers(min_value=1, max_value=64),
+                            min_size=1, max_size=8)
+
+
+def place(policy, plan, topology=None, seed=0):
+    """Reserve ``plan`` (pages per allocation), place, return zone map."""
+    process = Process(topology or simulated_baseline(), seed=seed)
+    for i, n_pages in enumerate(plan):
+        process.reserve(n_pages * PAGE_SIZE, name=f"a{i}")
+    return process.place_all(policy)
+
+
+class TestCounterBwAware:
+    @given(fractions=fraction_vectors, plan=allocation_plans)
+    @COMMON
+    def test_counts_within_one_page_of_target(self, fractions, plan):
+        zone_map = place(CounterBwAwarePolicy(fractions=fractions), plan)
+        n = len(zone_map)
+        for zone, target in enumerate(fractions):
+            count = int(np.sum(zone_map == zone))
+            assert abs(count - target * n) <= 1.0, (
+                f"zone {zone}: {count}/{n} pages vs target {target}"
+            )
+
+    @given(fractions=fraction_vectors, plan=allocation_plans)
+    @COMMON
+    def test_every_prefix_within_one_page(self, fractions, plan):
+        zone_map = place(CounterBwAwarePolicy(fractions=fractions), plan)
+        placed = np.zeros(2, dtype=int)
+        for i, zone in enumerate(zone_map):
+            placed[zone] += 1
+            total = i + 1
+            for z, target in enumerate(fractions):
+                assert abs(placed[z] - target * total) <= 1.0
+
+    @given(fractions=fraction_vectors, plan=allocation_plans,
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @COMMON
+    def test_deterministic_in_the_seed(self, fractions, plan, seed):
+        a = place(CounterBwAwarePolicy(fractions=fractions), plan,
+                  seed=seed)
+        b = place(CounterBwAwarePolicy(fractions=fractions), plan,
+                  seed=seed)
+        assert np.array_equal(a, b)
+
+
+class TestRandomBwAware:
+    @given(fractions=fraction_vectors, seed=st.integers(0, 2**31 - 1))
+    @COMMON
+    def test_converges_to_target_ratio(self, fractions, seed):
+        """The random draw matches the target to binomial noise."""
+        n = 1024
+        zone_map = place(BwAwarePolicy(fractions=fractions), [n],
+                         seed=seed)
+        count = int(np.sum(zone_map == 0))
+        target = fractions[0] * n
+        sigma = np.sqrt(n * fractions[0] * fractions[1])
+        assert abs(count - target) <= 6.0 * sigma + 1.0
+
+    @given(fractions=fraction_vectors, plan=allocation_plans,
+           seed=st.integers(0, 2**31 - 1))
+    @COMMON
+    def test_deterministic_in_the_seed(self, fractions, plan, seed):
+        a = place(BwAwarePolicy(fractions=fractions), plan, seed=seed)
+        b = place(BwAwarePolicy(fractions=fractions), plan, seed=seed)
+        assert np.array_equal(a, b)
+
+
+class TestInterleave:
+    @given(plan=allocation_plans)
+    @COMMON
+    def test_exact_round_robin(self, plan):
+        zone_map = place(InterleavePolicy(), plan)
+        expected = np.arange(len(zone_map)) % 2
+        assert np.array_equal(zone_map, expected)
+
+    @given(plan=allocation_plans)
+    @COMMON
+    def test_counts_differ_by_at_most_one(self, plan):
+        zone_map = place(InterleavePolicy(), plan)
+        counts = [int(np.sum(zone_map == z)) for z in (0, 1)]
+        assert abs(counts[0] - counts[1]) <= 1
+
+
+class TestLocal:
+    @given(plan=allocation_plans)
+    @COMMON
+    def test_all_pages_local_when_capacity_suffices(self, plan):
+        zone_map = place(LocalPolicy(), plan)
+        assert np.all(zone_map == 0)
+
+    @given(plan=st.lists(st.integers(min_value=1, max_value=64),
+                         min_size=2, max_size=8),
+           bo_pages=st.integers(min_value=1, max_value=128))
+    @COMMON
+    def test_never_spills_before_bo_exhausted(self, plan, bo_pages):
+        """CO receives pages only once every BO frame is used."""
+        topology = simulated_baseline(
+            bo_capacity_gib=bo_pages * PAGE_SIZE / 2**30,
+        )
+        process = Process(topology, seed=0)
+        capacity = process.physical.free_pages(0)
+        for i, n_pages in enumerate(plan):
+            process.reserve(n_pages * PAGE_SIZE, name=f"a{i}")
+        zone_map = process.place_all(LocalPolicy())
+        n = len(zone_map)
+        expected_local = min(n, capacity)
+        # Pages are placed in program order: the first `capacity` pages
+        # land in BO, everything after spills to CO, with no holes.
+        assert np.array_equal(
+            zone_map,
+            np.concatenate([np.zeros(expected_local, dtype=zone_map.dtype),
+                            np.ones(n - expected_local,
+                                    dtype=zone_map.dtype)])
+        )

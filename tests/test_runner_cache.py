@@ -1,0 +1,220 @@
+"""The runner's spec canonicalization and on-disk result cache.
+
+Key invariants: every result-affecting :class:`RunSpec` field (and the
+code-version salt) feeds the cache key, so no stale result can ever be
+served; and a damaged cache degrades to misses, never to crashes or
+wrong numbers.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.errors import UncacheableSpecError
+from repro.core.experiment import run_experiment
+from repro.memory.topology import simulated_baseline, symmetric_topology
+from repro.policies.bwaware import BwAwarePolicy, CounterBwAwarePolicy
+from repro.policies.local import LocalPolicy
+from repro.runner import (
+    ResultCache,
+    bw_ratio_policy,
+    canonical_policy,
+    code_version_salt,
+    decode_result,
+    encode_result,
+    make_spec,
+    parse_policy,
+)
+
+ACCESSES = 8_000
+
+
+def small_result():
+    return run_experiment("bfs", policy="LOCAL", trace_accesses=ACCESSES)
+
+
+class TestCanonicalPolicy:
+    def test_strings_uppercased(self):
+        assert canonical_policy("local") == "LOCAL"
+        assert canonical_policy("bw-aware") == "BW-AWARE"
+
+    def test_explicit_fractions_embedded(self):
+        policy = BwAwarePolicy.from_ratio(30)
+        spec = canonical_policy(policy)
+        assert spec.startswith("BW-AWARE@")
+        assert spec == bw_ratio_policy(30)
+
+    def test_counter_variant_distinct(self):
+        plain = canonical_policy(BwAwarePolicy(fractions=(0.7, 0.3)))
+        counter = canonical_policy(
+            CounterBwAwarePolicy(fractions=(0.7, 0.3)))
+        assert plain != counter
+        assert counter.startswith("BW-AWARE-COUNTER@")
+
+    def test_round_trip_through_parse(self):
+        for spec in ("LOCAL", "INTERLEAVE", "BW-AWARE",
+                     bw_ratio_policy(30), bw_ratio_policy(62.5),
+                     canonical_policy(
+                         CounterBwAwarePolicy(fractions=(0.5, 0.5)))):
+            rebuilt = parse_policy(spec)
+            assert canonical_policy(rebuilt) == canonical_policy(spec)
+
+    def test_sbit_driven_instance_maps_to_bare_name(self):
+        # A BwAwarePolicy with no pinned fractions reads firmware at
+        # prepare time, so its entire configuration is the class: it
+        # canonicalizes to the bare registry name.
+        assert canonical_policy(BwAwarePolicy()) == "BW-AWARE"
+
+    def test_arbitrary_policy_object_uncacheable(self):
+        with pytest.raises(UncacheableSpecError):
+            canonical_policy(LocalPolicy())
+
+
+class TestCacheKeyInvalidation:
+    """Changing anything that could change the numbers changes the key."""
+
+    def base_spec(self):
+        return make_spec("bfs", "LOCAL", trace_accesses=ACCESSES)
+
+    def test_every_field_feeds_the_key(self):
+        base = self.base_spec()
+        variants = [
+            make_spec("lbm", "LOCAL", trace_accesses=ACCESSES),
+            make_spec("bfs", "INTERLEAVE", trace_accesses=ACCESSES),
+            make_spec("bfs", "LOCAL", dataset="large",
+                      trace_accesses=ACCESSES),
+            make_spec("bfs", "LOCAL", topology=symmetric_topology(),
+                      trace_accesses=ACCESSES),
+            make_spec("bfs", "LOCAL", bo_capacity_fraction=0.5,
+                      trace_accesses=ACCESSES),
+            make_spec("bfs", "LOCAL", trace_accesses=ACCESSES + 1),
+            make_spec("bfs", "LOCAL", trace_accesses=ACCESSES, seed=1),
+            make_spec("bfs", "LOCAL", trace_accesses=ACCESSES,
+                      training_dataset="small"),
+            make_spec("bfs", "LOCAL", trace_accesses=ACCESSES,
+                      engine="detailed"),
+        ]
+        keys = {base.cache_key("s")}
+        for variant in variants:
+            key = variant.cache_key("s")
+            assert key not in keys, f"collision for {variant}"
+            keys.add(key)
+
+    def test_salt_feeds_the_key(self):
+        base = self.base_spec()
+        assert base.cache_key("salt-a") != base.cache_key("salt-b")
+
+    def test_key_is_stable(self):
+        assert (self.base_spec().cache_key("s")
+                == self.base_spec().cache_key("s"))
+
+    def test_topology_capacity_feeds_the_key(self):
+        a = make_spec("bfs", "LOCAL",
+                      topology=simulated_baseline(bo_capacity_gib=1.0),
+                      trace_accesses=ACCESSES)
+        b = make_spec("bfs", "LOCAL",
+                      topology=simulated_baseline(bo_capacity_gib=2.0),
+                      trace_accesses=ACCESSES)
+        assert a.cache_key("s") != b.cache_key("s")
+
+    def test_equivalent_policy_spellings_share_a_key(self):
+        a = make_spec("bfs", "local", trace_accesses=ACCESSES)
+        b = make_spec("BFS", "LOCAL", trace_accesses=ACCESSES)
+        assert a.cache_key("s") == b.cache_key("s")
+
+    def test_code_version_salt_is_stable_in_process(self):
+        assert code_version_salt() == code_version_salt()
+
+
+class TestResultCodec:
+    def test_round_trip_identity(self):
+        result = small_result()
+        rebuilt = decode_result(
+            json.loads(json.dumps(encode_result(result))))
+        assert encode_result(rebuilt) == encode_result(result)
+        assert rebuilt.sim.total_time_ns == result.sim.total_time_ns
+        assert rebuilt.zone_page_counts == result.zone_page_counts
+        assert rebuilt.throughput == result.throughput
+
+
+class TestResultCache:
+    def test_get_put_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = small_result()
+        spec = make_spec("bfs", "LOCAL", trace_accesses=ACCESSES)
+        key = spec.cache_key("s")
+        assert cache.get(key) is None
+        cache.put(key, spec.canonical(), result)
+        got = cache.get(key)
+        assert encode_result(got) == encode_result(result)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert len(cache) == 1
+
+    def test_corrupted_record_is_a_miss_not_a_crash(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec("bfs", "LOCAL", trace_accesses=ACCESSES)
+        key = spec.cache_key("s")
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("this is not json {")
+        assert cache.get(key) is None
+        assert cache.stats.invalid == 1
+        assert not path.exists(), "corrupt record should be evicted"
+
+    def test_truncated_record_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec("bfs", "LOCAL", trace_accesses=ACCESSES)
+        key = spec.cache_key("s")
+        cache.put(key, spec.canonical(), small_result())
+        path = cache.path_for(key)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.get(key) is None
+        assert cache.stats.invalid == 1
+
+    def test_wrong_format_version_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec("bfs", "LOCAL", trace_accesses=ACCESSES)
+        key = spec.cache_key("s")
+        cache.put(key, spec.canonical(), small_result())
+        path = cache.path_for(key)
+        record = json.loads(path.read_text())
+        record["version"] = -1
+        path.write_text(json.dumps(record))
+        assert cache.get(key) is None
+        assert cache.stats.invalid == 1
+
+    def test_missing_result_payload_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec("bfs", "LOCAL", trace_accesses=ACCESSES)
+        key = spec.cache_key("s")
+        cache.put(key, spec.canonical(), small_result())
+        path = cache.path_for(key)
+        record = json.loads(path.read_text())
+        del record["result"]
+        path.write_text(json.dumps(record))
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec("bfs", "LOCAL", trace_accesses=ACCESSES)
+        cache.put(spec.cache_key("s"), spec.canonical(), small_result())
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestSpecCanonical:
+    def test_canonical_is_json_serializable(self):
+        spec = make_spec("bfs", BwAwarePolicy.from_ratio(30),
+                         topology=simulated_baseline(),
+                         bo_capacity_fraction=0.25,
+                         trace_accesses=ACCESSES, seed=3)
+        text = json.dumps(spec.canonical(), sort_keys=True)
+        assert json.loads(text) == spec.canonical()
+
+    def test_frozen(self):
+        spec = make_spec("bfs", "LOCAL")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.seed = 5
