@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core.experiment import compare_policies, run_experiment
@@ -229,6 +230,47 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     return 0 if scorecard.all_within_band else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import BenchReport, check_regression, run_bench
+
+    report = run_bench(
+        quick=args.quick,
+        repeats=args.repeats,
+        n_accesses=args.accesses,
+        seed=args.seed,
+        skip_cold=args.skip_cold,
+        progress=lambda message: print(f"  bench {message}",
+                                       file=sys.stderr),
+    )
+    for case in report.cases:
+        speedup = (f"{case.speedup:6.1f}x"
+                   if case.speedup is not None else "       ")
+        old = (f"{case.old_ms:9.1f} ms" if case.old_ms is not None
+               else "           ")
+        print(f"{case.bench:9s} {case.workload:10s} "
+              f"new {case.new_ms:9.1f} ms  old {old} {speedup}")
+    for key in sorted(report.summary):
+        print(f"{key}: {report.summary[key]:.3f}")
+
+    out = args.out or f"BENCH_{report.rev}.json"
+    path = Path(out)
+    path.write_text(report.to_json())
+    print(f"wrote {path}")
+
+    if args.check_against:
+        baseline = BenchReport.from_json(
+            Path(args.check_against).read_text())
+        failures = check_regression(report, baseline,
+                                    max_ratio=args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.check_against} "
+              f"(threshold {args.max_regression:.1f}x)")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
     kwargs = {} if args.accesses is None else {"n_accesses": args.accesses}
@@ -323,6 +365,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cal.add_argument("--workloads", "-w", nargs="*", default=None)
     p_cal.set_defaults(fn=cmd_calibrate)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time the vectorized hot paths against the reference "
+             "loops and write a BENCH_<rev>.json report",
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="CI smoke mode: one workload, short "
+                              "trace, one repeat")
+    p_bench.add_argument("--repeats", type=int, default=None,
+                         help="best-of-N timing repeats "
+                              "(default: 3, or 1 with --quick)")
+    p_bench.add_argument("--accesses", "-n", type=int, default=None,
+                         help="raw trace length "
+                              "(default: 240000, or 60000 with --quick)")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--out", "-o", default=None,
+                         help="report path (default: BENCH_<rev>.json)")
+    p_bench.add_argument("--skip-cold", action="store_true",
+                         help="skip the fresh-interpreter cold run")
+    p_bench.add_argument("--check-against", default=None,
+                         help="baseline BENCH_*.json to compare against")
+    p_bench.add_argument("--max-regression", type=float, default=3.0,
+                         help="fail if any vectorized timing exceeds "
+                              "the baseline by more than this factor")
+    p_bench.set_defaults(fn=cmd_bench)
 
     p_trace = sub.add_parser("trace",
                              help="synthesize and save a trace (.npz)")

@@ -14,17 +14,27 @@ per-bank row-buffer state driven by the Table 1 timing parameters:
 It exists to validate that the placement conclusions are not an
 artifact of the peak-bandwidth abstraction: the banked ablation bench
 checks the Section 3 policy ordering survives row-buffer effects.
+
+Row-buffer outcomes are a pure function of the access stream (a bank
+hits iff its previous access touched the same row), so
+:func:`_bank_row_hits` resolves every access with one grouping sort;
+``run`` feeds the resulting occupancies through the batched window
+kernel in :mod:`repro.gpu.service` and ``row_hit_rates`` reduces the
+same per-access hit vector per zone.  The per-access loops survive as
+:func:`repro.gpu._reference.reference_banked_run` and
+:func:`repro.gpu._reference.reference_row_hit_rates` for the golden
+suite.  :class:`BankState` remains the scalar building block the
+reference (and its tests) use.
 """
 
 from __future__ import annotations
-
-import heapq
 
 import numpy as np
 
 from repro.core.errors import SimulationError
 from repro.core.units import LINE_SIZE, PAGE_SIZE
 from repro.gpu.config import GpuConfig
+from repro.gpu.service import simulate_windowed
 from repro.gpu.trace import (
     DramTrace,
     SimResult,
@@ -66,6 +76,44 @@ class BankState:
         return self.row_hits / total if total else 0.0
 
 
+def _bank_row_hits(pages: np.ndarray, access_zones: np.ndarray,
+                   zone_channels: np.ndarray, zone_offset: np.ndarray,
+                   n_banks: int) -> tuple[np.ndarray, np.ndarray]:
+    """Channel and row-buffer outcome of every access, vectorized.
+
+    A bank's open row is always the row of its previous access, so
+    access ``i`` hits iff the prior access to the same (zone, channel,
+    bank) touched the same row — an adjacency test after one stable
+    sort grouping the stream by bank.
+    """
+    n = pages.size
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0, dtype=bool)
+    # Lines interleave across channels; a DRAM row is a span of
+    # *channel-local* lines, so sequential streams reuse rows.
+    line = (pages * LINES_PER_PAGE
+            + np.arange(n, dtype=np.int64) % LINES_PER_PAGE)
+    per_zone = zone_channels[access_zones]
+    channel = line % per_zone
+    row = (line // per_zone) // LINES_PER_ROW
+    bank_ids = ((zone_offset[access_zones] + channel) * n_banks
+                + row % n_banks)
+    if int(bank_ids.max()) < 1 << 15:
+        bank_ids = bank_ids.astype(np.int16)
+    order = np.argsort(bank_ids, kind="stable")
+    bank_sorted = bank_ids[order]
+    row_sorted = row[order]
+    hit_sorted = np.empty(n, dtype=bool)
+    hit_sorted[0] = False
+    np.logical_and(bank_sorted[1:] == bank_sorted[:-1],
+                   row_sorted[1:] == row_sorted[:-1],
+                   out=hit_sorted[1:])
+    row_hit = np.empty(n, dtype=bool)
+    row_hit[order] = hit_sorted
+    return channel, row_hit
+
+
 class BankedEngine:
     """Event-driven engine with per-bank row-buffer timing."""
 
@@ -92,91 +140,77 @@ class BankedEngine:
             raise SimulationError("empty trace")
 
         n_zones = len(topology)
-        n_channels_total = sum(zone.channels for zone in topology)
+        zone_channels = np.array([zone.channels for zone in topology],
+                                 dtype=np.int64)
+        n_channels_total = int(zone_channels.sum())
         window = max(1, int(min(
             chars.parallelism,
             self.config.total_mshrs(n_channels_total),
             self.config.max_warps_outstanding,
         )))
 
-        channel_free = [np.zeros(zone.channels) for zone in topology]
-        banks = [
-            [BankState(self.banks_per_channel)
-             for _ in range(zone.channels)]
-            for zone in topology
-        ]
         # Data-transfer occupancy of one line at channel peak rate.
-        burst_ns = [
+        burst_ns = np.array([
             trace.bytes_per_access
             / (zone.usable_bandwidth / zone.channels) * 1e9
             for zone in topology
-        ]
+        ])
         # Row-miss command overhead from the zone's DRAM timings,
         # divided by the cross-bank overlap the controller extracts.
-        miss_extra_ns = [
+        miss_extra_ns = np.array([
             (zone.technology.timings.row_miss_cycles()
              - zone.technology.timings.row_hit_cycles())
             * zone.technology.timings.cycle_ns / self.bank_overlap
             for zone in topology
-        ]
-        latency_ns = [
+        ])
+        latency_ns = np.array([
             zone.latency_ns(self.config.clock_ghz) for zone in topology
-        ]
+        ])
 
         access_zones = zone_map[trace.page_indices].astype(np.int64)
         write_factors = np.array([
             zone.technology.write_cost_factor for zone in topology
         ])
         service_weights = trace.write_weights(write_factors, access_zones)
-        pages = trace.page_indices
         miss_rate = max(trace.miss_rate(), 1e-12)
         compute_step = chars.compute_ns_per_access / miss_rate
 
-        inflight: list[float] = []
-        bytes_by_zone = np.zeros(n_zones)
-        last_completion = 0.0
+        zone_offset = np.concatenate(([0], np.cumsum(zone_channels)[:-1]))
+        channel, row_hit = _bank_row_hits(trace.page_indices,
+                                          access_zones, zone_channels,
+                                          zone_offset,
+                                          self.banks_per_channel)
+        channel_ids = (zone_offset[access_zones] + channel
+                       ).astype(np.int16)
 
-        for i in range(trace.n_accesses):
-            zone_id = int(access_zones[i])
-            ready = i * compute_step
-            while len(inflight) >= window:
-                ready = max(ready, heapq.heappop(inflight))
-
-            zone_channels = channel_free[zone_id]
-            # Lines interleave across channels; a DRAM row is a span of
-            # *channel-local* lines, so sequential streams reuse rows.
-            line = int(pages[i]) * LINES_PER_PAGE + (i % LINES_PER_PAGE)
-            channel = line % zone_channels.size
-            row = (line // zone_channels.size) // LINES_PER_ROW
-            row_hit = banks[zone_id][channel].access(row)
-
-            occupancy = burst_ns[zone_id] * service_weights[i] + (
-                0.0 if row_hit else miss_extra_ns[zone_id]
-            )
-            start = max(ready, zone_channels[channel])
-            finish = start + occupancy
-            zone_channels[channel] = finish
-            completion = finish + latency_ns[zone_id]
-
-            heapq.heappush(inflight, completion)
-            bytes_by_zone[zone_id] += trace.bytes_per_access
-            last_completion = max(last_completion, completion)
+        n = trace.n_accesses
+        occupancy = (burst_ns[access_zones] * service_weights
+                     + np.where(row_hit, 0.0,
+                                miss_extra_ns[access_zones]))
+        latency = latency_ns[access_zones]
+        ready_base = np.arange(n, dtype=np.float64) * compute_step
+        last_completion = simulate_windowed(ready_base, occupancy,
+                                            latency, channel_ids,
+                                            n_channels_total, window)
 
         total_compute = trace.n_raw_accesses * chars.compute_ns_per_access
         total_time = max(last_completion, total_compute)
         if total_time <= 0:
             raise SimulationError("banked engine produced zero runtime")
 
-        busy = np.array([
-            float(channel_free[z].sum()) for z in range(n_zones)
-        ])
+        # Busy time per channel — transfer occupancy actually served,
+        # not the last-free timestamp, so dominant_bound() can trust it.
+        busy = np.bincount(channel_ids, weights=occupancy,
+                           minlength=n_channels_total)
+        bytes_by_zone = (np.bincount(access_zones, minlength=n_zones)
+                         * float(trace.bytes_per_access))
         return SimResult(
             engine=self.name,
             total_time_ns=total_time,
             dram_accesses=trace.n_accesses,
             bytes_by_zone=bytes_by_zone,
             time_bandwidth_ns=float(busy.max()),
-            time_latency_ns=float(sum(latency_ns) / n_zones),
+            time_latency_ns=float(latency_ns.sum() / n_zones),
             time_compute_ns=total_compute,
         )
 
@@ -185,24 +219,20 @@ class BankedEngine:
                       chars: WorkloadCharacteristics
                       ) -> tuple[float, ...]:
         """Per-zone row-buffer hit rates for one replay (diagnostics)."""
-        # Re-run with fresh state and collect the bank statistics.
+        del chars  # outcomes depend only on the stream, kept for API
         zone_map = np.asarray(zone_map)
-        n_channels = [zone.channels for zone in topology]
-        banks = [
-            [BankState(self.banks_per_channel) for _ in range(count)]
-            for count in n_channels
-        ]
+        n_zones = len(topology)
+        zone_channels = np.array([zone.channels for zone in topology],
+                                 dtype=np.int64)
+        zone_offset = np.concatenate(([0], np.cumsum(zone_channels)[:-1]))
         access_zones = zone_map[trace.page_indices].astype(np.int64)
-        for i in range(trace.n_accesses):
-            zone_id = int(access_zones[i])
-            line = (int(trace.page_indices[i]) * LINES_PER_PAGE
-                    + (i % LINES_PER_PAGE))
-            channel = line % n_channels[zone_id]
-            row = (line // n_channels[zone_id]) // LINES_PER_ROW
-            banks[zone_id][channel].access(row)
-        rates = []
-        for zone_banks in banks:
-            hits = sum(bank.row_hits for bank in zone_banks)
-            total = hits + sum(bank.row_misses for bank in zone_banks)
-            rates.append(hits / total if total else 0.0)
-        return tuple(rates)
+        _, row_hit = _bank_row_hits(trace.page_indices, access_zones,
+                                    zone_channels, zone_offset,
+                                    self.banks_per_channel)
+        totals = np.bincount(access_zones, minlength=n_zones)
+        hits = np.bincount(access_zones, weights=row_hit,
+                           minlength=n_zones)
+        return tuple(
+            float(h) / int(t) if t else 0.0
+            for h, t in zip(hits, totals)
+        )

@@ -8,27 +8,32 @@ stream request by request:
   by the Table 1 MSHR file) — a request issues only when a window slot
   and an MSHR entry are free;
 * per-channel FIFO service — each zone spreads requests across its
-  channels, a channel transfers one line at a time at the channel's
-  share of pool bandwidth;
+  channels round-robin, a channel transfers one line at a time at the
+  channel's share of pool bandwidth;
 * per-request latency — DRAM device latency plus the interconnect hop
   for remote zones, paid on top of queueing delay;
 * a compute throttle — the SMs cannot feed misses faster than the
   kernel's compute intensity allows.
 
+The replay itself runs through the batched array kernel in
+:mod:`repro.gpu.service`: this module only precomputes the per-access
+zone / channel / occupancy / latency arrays and reduces the result.
+The original per-access heap loop survives as
+:func:`repro.gpu._reference.reference_detailed_run`, which the golden
+suite holds this engine to at 1e-9 relative.
+
 The engine exists to validate the analytic model: the ablation bench
 (`benchmarks/test_ablation_engines.py`) checks both engines rank
-placement policies identically and agree on magnitudes.  It is O(N log
-P) per trace, so tests and examples use it on small traces.
+placement policies identically and agree on magnitudes.
 """
 
 from __future__ import annotations
-
-import heapq
 
 import numpy as np
 
 from repro.core.errors import SimulationError
 from repro.gpu.config import GpuConfig
+from repro.gpu.service import rank_within_groups, simulate_windowed
 from repro.gpu.trace import (
     DramTrace,
     SimResult,
@@ -55,7 +60,9 @@ class DetailedEngine:
             raise SimulationError("empty trace")
 
         n_zones = len(topology)
-        n_channels_total = sum(zone.channels for zone in topology)
+        zone_channels = np.array([zone.channels for zone in topology],
+                                 dtype=np.int64)
+        n_channels_total = int(zone_channels.sum())
         window = int(min(
             chars.parallelism,
             self.config.total_mshrs(n_channels_total),
@@ -63,19 +70,14 @@ class DetailedEngine:
         ))
         window = max(window, 1)
 
-        # Per-zone channel state: next time each channel is free (ns).
-        channel_free = [
-            np.zeros(zone.channels) for zone in topology
-        ]
-        channel_cursor = [0] * n_zones
-        service_ns = [
+        service_ns = np.array([
             trace.bytes_per_access
             / (zone.usable_bandwidth / zone.channels) * 1e9
             for zone in topology
-        ]
-        latency_ns = [
+        ])
+        latency_ns = np.array([
             zone.latency_ns(self.config.clock_ghz) for zone in topology
-        ]
+        ])
 
         access_zones = zone_map[trace.page_indices].astype(np.int64)
         write_factors = np.array([
@@ -88,45 +90,39 @@ class DetailedEngine:
         miss_rate = max(trace.miss_rate(), 1e-12)
         compute_step = chars.compute_ns_per_access / miss_rate
 
-        inflight: list[float] = []  # completion-time heap
-        bytes_by_zone = np.zeros(n_zones)
-        last_completion = 0.0
+        # Requests spread over a zone's channels round-robin: the k-th
+        # access to a zone lands on channel k mod that zone's count.
+        zone_offset = np.concatenate(([0], np.cumsum(zone_channels)[:-1]))
+        ranks = rank_within_groups(access_zones, n_zones)
+        channel_ids = (zone_offset[access_zones]
+                       + ranks % zone_channels[access_zones]
+                       ).astype(np.int16)
 
-        for i in range(trace.n_accesses):
-            zone_id = int(access_zones[i])
-            ready = i * compute_step
-
-            # Wait for a window slot / MSHR entry.
-            while len(inflight) >= window:
-                ready = max(ready, heapq.heappop(inflight))
-
-            zone_channels = channel_free[zone_id]
-            cursor = channel_cursor[zone_id] % zone_channels.size
-            channel_cursor[zone_id] += 1
-            start = max(ready, zone_channels[cursor])
-            finish_transfer = start + (service_ns[zone_id]
-                                       * service_weights[i])
-            zone_channels[cursor] = finish_transfer
-            completion = finish_transfer + latency_ns[zone_id]
-
-            heapq.heappush(inflight, completion)
-            bytes_by_zone[zone_id] += trace.bytes_per_access
-            last_completion = max(last_completion, completion)
+        n = trace.n_accesses
+        occupancy = service_ns[access_zones] * service_weights
+        latency = latency_ns[access_zones]
+        ready_base = np.arange(n, dtype=np.float64) * compute_step
+        last_completion = simulate_windowed(ready_base, occupancy,
+                                            latency, channel_ids,
+                                            n_channels_total, window)
 
         total_compute = trace.n_raw_accesses * chars.compute_ns_per_access
         total_time = max(last_completion, total_compute)
         if total_time <= 0:
             raise SimulationError("detailed engine produced zero runtime")
 
-        busy_by_zone = np.array([
-            float(channel_free[z].sum()) for z in range(n_zones)
-        ])
+        # Busy time per channel — transfer occupancy actually served,
+        # not the last-free timestamp, so dominant_bound() can trust it.
+        busy = np.bincount(channel_ids, weights=occupancy,
+                           minlength=n_channels_total)
+        bytes_by_zone = (np.bincount(access_zones, minlength=n_zones)
+                         * float(trace.bytes_per_access))
         return SimResult(
             engine=self.name,
             total_time_ns=total_time,
             dram_accesses=trace.n_accesses,
             bytes_by_zone=bytes_by_zone,
-            time_bandwidth_ns=float(busy_by_zone.max()),
-            time_latency_ns=float(sum(latency_ns) / n_zones),
+            time_bandwidth_ns=float(busy.max()),
+            time_latency_ns=float(latency_ns.sum() / n_zones),
             time_compute_ns=total_compute,
         )

@@ -1,0 +1,19 @@
+"""Performance measurement: the `repro bench` harness.
+
+The vectorized hot paths (:mod:`repro.gpu.cache`, :mod:`repro.gpu.lru`,
+:mod:`repro.gpu.service`) are justified by measured speedups over the
+reference loops in :mod:`repro.gpu._reference`; this package owns the
+harness that produces (and regression-checks) those measurements.
+"""
+
+from repro.perf.bench import (
+    BenchReport,
+    check_regression,
+    run_bench,
+)
+
+__all__ = [
+    "BenchReport",
+    "check_regression",
+    "run_bench",
+]

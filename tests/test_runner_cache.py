@@ -126,6 +126,24 @@ class TestCacheKeyInvalidation:
     def test_code_version_salt_is_stable_in_process(self):
         assert code_version_salt() == code_version_salt()
 
+    def test_salt_covers_vectorized_hot_paths(self):
+        """The kernels the engines/filter route through are
+        result-affecting: editing any of them must orphan cached
+        results.  (The perf harness itself is intentionally not
+        covered — retiming never changes a result.)"""
+        import repro
+        from pathlib import Path
+
+        from repro.runner.salt import _iter_sources
+
+        root = Path(repro.__file__).resolve().parent
+        sources = {str(p.relative_to(root)) for p in _iter_sources(root)}
+        for module in ("gpu/lru.py", "gpu/service.py", "gpu/cache.py",
+                       "gpu/_reference.py", "gpu/engine.py",
+                       "gpu/banked.py"):
+            assert module in sources, module
+        assert not any(name.startswith("perf/") for name in sources)
+
 
 class TestResultCodec:
     def test_round_trip_identity(self):

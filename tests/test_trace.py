@@ -45,6 +45,22 @@ class TestDramTrace:
         assert slices[0].start == 0
         assert slices[-1].stop == trace.n_accesses
 
+    def test_epoch_slices_on_short_trace(self):
+        """More epochs than accesses: still a partition, in order,
+        with the surplus epochs empty rather than out of range."""
+        trace = _trace(pages=[0, 1, 2], footprint=4, raw=6, n_epochs=8)
+        slices = trace.epoch_slices()
+        assert len(slices) == 8
+        assert slices[0].start == 0
+        assert slices[-1].stop == trace.n_accesses
+        covered = []
+        for piece in slices:
+            assert 0 <= piece.start <= piece.stop <= trace.n_accesses
+            covered.extend(range(piece.start, piece.stop))
+        assert covered == list(range(trace.n_accesses))
+        assert sum(piece.stop - piece.start == 0
+                   for piece in slices) == 5
+
     def test_page_access_counts(self):
         trace = _trace(pages=[0, 0, 3], footprint=4)
         assert trace.page_access_counts().tolist() == [2, 0, 0, 1]
@@ -84,6 +100,28 @@ class TestCoarsening:
     def test_bad_factor_rejected(self):
         with pytest.raises(SimulationError):
             _trace().coarsened(0)
+
+    def test_write_weights_follow_block_placement(self):
+        """On a coarsened trace, a write's occupancy weight comes from
+        the zone its *block* is placed in, not its original page."""
+        trace = DramTrace(
+            page_indices=np.array([0, 1, 4, 5]),
+            footprint_pages=8,
+            n_raw_accesses=4,
+            is_write=np.array([True, False, True, True]),
+        )
+        coarse = trace.coarsened(4)  # pages {0,1} -> block 0, {4,5} -> 1
+        block_map = np.array([0, 1])
+        factors = np.array([2.0, 3.0])
+        access_zones = block_map[coarse.page_indices]
+        weights = coarse.write_weights(factors, access_zones)
+        assert weights.tolist() == [2.0, 1.0, 3.0, 3.0]
+
+    def test_write_weights_without_flags_are_unit(self):
+        coarse = _trace(pages=[0, 1, 2, 3]).coarsened(2)
+        weights = coarse.write_weights(
+            np.array([2.0]), np.zeros(coarse.n_accesses, dtype=np.int64))
+        assert weights.tolist() == [1.0] * coarse.n_accesses
 
 
 class TestWorkloadCharacteristics:
