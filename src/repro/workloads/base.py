@@ -313,7 +313,13 @@ class TraceWorkload(abc.ABC):
     def raw_line_trace(self, dataset: str = "default",
                        n_accesses: int = DEFAULT_RAW_ACCESSES,
                        seed: int = 0) -> np.ndarray:
-        """SM-issued line-address stream (addresses only)."""
+        """SM-issued line-address stream (addresses only).
+
+        This is the pre-cache stream that
+        :meth:`repro.gpu.cache.CacheHierarchy.filter_stream_indices`
+        consumes (and what ``repro bench`` feeds both filter
+        implementations when timing them against each other).
+        """
         return self.raw_access_stream(dataset, n_accesses, seed)[0]
 
     def dram_trace(self, dataset: str = "default",
