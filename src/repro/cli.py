@@ -8,6 +8,8 @@ Everything the library does is reachable from the shell::
     repro figure fig03_ratio_sweep --jobs 4
     repro profile --workload bfs
     repro trace --workload bfs --out bfs.npz
+    repro serve --port 8077
+    repro request simulate -w bfs -p BW-AWARE
 
 (or ``python -m repro ...`` without the console script installed).
 
@@ -28,17 +30,17 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.core.cachedir import describe_default
+from repro.core.errors import ConfigError, ServeError
 from repro.core.experiment import compare_policies, run_experiment
 from repro.core.metrics import normalize
 from repro.core.units import format_bytes
 from repro.gpu.trace_io import save_trace
 from repro.memory.topology import (
+    NAMED_TOPOLOGIES,
     SystemTopology,
-    hpc_topology,
-    mobile_topology,
-    simulated_baseline,
-    symmetric_topology,
-    three_pool_topology,
+    topology_by_name,
+    topology_names,
 )
 from repro.policies.registry import policy_names
 from repro.profiling.cdf import AccessCdf
@@ -46,22 +48,15 @@ from repro.profiling.profiler import PageAccessProfiler
 from repro.runner import ResultCache, configured, make_spec
 from repro.workloads import get_workload, workload_names
 
-TOPOLOGIES = {
-    "baseline": simulated_baseline,
-    "hpc": hpc_topology,
-    "mobile": mobile_topology,
-    "symmetric": symmetric_topology,
-    "three-pool": three_pool_topology,
-}
+#: the CLI spelling of the shared topology registry.
+TOPOLOGIES = NAMED_TOPOLOGIES
 
 
 def _topology(name: str) -> SystemTopology:
     try:
-        return TOPOLOGIES[name]()
-    except KeyError:
-        raise SystemExit(
-            f"unknown topology {name!r}; known: {sorted(TOPOLOGIES)}"
-        )
+        return topology_by_name(name)
+    except ConfigError as exc:
+        raise SystemExit(str(exc))
 
 
 def _experiment_names() -> list[str]:
@@ -282,6 +277,81 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig
+    from repro.serve import run as serve_run
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        jobs=args.jobs if args.jobs is not None else 1,
+        max_pending_jobs=args.max_pending,
+        simulate_workers=args.workers,
+        request_timeout_s=args.timeout,
+        batch_window_ms=args.batch_window_ms,
+    )
+    serve_run(config)
+    return 0
+
+
+def cmd_request(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(args.url, timeout_s=args.timeout)
+    try:
+        if args.endpoint == "health":
+            _print_json(client.health())
+        elif args.endpoint == "metrics":
+            print(client.metrics_text(), end="")
+        elif args.endpoint == "placement":
+            sizes = _csv_values(args.sizes, int, "--sizes")
+            hotness = _csv_values(args.hotness, float, "--hotness")
+            _print_json(client.placement(
+                sizes=sizes, hotness=hotness,
+                bo_capacity_bytes=args.bo_capacity,
+                topology=args.topology,
+            ))
+        elif args.endpoint == "simulate":
+            _print_json(client.simulate(
+                workload=args.workload,
+                policy=args.policy,
+                dataset=args.dataset,
+                topology=args.topology,
+                bo_capacity_fraction=args.capacity,
+                trace_accesses=args.accesses,
+                seed=args.seed,
+                engine=args.engine,
+                retries=args.retries,
+            ))
+        elif args.endpoint == "profile":
+            _print_json(client.profile(
+                args.workload, dataset=args.dataset,
+                accesses=args.accesses, seed=args.seed,
+            ))
+    except ServeError as exc:
+        hint = (f" (retry after {exc.retry_after:g}s)"
+                if exc.retry_after is not None else "")
+        print(f"error [{exc.status or 'transport'}]: {exc}{hint}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _print_json(payload: dict) -> None:
+    import json
+
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _csv_values(raw: str, cast, flag: str) -> list:
+    try:
+        return [cast(part) for part in raw.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"{flag} must be comma-separated numbers")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -323,7 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bypass the on-disk result cache")
         p.add_argument("--cache-dir", default=None,
                        help="result cache root (default: "
-                            "$REPRO_CACHE_DIR or ./.repro-cache)")
+                            f"{describe_default()})")
         p.add_argument("--runs-dir", default=None,
                        help="manifest directory "
                             "(default: <cache-dir>/runs)")
@@ -400,6 +470,88 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.add_argument("--out", "-o", required=True)
     p_trace.set_defaults(fn=cmd_trace)
+
+    from repro.serve.config import DEFAULT_HOST, DEFAULT_PORT
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the placement-as-a-service daemon (HTTP/JSON)",
+    )
+    p_serve.add_argument("--host", default=DEFAULT_HOST)
+    p_serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                         help="bind port (0 picks a free one)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="result cache root (default: "
+                              f"{describe_default()})")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable the on-disk result cache")
+    p_serve.add_argument("--jobs", "-j", type=int, default=None,
+                         help="worker processes per simulate job")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="threads draining the simulate queue")
+    p_serve.add_argument("--max-pending", type=int, default=8,
+                         help="distinct in-flight simulate jobs before "
+                              "429 backpressure")
+    p_serve.add_argument("--timeout", type=float, default=120.0,
+                         help="per-request timeout in seconds")
+    p_serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                         help="placement micro-batch collection window")
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_req = sub.add_parser(
+        "request",
+        help="issue one request against a running daemon",
+    )
+    req_sub = p_req.add_subparsers(dest="endpoint", required=True)
+
+    def req_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--url", default=None,
+                       help="daemon base URL (default: $REPRO_SERVE_URL "
+                            "or http://127.0.0.1:8077)")
+        p.add_argument("--timeout", type=float, default=300.0)
+        p.set_defaults(fn=cmd_request)
+
+    r_health = req_sub.add_parser("health", help="GET /healthz")
+    req_common(r_health)
+
+    r_metrics = req_sub.add_parser("metrics", help="GET /metrics")
+    req_common(r_metrics)
+
+    r_place = req_sub.add_parser(
+        "placement", help="POST /v1/placement (GetAllocation hints)")
+    r_place.add_argument("--sizes", required=True,
+                         help="comma-separated allocation sizes in bytes")
+    r_place.add_argument("--hotness", required=True,
+                         help="comma-separated hotness values")
+    r_place.add_argument("--bo-capacity", type=int, required=True,
+                         help="BO pool capacity in bytes")
+    r_place.add_argument("--topology", "-t", default=None,
+                         choices=sorted(TOPOLOGIES))
+    req_common(r_place)
+
+    r_sim = req_sub.add_parser(
+        "simulate", help="POST /v1/simulate (experiment via runner)")
+    r_sim.add_argument("--workload", "-w", required=True)
+    r_sim.add_argument("--policy", "-p", default="BW-AWARE")
+    r_sim.add_argument("--dataset", "-d", default="default")
+    r_sim.add_argument("--topology", "-t", default=None,
+                       choices=sorted(TOPOLOGIES))
+    r_sim.add_argument("--capacity", "-c", type=float, default=None)
+    r_sim.add_argument("--accesses", "-n", type=int, default=None)
+    r_sim.add_argument("--seed", type=int, default=0)
+    r_sim.add_argument("--engine", default="throughput",
+                       choices=("throughput", "detailed", "banked"))
+    r_sim.add_argument("--retries", type=int, default=0,
+                       help="retry count for 429 backpressure")
+    req_common(r_sim)
+
+    r_prof = req_sub.add_parser(
+        "profile", help="GET /v1/profile/<workload>")
+    r_prof.add_argument("--workload", "-w", required=True)
+    r_prof.add_argument("--dataset", "-d", default="default")
+    r_prof.add_argument("--accesses", "-n", type=int, default=None)
+    r_prof.add_argument("--seed", type=int, default=0)
+    req_common(r_prof)
     return parser
 
 

@@ -1,0 +1,44 @@
+"""Shared cache-directory resolution.
+
+Three layers persist results under the same root: the sweep runner's
+on-disk :class:`~repro.runner.cache.ResultCache`, the CLI's
+``--cache-dir`` flag, and the :mod:`repro.serve` daemon.  They must all
+agree on where that root lives, or a warm CLI cache looks cold to the
+daemon (and vice versa).  This module is the single resolution rule:
+
+1. an explicit path always wins (``--cache-dir``, ``ServeConfig``),
+2. else ``$REPRO_CACHE_DIR`` (ignoring pure whitespace),
+3. else ``./.repro-cache`` in the current working directory.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+#: environment variable naming the shared result-cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: directory used when caching is requested without a location.
+DEFAULT_CACHE_DIRNAME = ".repro-cache"
+
+
+def cache_root(explicit: Union[str, Path, None] = None) -> Path:
+    """Resolve the result-cache root (explicit > env > default).
+
+    Every component that opens a result cache — runner, CLI, serve —
+    goes through this function, so ``$REPRO_CACHE_DIR`` means the same
+    thing everywhere.
+    """
+    if explicit is not None:
+        return Path(explicit).expanduser()
+    env = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if env:
+        return Path(env).expanduser()
+    return Path.cwd() / DEFAULT_CACHE_DIRNAME
+
+
+def describe_default() -> str:
+    """Human-readable default for CLI ``--help`` strings."""
+    return f"${CACHE_DIR_ENV} or ./{DEFAULT_CACHE_DIRNAME}"

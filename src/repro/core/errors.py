@@ -61,3 +61,21 @@ class UncacheableSpecError(RunnerError):
     Callers usually fall back to a direct, uncached
     :func:`repro.core.experiment.run_experiment` call.
     """
+
+
+class ServeError(ReproError):
+    """A placement-service request failed.
+
+    Raised by :mod:`repro.serve.client` for non-2xx responses and by the
+    daemon for malformed requests.  ``status`` carries the HTTP status
+    code (0 for transport failures) and ``retry_after`` the server's
+    backpressure hint in seconds, when one was given.
+    """
+
+    def __init__(self, message: str, status: int = 0,
+                 retry_after: "float | None" = None,
+                 payload: "dict | None" = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+        self.payload = payload or {}

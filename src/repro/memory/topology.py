@@ -267,3 +267,35 @@ def link_limited_baseline(link_gbps: float) -> SystemTopology:
 def figure1_systems() -> tuple[SystemTopology, ...]:
     """The system classes plotted in Figure 1, for the Fig. 1 regenerator."""
     return (hpc_topology(), desktop_topology(), mobile_topology())
+
+
+#: the topologies addressable by short name from the CLI and the serve
+#: daemon's JSON requests.  Keys are the user-facing spellings; the
+#: factories' own ``.name`` fields stay untouched.
+NAMED_TOPOLOGIES = {
+    "baseline": simulated_baseline,
+    "hpc": hpc_topology,
+    "mobile": mobile_topology,
+    "symmetric": symmetric_topology,
+    "three-pool": three_pool_topology,
+}
+
+
+def topology_names() -> tuple[str, ...]:
+    """Sorted short names accepted by :func:`topology_by_name`."""
+    return tuple(sorted(NAMED_TOPOLOGIES))
+
+
+def topology_by_name(name: str) -> SystemTopology:
+    """Build a registered topology from its short name.
+
+    Raises :class:`~repro.core.errors.ConfigError` for unknown names so
+    both the CLI and the daemon report the same catalogue.
+    """
+    try:
+        factory = NAMED_TOPOLOGIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown topology {name!r}; known: {sorted(NAMED_TOPOLOGIES)}"
+        )
+    return factory()

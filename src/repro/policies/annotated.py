@@ -90,8 +90,11 @@ class AnnotatedPolicy(PlacementPolicy):
             a for a in allocations
             if coerce_hint(a.hint) is PlacementHint.BANDWIDTH_OPTIMIZED
         ]
+        # Ties in hotness fall back to allocation id (program order), so
+        # quota assignment is deterministic for any input ordering.
         remaining = ctx.free_pages(self._bo_zone)
-        for allocation in sorted(bo_hinted, key=lambda a: -a.hotness):
+        for allocation in sorted(bo_hinted,
+                                 key=lambda a: (-a.hotness, a.alloc_id)):
             quota = min(allocation.n_pages, remaining)
             self._bo_quota[allocation.alloc_id] = quota
             remaining -= quota

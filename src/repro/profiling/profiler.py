@@ -77,9 +77,17 @@ class WorkloadProfile:
         raise ProfileError(f"no structure {name!r} in profile")
 
     def hotness_ranking(self) -> tuple[StructureProfile, ...]:
-        """Structures ordered hottest-per-page first (Figure 9's input)."""
-        return tuple(sorted(self.structures,
-                            key=lambda s: -s.hotness_density))
+        """Structures ordered hottest-per-page first (Figure 9's input).
+
+        Equal-density structures keep their allocation (profile) order —
+        stated explicitly in the sort key rather than left to sort
+        stability, matching :func:`repro.runtime.hints.get_allocation`'s
+        ordering contract.
+        """
+        indexed = enumerate(self.structures)
+        return tuple(s for _, s in sorted(
+            indexed, key=lambda pair: (-pair[1].hotness_density, pair[0])
+        ))
 
     def hotness_by_name(self) -> dict[str, float]:
         """``{structure: accesses/page}`` for annotation APIs."""

@@ -40,6 +40,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Optional, Sequence, Union
 
+from repro.core.cachedir import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIRNAME,
+    cache_root,
+)
 from repro.core.errors import RunnerError
 from repro.core.experiment import ExperimentResult, run_experiment
 from repro.runner.cache import (
@@ -52,12 +57,10 @@ from repro.runner.salt import code_version_salt
 from repro.runner.spec import RunSpec, parse_policy
 
 #: default on-disk locations, overridable from the environment.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: (cache resolution itself lives in :mod:`repro.core.cachedir` so the
+#: CLI and the serve daemon share the exact same rule.)
 RUNS_DIR_ENV = "REPRO_RUNS_DIR"
 JOBS_ENV = "REPRO_JOBS"
-
-#: cache directory used when caching is requested without a location.
-DEFAULT_CACHE_DIRNAME = ".repro-cache"
 
 
 def default_jobs() -> int:
@@ -72,11 +75,12 @@ def default_jobs() -> int:
 
 
 def default_cache_root() -> Path:
-    """Where a cache goes when enabled without an explicit directory."""
-    env = os.environ.get(CACHE_DIR_ENV, "").strip()
-    if env:
-        return Path(env).expanduser()
-    return Path.cwd() / DEFAULT_CACHE_DIRNAME
+    """Where a cache goes when enabled without an explicit directory.
+
+    Delegates to :func:`repro.core.cachedir.cache_root` — the one rule
+    shared by the runner, the CLI, and the serve daemon.
+    """
+    return cache_root()
 
 
 def execute_spec(spec: RunSpec) -> ExperimentResult:

@@ -41,6 +41,14 @@ def get_allocation(sizes: Sequence[int], hotness: Sequence[float],
     (Figure 9); ``hotness`` is *total* relative traffic per allocation —
     the ranking key is hotness per byte.  ``bo_capacity_bytes`` is the
     bandwidth-optimized pool size discovered by the runtime.
+
+    Ordering contract: allocations are ranked by hotness density
+    (``hotness[i] / sizes[i]``) descending, and allocations with *equal*
+    density are ranked by allocation index ascending — the earliest
+    allocation wins the remaining BO space.  The output is therefore a
+    pure function of the ``(sizes, hotness)`` arrays: it never depends
+    on dict iteration order, sort incidentals, or any other container
+    artifact of the caller.
     """
     if len(sizes) != len(hotness):
         raise PolicyError("sizes and hotness arrays must align")
@@ -71,6 +79,9 @@ def get_allocation(sizes: Sequence[int], hotness: Sequence[float],
     # space still gets the BO hint: its prefix fills the pool and the
     # overflow spills to CO (the Section 5.2 fallback), which keeps the
     # scarce BO pages fully utilized by the hottest structures.
+    # Rank by (density desc, allocation index asc).  The explicit index
+    # tie-break keeps equal-density orderings deterministic rather than
+    # an accident of sort stability (see the docstring contract).
     density = [
         (hotness[i] / max(sizes[i], 1), i) for i in range(len(sizes))
     ]

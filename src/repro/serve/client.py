@@ -1,0 +1,196 @@
+"""Client library for the placement daemon (stdlib ``urllib`` only).
+
+:class:`ServeClient` mirrors the daemon's endpoints one method each and
+speaks plain JSON over HTTP, so it works against any ``repro serve``
+instance with zero dependencies::
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8077")
+    hints = client.placement(sizes=[1 << 20, 8 << 20],
+                             hotness=[100.0, 1.0],
+                             bo_capacity_bytes=1 << 20)["hints"]
+    report = client.simulate(workload="bfs", policy="BW-AWARE",
+                             trace_accesses=20_000)
+
+Failures raise :class:`~repro.core.errors.ServeError` carrying the HTTP
+status, the decoded error payload, and — for 429 backpressure — the
+server's ``Retry-After`` hint.  :meth:`ServeClient.simulate` can retry
+that case itself (``retries=``), which is the intended client-side
+reaction to graceful degradation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping, Optional, Sequence, Union
+
+from repro.core.errors import ServeError
+from repro.serve.config import default_serve_url
+from repro.serve.metrics import parse_metrics
+
+
+class ServeClient:
+    """Synchronous client for one daemon instance."""
+
+    def __init__(self, base_url: Optional[str] = None,
+                 timeout_s: float = 300.0) -> None:
+        self.base_url = (base_url or default_serve_url()).rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Mapping[str, Any]] = None
+                 ) -> tuple[int, Mapping[str, str], bytes]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers,
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout_s) as response:
+                return (response.status,
+                        {k.lower(): v for k, v in response.headers.items()},
+                        response.read())
+        except urllib.error.HTTPError as exc:
+            with exc:
+                return (exc.code,
+                        {k.lower(): v for k, v in exc.headers.items()},
+                        exc.read())
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach {self.base_url}: {exc.reason}", status=0
+            )
+
+    def _json(self, method: str, path: str,
+              payload: Optional[Mapping[str, Any]] = None) -> dict:
+        status, headers, body = self._request(method, path, payload)
+        try:
+            decoded = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            decoded = {"error": body[:200].decode("latin-1")}
+        if 200 <= status < 300:
+            return decoded
+        retry_after: Optional[float] = None
+        raw_retry = headers.get("retry-after")
+        if raw_retry is not None:
+            try:
+                retry_after = float(raw_retry)
+            except ValueError:
+                retry_after = None
+        raise ServeError(
+            decoded.get("error", f"HTTP {status}"),
+            status=status, retry_after=retry_after, payload=decoded,
+        )
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        return self._json("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — raw Prometheus exposition text."""
+        status, _, body = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(f"metrics endpoint returned {status}",
+                             status=status)
+        return body.decode("utf-8")
+
+    def metrics(self) -> dict[str, float]:
+        """``GET /metrics`` parsed into ``{'name{labels}': value}``."""
+        return parse_metrics(self.metrics_text())
+
+    def placement(self, sizes: Sequence[int],
+                  hotness: Sequence[float],
+                  bo_capacity_bytes: int,
+                  topology: Union[str, Mapping[str, Any], None] = None,
+                  bo_domain: Optional[int] = None) -> dict:
+        """``POST /v1/placement`` — GetAllocation hints, micro-batched.
+
+        Returns ``{"hints": ["BW"|"BO"|"CO", ...], ...}`` aligned with
+        ``sizes``.  ``topology`` is a registered name (default
+        ``"baseline"``) or ``{"bandwidth_gbps": [...]}``.
+        """
+        payload: dict[str, Any] = {
+            "sizes": list(sizes),
+            "hotness": list(hotness),
+            "bo_capacity_bytes": int(bo_capacity_bytes),
+        }
+        if topology is not None:
+            payload["topology"] = topology
+        if bo_domain is not None:
+            payload["bo_domain"] = int(bo_domain)
+        return self._json("POST", "/v1/placement", payload)
+
+    def simulate(self, workload: str, policy: str = "BW-AWARE",
+                 dataset: str = "default",
+                 topology: Optional[str] = None,
+                 bo_capacity_fraction: Optional[float] = None,
+                 trace_accesses: Optional[int] = None,
+                 seed: int = 0, engine: str = "throughput",
+                 training_dataset: Optional[str] = None,
+                 retries: int = 0) -> dict:
+        """``POST /v1/simulate`` — run (or fetch) one experiment.
+
+        ``retries`` > 0 re-submits after the server's ``Retry-After``
+        hint when the simulate queue is saturated (429); all other
+        errors raise immediately.
+        """
+        payload: dict[str, Any] = {
+            "workload": workload, "policy": policy, "dataset": dataset,
+            "seed": seed, "engine": engine,
+        }
+        if topology is not None:
+            payload["topology"] = topology
+        if bo_capacity_fraction is not None:
+            payload["bo_capacity_fraction"] = bo_capacity_fraction
+        if trace_accesses is not None:
+            payload["trace_accesses"] = trace_accesses
+        if training_dataset is not None:
+            payload["training_dataset"] = training_dataset
+        attempts = max(0, int(retries)) + 1
+        for attempt in range(attempts):
+            try:
+                return self._json("POST", "/v1/simulate", payload)
+            except ServeError as exc:
+                if exc.status != 429 or attempt == attempts - 1:
+                    raise
+                time.sleep(exc.retry_after
+                           if exc.retry_after is not None else 1.0)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def profile(self, workload: str, dataset: str = "default",
+                accesses: Optional[int] = None, seed: int = 0) -> dict:
+        """``GET /v1/profile/<workload>`` — cached hotness profile."""
+        query = [f"dataset={dataset}", f"seed={seed}"]
+        if accesses is not None:
+            query.append(f"accesses={int(accesses)}")
+        return self._json(
+            "GET", f"/v1/profile/{workload}?" + "&".join(query)
+        )
+
+    def wait_until_ready(self, timeout_s: float = 30.0,
+                         interval_s: float = 0.1) -> dict:
+        """Poll ``/healthz`` until the daemon answers (startup races)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                return self.health()
+            except ServeError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval_s)

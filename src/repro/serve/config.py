@@ -1,0 +1,107 @@
+"""Configuration for the placement-as-a-service daemon.
+
+One frozen dataclass carries every knob the daemon honors, so tests can
+build throwaway configurations without touching the environment and the
+CLI maps flags onto fields one-to-one.  Defaults are production-shaped
+(caching on at the shared root, modest queue bounds) but every bound is
+small enough to exercise from a laptop.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.cachedir import cache_root
+from repro.core.errors import ConfigError
+
+#: environment variable naming the daemon clients talk to by default.
+SERVE_URL_ENV = "REPRO_SERVE_URL"
+
+#: default bind address / port for ``repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8077
+
+
+def default_serve_url() -> str:
+    """Base URL clients use when none is given explicitly."""
+    env = os.environ.get(SERVE_URL_ENV, "").strip()
+    if env:
+        return env.rstrip("/")
+    return f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the daemon needs to run.
+
+    Queue semantics: ``max_pending_jobs`` bounds *distinct* in-flight
+    simulate jobs (deduplicated joiners ride along for free); beyond it
+    the daemon answers 429 with ``Retry-After``.  ``simulate_workers``
+    threads drain that queue, each running one
+    :class:`~repro.runner.sweep.SweepRunner` batch (which consults the
+    shared on-disk cache first).  ``/v1/placement`` never enters this
+    queue — it is answered from the closed-form ``GetAllocation`` path,
+    micro-batched over a ``batch_window_ms`` collection window.
+    """
+
+    host: str = DEFAULT_HOST
+    port: int = DEFAULT_PORT
+
+    #: result-cache root; ``None`` resolves via $REPRO_CACHE_DIR with
+    #: the shared ``./.repro-cache`` default (repro.core.cachedir).
+    cache_dir: Optional[Union[str, Path]] = None
+    #: disable the on-disk cache entirely (tests, ephemeral runs).
+    use_cache: bool = True
+    #: worker processes per simulate job (SweepRunner ``jobs``).
+    jobs: int = 1
+
+    #: distinct simulate jobs allowed in flight before 429.
+    max_pending_jobs: int = 8
+    #: threads draining the simulate queue.
+    simulate_workers: int = 2
+    #: wall-clock budget per request before the daemon answers 504.
+    request_timeout_s: float = 120.0
+    #: Retry-After hint attached to 429 responses.
+    retry_after_s: float = 1.0
+
+    #: placement micro-batch collection window and size cap.
+    batch_window_ms: float = 2.0
+    max_batch_size: int = 64
+    #: pending placement requests beyond which the daemon degrades to
+    #: inline (unbatched) computation instead of queueing further.
+    max_placement_queue: int = 256
+
+    #: cached workload profiles kept in memory (LRU).
+    profile_cache_size: int = 32
+
+    #: ceiling on request body size (bytes); 413 beyond it.
+    max_body_bytes: int = 4 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.port < 0 or self.port > 65535:
+            raise ConfigError(f"port out of range: {self.port}")
+        if self.max_pending_jobs < 1:
+            raise ConfigError("max_pending_jobs must be >= 1")
+        if self.simulate_workers < 1:
+            raise ConfigError("simulate_workers must be >= 1")
+        if self.request_timeout_s <= 0:
+            raise ConfigError("request_timeout_s must be positive")
+        if self.batch_window_ms < 0:
+            raise ConfigError("batch_window_ms must be >= 0")
+        if self.max_batch_size < 1:
+            raise ConfigError("max_batch_size must be >= 1")
+        if self.profile_cache_size < 1:
+            raise ConfigError("profile_cache_size must be >= 1")
+
+    def resolved_cache_dir(self) -> Optional[Path]:
+        """The cache root this daemon will read and write, or ``None``."""
+        if not self.use_cache:
+            return None
+        return cache_root(self.cache_dir)
+
+    def with_overrides(self, **kwargs) -> "ServeConfig":
+        """A copy with the given fields replaced (test convenience)."""
+        return replace(self, **kwargs)

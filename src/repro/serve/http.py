@@ -1,0 +1,418 @@
+"""Stdlib asyncio HTTP/1.1 front end for the placement service.
+
+No web framework: the daemon speaks just enough HTTP for JSON request/
+response bodies, which keeps the runtime dependency set at
+numpy + stdlib (the repo's hard constraint).  One request per
+connection (``Connection: close``) — placement traffic is small and
+the accept loop is cheap, so protocol simplicity wins over keep-alive.
+
+Routes::
+
+    GET  /healthz                  liveness + catalogue summary
+    GET  /metrics                  Prometheus text exposition
+    POST /v1/placement             GetAllocation hints (micro-batched)
+    POST /v1/simulate              experiment via runner + cache + dedup
+    GET  /v1/profile/<workload>    cached CDF/hotness profile
+
+Error contract: JSON ``{"error": ...}`` bodies; 400 for malformed
+requests, 404 unknown route, 413 oversized body, 429 + ``Retry-After``
+when the simulate queue is saturated, 504 when a request outlives the
+configured timeout, 500 for anything unexpected.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Mapping, Optional
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.core.errors import ServeError
+from repro.serve.config import ServeConfig
+from repro.serve.service import PlacementService
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+#: /metrics content type (Prometheus text exposition format).
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _HttpRequest:
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(self, method: str, target: str,
+                 headers: Mapping[str, str], body: bytes) -> None:
+        self.method = method
+        split = urlsplit(target)
+        self.path = unquote(split.path)
+        self.query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> dict:
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}",
+                             status=400)
+        if not isinstance(payload, dict):
+            raise ServeError("request body must be a JSON object",
+                             status=400)
+        return payload
+
+
+class _HttpResponse:
+    def __init__(self, status: int, body: bytes,
+                 content_type: str = "application/json",
+                 headers: Optional[Mapping[str, str]] = None) -> None:
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.headers = dict(headers or {})
+
+    @classmethod
+    def json(cls, payload: Any, status: int = 200,
+             headers: Optional[Mapping[str, str]] = None
+             ) -> "_HttpResponse":
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return cls(status, body, headers=headers)
+
+    def encode(self) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            "Connection: close",
+        ]
+        for key, value in self.headers.items():
+            lines.append(f"{key}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        return head + self.body
+
+
+class ServeApp:
+    """The daemon: a :class:`PlacementService` behind an asyncio server."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.service = PlacementService(self.config)
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`; supports
+        ``port=0`` for OS-assigned test ports)."""
+        if self._server is None or not self._server.sockets:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    async def start(self) -> None:
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Optional[_HttpRequest]:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise ServeError("malformed request line", status=400)
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise ServeError("bad Content-Length", status=400)
+        if length > self.config.max_body_bytes:
+            raise ServeError(
+                f"body exceeds {self.config.max_body_bytes} bytes",
+                status=413,
+            )
+        body = await reader.readexactly(length) if length else b""
+        return _HttpRequest(method.upper(), target, headers, body)
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                request = await self._read_request(reader)
+            except ServeError as exc:
+                response = _HttpResponse.json(
+                    {"error": str(exc)}, status=exc.status or 400
+                )
+                writer.write(response.encode())
+                await writer.drain()
+                return
+            except asyncio.IncompleteReadError:
+                return
+            if request is None:
+                return
+            response = await self._respond(request)
+            writer.write(response.encode())
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def _route(self, request: _HttpRequest):
+        """Return ``(endpoint_label, handler coroutine factory)``."""
+        path, method = request.path, request.method
+        if path == "/healthz" and method == "GET":
+            return "healthz", lambda: self._get_healthz()
+        if path == "/metrics" and method == "GET":
+            return "metrics", lambda: self._get_metrics()
+        if path == "/v1/placement" and method == "POST":
+            return "placement", lambda: self._post_placement(request)
+        if path == "/v1/simulate" and method == "POST":
+            return "simulate", lambda: self._post_simulate(request)
+        if path.startswith("/v1/profile/") and method == "GET":
+            return "profile", lambda: self._get_profile(request)
+        known = {"/healthz", "/metrics", "/v1/placement", "/v1/simulate"}
+        if path in known or path.startswith("/v1/profile/"):
+            return "other", None  # right path, wrong method
+        return "other", False  # unknown path
+
+    async def _respond(self, request: _HttpRequest) -> _HttpResponse:
+        service = self.service
+        endpoint, handler = self._route(request)
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        if handler is None:
+            response = _HttpResponse.json(
+                {"error": f"method {request.method} not allowed "
+                          f"for {request.path}"}, status=405)
+        elif handler is False:
+            response = _HttpResponse.json(
+                {"error": f"no route {request.path}"}, status=404)
+        else:
+            try:
+                response = await asyncio.wait_for(
+                    handler(), timeout=self.config.request_timeout_s,
+                )
+            except asyncio.TimeoutError:
+                service.m_timeouts.inc()
+                response = _HttpResponse.json(
+                    {"error": "request timed out after "
+                              f"{self.config.request_timeout_s}s"},
+                    status=504,
+                )
+            except ServeError as exc:
+                headers = {}
+                if exc.retry_after is not None:
+                    headers["Retry-After"] = (
+                        f"{max(exc.retry_after, 0.0):g}"
+                    )
+                response = _HttpResponse.json(
+                    {"error": str(exc)}, status=exc.status or 400,
+                    headers=headers,
+                )
+            except Exception as exc:  # noqa: BLE001 - daemon boundary
+                response = _HttpResponse.json(
+                    {"error": f"internal error: "
+                              f"{type(exc).__name__}: {exc}"},
+                    status=500,
+                )
+        service.m_requests.inc(endpoint=endpoint,
+                               status=str(response.status))
+        service.m_latency.observe(loop.time() - started,
+                                  endpoint=endpoint)
+        return response
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+
+    async def _get_healthz(self) -> _HttpResponse:
+        return _HttpResponse.json(self.service.health())
+
+    async def _get_metrics(self) -> _HttpResponse:
+        text = self.service.metrics_text()
+        return _HttpResponse(200, text.encode("utf-8"),
+                             content_type=METRICS_CONTENT_TYPE)
+
+    async def _post_placement(self, request: _HttpRequest
+                              ) -> _HttpResponse:
+        result = await self.service.placement(request.json())
+        return _HttpResponse.json(result)
+
+    async def _post_simulate(self, request: _HttpRequest
+                             ) -> _HttpResponse:
+        result = await self.service.simulate(request.json())
+        return _HttpResponse.json(result)
+
+    async def _get_profile(self, request: _HttpRequest) -> _HttpResponse:
+        workload = request.path[len("/v1/profile/"):]
+        if not workload or "/" in workload:
+            raise ServeError(f"bad profile path {request.path!r}",
+                             status=404)
+        query = request.query
+        accesses: Optional[int] = None
+        if "accesses" in query:
+            try:
+                accesses = max(1, int(query["accesses"]))
+            except ValueError:
+                raise ServeError("'accesses' must be an integer",
+                                 status=400)
+        try:
+            seed = int(query.get("seed", "0"))
+        except ValueError:
+            raise ServeError("'seed' must be an integer", status=400)
+        result = await self.service.profile(
+            workload,
+            dataset=query.get("dataset", "default"),
+            n_accesses=accesses,
+            seed=seed,
+        )
+        return _HttpResponse.json(result)
+
+
+def run(config: Optional[ServeConfig] = None,
+        ready_message: bool = True) -> None:
+    """Blocking entry point for ``repro serve``."""
+    app = ServeApp(config)
+
+    async def main() -> None:
+        await app.start()
+        if ready_message:
+            print(f"repro.serve listening on {app.base_url} "
+                  f"(cache: {app.service.health()['cache_dir']})")
+        try:
+            assert app._server is not None
+            await app._server.serve_forever()
+        finally:
+            await app.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+
+
+class BackgroundServer:
+    """A ServeApp on a dedicated event-loop thread.
+
+    The in-process harness the integration tests (and anything else
+    embedding the daemon) use::
+
+        with BackgroundServer(ServeConfig(port=0)) as server:
+            client = ServeClient(server.base_url)
+
+    ``port=0`` lets the OS pick a free port; ``base_url`` reflects the
+    real binding.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.app = ServeApp(config)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def base_url(self) -> str:
+        return self.app.base_url
+
+    @property
+    def service(self) -> PlacementService:
+        return self.app.service
+
+    def start(self) -> "BackgroundServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._ready.is_set():
+            raise ServeError("daemon failed to start within 30s")
+        return self
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                await self.app.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self._loop = asyncio.get_running_loop()
+            self._stop_event = asyncio.Event()
+            self._ready.set()
+            await self._stop_event.wait()
+            await self.app.stop()
+
+        asyncio.run(main())
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=30)
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,517 @@
+"""The placement service: request semantics behind the HTTP surface.
+
+:class:`PlacementService` owns the three request paths and all their
+shared state; the HTTP layer (:mod:`repro.serve.http`) only translates
+between wire format and these methods.
+
+* **placement** — the paper's ``GetAllocation`` (Fig. 9) as a service:
+  closed-form, cheap, micro-batched across concurrent requests via
+  :class:`~repro.serve.batching.MicroBatcher`.  When the batch queue
+  saturates the service degrades to inline computation — placement is
+  the path that must always answer.
+* **simulate** — a full workload x policy experiment through one shared
+  :class:`~repro.runner.sweep.SweepRunner` (process fan-out + the
+  on-disk result cache every other repro entry point shares).  Identical
+  concurrent requests are deduplicated with
+  :class:`~repro.serve.batching.SingleFlight`; *distinct* in-flight jobs
+  are bounded, and beyond the bound the service refuses with a
+  retryable :class:`ServiceSaturatedError` (HTTP 429).
+* **profile** — Section 5.1 profiling runs, cached in an in-memory LRU
+  keyed by (workload, dataset, accesses, seed).
+
+Every path records Prometheus metrics in the service's registry; the
+integration tests and the CI smoke job assert against that text.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.core.errors import (
+    ReproError,
+    ServeError,
+    WorkloadError,
+)
+from repro.memory.acpi import FirmwareTables, Sbit, enumerate_tables
+from repro.memory.topology import topology_by_name, topology_names
+from repro.policies.registry import policy_names
+from repro.profiling.cdf import AccessCdf
+from repro.profiling.profiler import PageAccessProfiler
+from repro.runner import ResultCache, SweepRunner, make_spec
+from repro.runner.spec import RunSpec
+from repro.runtime.hints import get_allocation
+from repro.serve.batching import BatchSaturatedError, MicroBatcher, SingleFlight
+from repro.serve.config import ServeConfig
+from repro.serve.metrics import MetricsRegistry
+from repro.workloads import get_workload, workload_names
+
+
+class BadRequestError(ServeError):
+    """Malformed request payload (HTTP 400)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, status=400)
+
+
+class ServiceSaturatedError(ServeError):
+    """The bounded simulate queue is full (HTTP 429 + Retry-After)."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message, status=429, retry_after=retry_after)
+
+
+@dataclass(frozen=True)
+class _SbitOnlyTables:
+    """Duck-typed stand-in for FirmwareTables when a request supplies a
+    raw bandwidth vector instead of a named topology.
+
+    ``get_allocation`` only reads ``tables.sbit``, so this is the whole
+    contract a placement request needs.
+    """
+
+    sbit: Sbit
+
+
+def _require(payload: Mapping[str, Any], key: str) -> Any:
+    try:
+        return payload[key]
+    except (KeyError, TypeError):
+        raise BadRequestError(f"missing required field {key!r}")
+
+
+def _int_field(payload: Mapping[str, Any], key: str, default: Any = None,
+               minimum: Optional[int] = None) -> Any:
+    value = payload.get(key, default)
+    if value is None:
+        return None
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise BadRequestError(f"field {key!r} must be an integer")
+    if minimum is not None and value < minimum:
+        raise BadRequestError(f"field {key!r} must be >= {minimum}")
+    return value
+
+
+class PlacementService:
+    """All daemon behaviour that is independent of the wire protocol."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.metrics = MetricsRegistry()
+        self.started_at = time.time()
+
+        cache_dir = self.config.resolved_cache_dir()
+        self.runner = SweepRunner(
+            jobs=self.config.jobs,
+            cache=(ResultCache(cache_dir) if cache_dir is not None
+                   else False),
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.simulate_workers,
+            thread_name_prefix="repro-serve-sim",
+        )
+        self._flight = SingleFlight()
+        self._profile_flight = SingleFlight()
+        self._batcher = MicroBatcher(
+            self._placement_batch,
+            window_s=self.config.batch_window_ms / 1000.0,
+            max_batch=self.config.max_batch_size,
+            max_queue=self.config.max_placement_queue,
+        )
+        self._profiles: OrderedDict[tuple, dict] = OrderedDict()
+        self._tables_cache: dict[str, FirmwareTables] = {}
+
+        m = self.metrics
+        self.m_requests = m.counter(
+            "repro_serve_requests_total",
+            "HTTP requests by endpoint and status code.")
+        self.m_latency = m.histogram(
+            "repro_serve_request_seconds",
+            "End-to-end request latency by endpoint.")
+        self.m_sim_requests = m.counter(
+            "repro_serve_simulate_requests_total",
+            "Accepted /v1/simulate requests.")
+        self.m_sim_dedup = m.counter(
+            "repro_serve_simulate_deduplicated_total",
+            "Simulate requests that joined an identical in-flight job.")
+        self.m_sim_jobs = m.counter(
+            "repro_serve_simulate_jobs_total",
+            "Runner jobs actually started (post dedup).")
+        self.m_sim_cache_hits = m.counter(
+            "repro_serve_simulate_cache_hits_total",
+            "Simulate jobs answered from the on-disk result cache.")
+        self.m_sim_cache_misses = m.counter(
+            "repro_serve_simulate_cache_misses_total",
+            "Simulate jobs that had to execute the experiment.")
+        self.m_sim_rejected = m.counter(
+            "repro_serve_simulate_rejected_total",
+            "Simulate requests refused with 429 (queue saturated).")
+        self.m_sim_inflight = m.gauge(
+            "repro_serve_simulate_inflight",
+            "Distinct simulate jobs currently in flight.")
+        self.m_queue_depth = m.gauge(
+            "repro_serve_queue_depth",
+            "Queued placement requests awaiting a micro-batch.")
+        self.m_place_requests = m.counter(
+            "repro_serve_placement_requests_total",
+            "Accepted /v1/placement requests.")
+        self.m_place_batches = m.counter(
+            "repro_serve_placement_batches_total",
+            "Micro-batches flushed on the placement path.")
+        self.m_place_batched = m.counter(
+            "repro_serve_placement_batched_requests_total",
+            "Placement requests answered through a micro-batch.")
+        self.m_place_inline = m.counter(
+            "repro_serve_placement_inline_total",
+            "Placement requests computed inline (batch queue "
+            "saturated; graceful degradation).")
+        self.m_profile_hits = m.counter(
+            "repro_serve_profile_cache_hits_total",
+            "Profile requests served from the in-memory LRU.")
+        self.m_profile_misses = m.counter(
+            "repro_serve_profile_cache_misses_total",
+            "Profile requests that ran the profiler.")
+        self.m_timeouts = m.counter(
+            "repro_serve_timeouts_total",
+            "Requests that exceeded the per-request timeout.")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._batcher.start()
+
+    async def stop(self) -> None:
+        await self._batcher.stop()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # /healthz
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        cache_dir = self.config.resolved_cache_dir()
+        return {
+            "status": "ok",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "workloads": len(workload_names()),
+            "policies": len(policy_names()),
+            "topologies": list(topology_names()),
+            "cache_dir": str(cache_dir) if cache_dir else None,
+            "inflight_jobs": len(self._flight),
+            "max_pending_jobs": self.config.max_pending_jobs,
+        }
+
+    # ------------------------------------------------------------------
+    # /v1/placement
+    # ------------------------------------------------------------------
+
+    def _tables_for(self, topology: Any) -> tuple[Any, str]:
+        """Resolve a request's topology field to firmware tables."""
+        if topology is None:
+            topology = "baseline"
+        if isinstance(topology, str):
+            if topology not in self._tables_cache:
+                try:
+                    self._tables_cache[topology] = enumerate_tables(
+                        topology_by_name(topology)
+                    )
+                except ReproError as exc:
+                    raise BadRequestError(str(exc))
+            return self._tables_cache[topology], topology
+        if isinstance(topology, Mapping):
+            bandwidths = topology.get("bandwidth_gbps")
+            if not isinstance(bandwidths, Sequence) or not bandwidths:
+                raise BadRequestError(
+                    "custom topology needs a non-empty "
+                    "'bandwidth_gbps' array"
+                )
+            try:
+                sbit = Sbit(tuple(float(b) for b in bandwidths))
+            except (TypeError, ValueError, ReproError) as exc:
+                raise BadRequestError(f"bad bandwidth vector: {exc}")
+            return _SbitOnlyTables(sbit=sbit), "custom"
+        raise BadRequestError(
+            "'topology' must be a name or {'bandwidth_gbps': [...]}"
+        )
+
+    def compute_placement(self, payload: Mapping[str, Any]) -> dict:
+        """One placement request, closed form (no queueing)."""
+        sizes = _require(payload, "sizes")
+        hotness = _require(payload, "hotness")
+        if not isinstance(sizes, Sequence) or not isinstance(
+                hotness, Sequence):
+            raise BadRequestError("'sizes' and 'hotness' must be arrays")
+        try:
+            sizes = [int(s) for s in sizes]
+            hotness = [float(h) for h in hotness]
+        except (TypeError, ValueError):
+            raise BadRequestError(
+                "'sizes' must be integers and 'hotness' numbers"
+            )
+        bo_capacity = _int_field(payload, "bo_capacity_bytes", minimum=0)
+        if bo_capacity is None:
+            raise BadRequestError(
+                "missing required field 'bo_capacity_bytes'"
+            )
+        bo_domain = _int_field(payload, "bo_domain")
+        tables, topology_label = self._tables_for(payload.get("topology"))
+        if bo_domain is not None and not (
+                0 <= bo_domain < len(tables.sbit.bandwidth_gbps)):
+            raise BadRequestError("'bo_domain' out of range")
+        try:
+            hints = get_allocation(
+                sizes, hotness, tables,
+                bo_capacity_bytes=bo_capacity,
+                bo_domain=bo_domain,
+            )
+        except ReproError as exc:
+            raise BadRequestError(str(exc))
+        return {
+            "hints": [hint.value for hint in hints],
+            "topology": topology_label,
+            "bo_capacity_bytes": bo_capacity,
+            "n_allocations": len(hints),
+        }
+
+    def _placement_batch(self, items: list) -> list:
+        """MicroBatcher handler: answer every queued request."""
+        self.m_place_batches.inc()
+        self.m_place_batched.inc(len(items))
+        results: list = []
+        for payload in items:
+            try:
+                results.append(self.compute_placement(payload))
+            except Exception as exc:
+                results.append(exc)
+        return results
+
+    async def placement(self, payload: Mapping[str, Any]) -> dict:
+        """Micro-batched placement; degrades inline when saturated."""
+        self.m_place_requests.inc()
+        try:
+            result = await self._batcher.submit(payload)
+            degraded = False
+        except BatchSaturatedError:
+            # Graceful degradation: placement must always answer, so a
+            # saturated batch queue means compute right here instead.
+            self.m_place_inline.inc()
+            result = self.compute_placement(payload)
+            degraded = True
+        self.m_queue_depth.set(self._batcher.queue_depth)
+        return dict(result, degraded=degraded)
+
+    # ------------------------------------------------------------------
+    # /v1/simulate
+    # ------------------------------------------------------------------
+
+    def parse_simulate_spec(self, payload: Mapping[str, Any]) -> RunSpec:
+        """Validate a simulate payload into a canonical RunSpec."""
+        workload = _require(payload, "workload")
+        policy = payload.get("policy", "BW-AWARE")
+        if not isinstance(workload, str) or not isinstance(policy, str):
+            raise BadRequestError("'workload' and 'policy' must be strings")
+        try:
+            get_workload(workload)
+        except WorkloadError as exc:
+            raise BadRequestError(str(exc))
+        base = policy.upper().partition("@")[0]
+        if base not in policy_names():
+            raise BadRequestError(
+                f"unknown policy {policy!r}; known: {policy_names()}"
+            )
+        topology_name = payload.get("topology")
+        topology = None
+        if topology_name is not None:
+            if not isinstance(topology_name, str):
+                raise BadRequestError(
+                    "/v1/simulate 'topology' must be a registered name"
+                )
+            try:
+                topology = topology_by_name(topology_name)
+            except ReproError as exc:
+                raise BadRequestError(str(exc))
+        capacity = payload.get("bo_capacity_fraction")
+        if capacity is not None:
+            try:
+                capacity = float(capacity)
+            except (TypeError, ValueError):
+                raise BadRequestError(
+                    "'bo_capacity_fraction' must be a number"
+                )
+            if capacity <= 0:
+                raise BadRequestError(
+                    "'bo_capacity_fraction' must be positive"
+                )
+        engine = payload.get("engine", "throughput")
+        if engine not in ("throughput", "detailed", "banked"):
+            raise BadRequestError(f"unknown engine {engine!r}")
+        dataset = payload.get("dataset", "default")
+        training = payload.get("training_dataset")
+        if training is not None and not isinstance(training, str):
+            raise BadRequestError("'training_dataset' must be a string")
+        try:
+            return make_spec(
+                workload, policy,
+                dataset=str(dataset),
+                topology=topology,
+                bo_capacity_fraction=capacity,
+                trace_accesses=_int_field(payload, "trace_accesses",
+                                          minimum=1),
+                seed=_int_field(payload, "seed", default=0) or 0,
+                training_dataset=training,
+                engine=engine,
+            )
+        except ReproError as exc:
+            raise BadRequestError(str(exc))
+
+    def _run_spec_job(self, spec: RunSpec) -> dict:
+        """Executor-thread body: one runner batch for one spec."""
+        started = time.perf_counter()
+        outcome = self.runner.run([spec])
+        record = outcome.manifest.records[0]
+        result = outcome.results[0]
+        return {
+            "cache_hit": bool(record.cache_hit),
+            "duration_s": time.perf_counter() - started,
+            "result": {
+                "workload": result.workload,
+                "dataset": result.dataset,
+                "policy": result.policy,
+                "topology": result.topology_name,
+                "time_ms": result.time_ns / 1e6,
+                "achieved_bandwidth_gbps":
+                    result.sim.achieved_bandwidth / 1e9,
+                "dominant_bound": result.sim.dominant_bound(),
+                "zone_page_counts": list(result.zone_page_counts),
+                "placement_fractions":
+                    list(result.placement_fractions()),
+            },
+        }
+
+    async def simulate(self, payload: Mapping[str, Any]) -> dict:
+        """Deduplicated, bounded, cached simulate path."""
+        spec = self.parse_simulate_spec(payload)
+        key = spec.cache_key(self.runner.salt)
+        self.m_sim_requests.inc()
+
+        joined_existing = key in self._flight.keys()
+        if (not joined_existing
+                and len(self._flight) >= self.config.max_pending_jobs):
+            self.m_sim_rejected.inc()
+            raise ServiceSaturatedError(
+                f"simulate queue full "
+                f"({self.config.max_pending_jobs} jobs in flight)",
+                retry_after=self.config.retry_after_s,
+            )
+
+        loop = asyncio.get_running_loop()
+
+        async def job() -> dict:
+            self.m_sim_jobs.inc()
+            report = await loop.run_in_executor(
+                self._executor, self._run_spec_job, spec
+            )
+            if report["cache_hit"]:
+                self.m_sim_cache_hits.inc()
+            else:
+                self.m_sim_cache_misses.inc()
+            return report
+
+        task, joined = self._flight.join_or_start(key, job)
+        if joined:
+            self.m_sim_dedup.inc()
+        self.m_sim_inflight.set(len(self._flight))
+        try:
+            # shield: one waiter's cancellation/timeout must not kill a
+            # job other waiters share (and whose result feeds the cache).
+            report = await asyncio.shield(task)
+        finally:
+            self.m_sim_inflight.set(len(self._flight))
+        return {
+            "spec": spec.canonical(),
+            "cache_key": key,
+            "deduplicated": joined,
+            **report,
+        }
+
+    # ------------------------------------------------------------------
+    # /v1/profile/<workload>
+    # ------------------------------------------------------------------
+
+    def _profile_payload(self, workload_name: str, dataset: str,
+                         n_accesses: Optional[int], seed: int) -> dict:
+        workload = get_workload(workload_name)
+        profile = PageAccessProfiler().profile(
+            workload, dataset, n_accesses=n_accesses, seed=seed,
+        )
+        cdf = AccessCdf.from_counts(profile.page_counts)
+        return {
+            "workload": profile.workload,
+            "dataset": profile.dataset,
+            "seed": seed,
+            "n_accesses": n_accesses,
+            "total_accesses": profile.total_accesses,
+            "footprint_pages": profile.footprint_pages,
+            "never_accessed_pages": profile.never_accessed_pages(),
+            "skew": cdf.skew(),
+            "traffic_top10": cdf.traffic_at_footprint(0.1),
+            "structures": [
+                {
+                    "name": s.name,
+                    "n_pages": s.n_pages,
+                    "accesses": s.accesses,
+                    "hotness_density": s.hotness_density,
+                }
+                for s in profile.hotness_ranking()
+            ],
+        }
+
+    async def profile(self, workload_name: str, dataset: str = "default",
+                      n_accesses: Optional[int] = None,
+                      seed: int = 0) -> dict:
+        try:
+            get_workload(workload_name)
+        except WorkloadError as exc:
+            raise BadRequestError(str(exc))
+        key = (workload_name, dataset, n_accesses, seed)
+        cached = self._profiles.get(key)
+        if cached is not None:
+            self._profiles.move_to_end(key)
+            self.m_profile_hits.inc()
+            return dict(cached, cached=True)
+        self.m_profile_misses.inc()
+        loop = asyncio.get_running_loop()
+
+        async def job() -> dict:
+            payload = await loop.run_in_executor(
+                self._executor, self._profile_payload,
+                workload_name, dataset, n_accesses, seed,
+            )
+            self._profiles[key] = payload
+            while len(self._profiles) > self.config.profile_cache_size:
+                self._profiles.popitem(last=False)
+            return payload
+
+        task, _ = self._profile_flight.join_or_start(
+            "/".join(map(str, key)), job
+        )
+        payload = await asyncio.shield(task)
+        return dict(payload, cached=False)
+
+    # ------------------------------------------------------------------
+    # /metrics
+    # ------------------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        # Refresh sampled gauges at scrape time.
+        self.m_queue_depth.set(self._batcher.queue_depth)
+        self.m_sim_inflight.set(len(self._flight))
+        return self.metrics.render()

@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) on ``GetAllocation`` (Fig. 9).
+
+The invariants the annotation runtime must hold for *any* program:
+
+* every allocation receives exactly one hint, always a
+  :class:`PlacementHint`;
+* the BO pool is never over-committed beyond the documented spill
+  allowance (only the last, coldest BO-hinted structure may overflow
+  the remaining space — Section 5.2's fallback);
+* if anything was pushed to CO, the BO pool was fully spoken for;
+* degenerate inputs (``bo_capacity_bytes=0``, all-zero hotness) do not
+  crash and behave deterministically;
+* equal-density ties resolve by allocation index — the ordering
+  contract documented in the docstring.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.units import PAGE_SIZE, bytes_to_pages
+from repro.memory.acpi import enumerate_tables
+from repro.memory.topology import simulated_baseline
+from repro.policies.annotated import PlacementHint
+from repro.runtime.hints import get_allocation
+
+TABLES = enumerate_tables(simulated_baseline())
+BO = PlacementHint.BANDWIDTH_OPTIMIZED
+CO = PlacementHint.CAPACITY_OPTIMIZED
+BW = PlacementHint.BW_AWARE
+
+#: allocations as (pages, hotness); page-granular sizes keep the
+#: capacity arithmetic in the assertions exact.
+allocations = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=64),
+        st.floats(min_value=0.0, max_value=1e9,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    min_size=0, max_size=24,
+)
+
+capacities = st.integers(min_value=0, max_value=512)
+
+COMMON = settings(
+    max_examples=150, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def run(allocs, capacity_pages):
+    sizes = [pages * PAGE_SIZE for pages, _ in allocs]
+    hotness = [h for _, h in allocs]
+    hints = get_allocation(sizes, hotness, TABLES,
+                           bo_capacity_bytes=capacity_pages * PAGE_SIZE)
+    return sizes, hotness, hints
+
+
+@COMMON
+@given(allocations, capacities)
+def test_exactly_one_hint_per_allocation(allocs, capacity_pages):
+    sizes, _, hints = run(allocs, capacity_pages)
+    assert len(hints) == len(sizes)
+    assert all(isinstance(h, PlacementHint) for h in hints)
+
+
+@COMMON
+@given(allocations, capacities)
+def test_bo_pool_never_overcommitted_beyond_spill_allowance(
+        allocs, capacity_pages):
+    """BO-hinted pages fit in BO capacity, up to one overflowing tail.
+
+    The ranked fill assigns BO while space remains, so every BO-hinted
+    structure except the last-ranked one must fit cumulatively; the
+    last may overflow (its prefix fills the pool, the rest spills —
+    the documented Section 5.2 behaviour).
+    """
+    sizes, hotness, hints = run(allocs, capacity_pages)
+    if not sizes or hints[0] is BW:
+        return
+    ranked = sorted(
+        range(len(sizes)),
+        key=lambda i: (-(hotness[i] / max(sizes[i], 1)), i),
+    )
+    bo_ranked = [i for i in ranked if hints[i] is BO]
+    fitted = sum(bytes_to_pages(sizes[i]) for i in bo_ranked[:-1])
+    assert fitted < capacity_pages or not bo_ranked
+
+
+@COMMON
+@given(allocations, capacities)
+def test_co_spill_implies_bo_exhausted(allocs, capacity_pages):
+    sizes, _, hints = run(allocs, capacity_pages)
+    if CO in hints:
+        bo_pages = sum(
+            bytes_to_pages(size)
+            for size, hint in zip(sizes, hints) if hint is BO
+        )
+        assert bo_pages >= capacity_pages
+
+
+@COMMON
+@given(allocations, capacities)
+def test_bw_hints_are_all_or_nothing(allocs, capacity_pages):
+    """BW appears only on the unconstrained path, and then everywhere."""
+    _, _, hints = run(allocs, capacity_pages)
+    if BW in hints:
+        assert all(h is BW for h in hints)
+
+
+@COMMON
+@given(allocations)
+def test_zero_capacity_never_crashes(allocs):
+    sizes, _, hints = run(allocs, 0)
+    # Nothing fits in a zero-page pool: everything is capacity-placed.
+    assert all(h is CO for h in hints)
+
+
+@COMMON
+@given(st.lists(st.integers(min_value=1, max_value=64),
+                min_size=1, max_size=24),
+       capacities)
+def test_all_zero_hotness_never_crashes_and_fills_by_index(
+        pages, capacity_pages):
+    """Uniform (zero) hotness is one big tie: index order fills BO."""
+    allocs = [(p, 0.0) for p in pages]
+    sizes, _, hints = run(allocs, capacity_pages)
+    if hints[0] is BW:
+        return
+    # The documented tie-break: BO hints form a prefix of the
+    # allocation order (the fill walks indices ascending).
+    seen_co = False
+    for hint in hints:
+        if hint is CO:
+            seen_co = True
+        else:
+            assert not seen_co, "BO hint after CO under uniform hotness"
+
+
+@COMMON
+@given(allocations, capacities)
+def test_deterministic_for_identical_inputs(allocs, capacity_pages):
+    _, _, first = run(allocs, capacity_pages)
+    _, _, second = run(allocs, capacity_pages)
+    assert first == second
+
+
+@given(st.permutations(list(range(6))), capacities)
+@settings(max_examples=60, deadline=None)
+def test_distinct_densities_permute_with_input(order, capacity_pages):
+    """With no ties, hints follow the allocation, not its position."""
+    base = [(i + 1, float(100 * (i + 1) ** 2)) for i in range(6)]
+    sizes, hotness, hints = run(base, capacity_pages)
+    permuted = [base[i] for i in order]
+    _, _, permuted_hints = run(permuted, capacity_pages)
+    for position, original_index in enumerate(order):
+        assert permuted_hints[position] == hints[original_index]
+
+
+def test_empty_input_returns_empty():
+    assert get_allocation([], [], TABLES, bo_capacity_bytes=0) == []
