@@ -120,7 +120,9 @@ def _sweep_runner(args: argparse.Namespace):
     else:
         cache = True
     return configured(jobs=args.jobs, cache=cache,
-                      runs_dir=args.runs_dir)
+                      runs_dir=args.runs_dir,
+                      chunk_timeout_s=args.chunk_timeout,
+                      max_retries=args.max_retries)
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -291,6 +293,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         simulate_workers=args.workers,
         request_timeout_s=args.timeout,
         batch_window_ms=args.batch_window_ms,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
+        drain_timeout_s=args.drain_timeout,
+        chunk_timeout_s=args.chunk_timeout,
+        max_retries=args.max_retries,
     )
     serve_run(config)
     return 0
@@ -397,6 +404,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--runs-dir", default=None,
                        help="manifest directory "
                             "(default: <cache-dir>/runs)")
+        p.add_argument("--chunk-timeout", type=float, default=None,
+                       help="wall-clock budget per worker chunk in "
+                            "seconds; hung chunks are retried "
+                            "(default: $REPRO_CHUNK_TIMEOUT or off)")
+        p.add_argument("--max-retries", type=int, default=None,
+                       help="retry budget per spec before the sweep "
+                            "fails (default: $REPRO_MAX_RETRIES or 2)")
 
     p_run = sub.add_parser("run", help="run one placement experiment")
     common(p_run)
@@ -496,6 +510,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-request timeout in seconds")
     p_serve.add_argument("--batch-window-ms", type=float, default=2.0,
                          help="placement micro-batch collection window")
+    p_serve.add_argument("--breaker-threshold", type=int, default=5,
+                         help="consecutive simulate failures before "
+                              "the circuit breaker opens (fast 503)")
+    p_serve.add_argument("--breaker-reset", type=float, default=30.0,
+                         help="seconds the breaker stays open before "
+                              "half-open probes are admitted")
+    p_serve.add_argument("--drain-timeout", type=float, default=10.0,
+                         help="seconds graceful shutdown waits for "
+                              "in-flight jobs")
+    p_serve.add_argument("--chunk-timeout", type=float, default=None,
+                         help="runner per-chunk wall-clock budget in "
+                              "seconds (default: $REPRO_CHUNK_TIMEOUT "
+                              "or off)")
+    p_serve.add_argument("--max-retries", type=int, default=None,
+                         help="runner retry budget per spec "
+                              "(default: $REPRO_MAX_RETRIES or 2)")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_req = sub.add_parser(

@@ -54,6 +54,25 @@ class RunnerError(ReproError):
     """The sweep runner was misconfigured or a worker failed."""
 
 
+class SweepError(RunnerError):
+    """A sweep could not resolve every spec despite recovery.
+
+    Raised by :class:`~repro.runner.sweep.SweepRunner` after retries,
+    pool rebuilds, and the degraded serial fallback have all been
+    exhausted (or a deadline expired).  ``failed_specs`` names the
+    offending spec labels so the caller knows exactly what to exclude
+    or investigate; ``causes`` carries one representative exception
+    string per failed spec.
+    """
+
+    def __init__(self, message: str,
+                 failed_specs: "tuple[str, ...] | list[str]" = (),
+                 causes: "tuple[str, ...] | list[str]" = ()) -> None:
+        super().__init__(message)
+        self.failed_specs = tuple(failed_specs)
+        self.causes = tuple(causes)
+
+
 class UncacheableSpecError(RunnerError):
     """An experiment input cannot be canonicalized into a :class:`RunSpec`
     (e.g. a custom policy object with state the runner cannot serialize).

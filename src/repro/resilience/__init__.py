@@ -1,0 +1,57 @@
+"""Fault tolerance for the execution stack: injection, retry, breaking.
+
+Three small, dependency-free primitives shared by the runner, the
+result cache, and the serve daemon:
+
+* :class:`FaultPlan` / :class:`FaultRule` — deterministic, seedable
+  fault injection at named sites (``runner.chunk``, ``cache.read``,
+  ``cache.write``, ``serve.simulate``).  Every recovery path in the
+  stack is driven by a plan in tests and in the chaos CI job, so
+  failure handling is exercised without wall-clock races.  Plans come
+  from code (tests) or the ``REPRO_FAULTS`` environment variable
+  (chaos smoke);
+* :class:`BackoffPolicy` — exponential backoff with deterministic,
+  seedable jitter, used by the runner's chunk retry loop and by
+  :class:`~repro.serve.client.ServeClient`;
+* :class:`CircuitBreaker` — classic closed/open/half-open breaker with
+  an injectable clock, used by the simulate path of the daemon.
+
+None of these import anything above :mod:`repro.core`, so every layer
+can depend on them without cycles.
+"""
+
+from repro.resilience.breaker import (
+    BREAKER_STATE_VALUES,
+    CircuitBreaker,
+)
+from repro.resilience.faults import (
+    FAULT_MODES,
+    FAULT_SITES,
+    FAULTS_ENV,
+    FaultAction,
+    FaultPlan,
+    FaultRule,
+    InjectedFaultError,
+    active_plan,
+    install_plan,
+    perform_worker_action,
+    reset_active_plan,
+)
+from repro.resilience.retry import BackoffPolicy
+
+__all__ = [
+    "BREAKER_STATE_VALUES",
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "FAULTS_ENV",
+    "FAULT_MODES",
+    "FAULT_SITES",
+    "FaultAction",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFaultError",
+    "active_plan",
+    "install_plan",
+    "perform_worker_action",
+    "reset_active_plan",
+]

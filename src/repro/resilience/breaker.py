@@ -1,0 +1,125 @@
+"""A classic three-state circuit breaker.
+
+Closed (normal) → open after ``failure_threshold`` consecutive
+failures; open → half-open after ``reset_timeout_s``; half-open admits
+up to ``half_open_max_probes`` probe operations — one success closes
+the breaker, one failure re-opens it and restarts the timer.
+
+The clock is an injectable ``clock()`` callable (default
+``time.monotonic``) read at call time, so tests drive transitions with
+a fake clock instead of sleeping.  All methods are thread-safe; the
+optional ``on_transition(old, new)`` callback fires under the lock, so
+keep it cheap (the serve layer uses it to bump metrics).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: numeric encoding for the state gauge on /metrics.
+BREAKER_STATE_VALUES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+
+class CircuitBreaker:
+    """Fail fast after repeated failures; probe before recovering."""
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout_s: float = 30.0,
+                 half_open_max_probes: int = 1,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_transition: Optional[
+                     Callable[[str, str], None]] = None) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset_timeout_s must be positive")
+        if half_open_max_probes < 1:
+            raise ValueError("half_open_max_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.half_open_max_probes = half_open_max_probes
+        self.clock = clock
+        self.on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probes = 0
+
+    # ------------------------------------------------------------------
+
+    def _set_state(self, new: str) -> None:
+        old = self._state
+        if old == new:
+            return
+        self._state = new
+        if self.on_transition is not None:
+            self.on_transition(old, new)
+
+    def _maybe_half_open(self) -> None:
+        if (self._state == OPEN and self._opened_at is not None
+                and self.clock() - self._opened_at
+                >= self.reset_timeout_s):
+            self._probes = 0
+            self._set_state(HALF_OPEN)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """May an operation proceed right now?
+
+        Half-open admits at most ``half_open_max_probes`` concurrent
+        probes; everything else is refused until one of them reports.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                return False
+            if self._probes >= self.half_open_max_probes:
+                return False
+            self._probes += 1
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            if self._state == HALF_OPEN:
+                self._probes = 0
+                self._opened_at = None
+                self._set_state(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._opened_at = self.clock()
+                self._probes = 0
+                self._set_state(OPEN)
+                return
+            self._failures += 1
+            if (self._state == CLOSED
+                    and self._failures >= self.failure_threshold):
+                self._opened_at = self.clock()
+                self._set_state(OPEN)
+
+    def retry_after(self) -> float:
+        """Seconds until the next transition to half-open (>= 0)."""
+        with self._lock:
+            if self._state != OPEN or self._opened_at is None:
+                return 0.0
+            remaining = (self.reset_timeout_s
+                         - (self.clock() - self._opened_at))
+            return max(0.0, remaining)

@@ -1,0 +1,45 @@
+"""Exponential backoff with deterministic jitter.
+
+The delay for attempt *n* is ``min(max_s, base_s * factor**n)``
+scaled by a jitter factor drawn from a :class:`random.Random` seeded
+with ``(seed, n)`` — so two processes with the same policy produce
+the same delays (reproducible tests, reproducible chaos runs) while
+different attempts still decorrelate retry storms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Delay schedule for retry loops.
+
+    ``jitter`` is the half-width of the multiplicative jitter band:
+    0.25 means each delay is scaled by a deterministic factor in
+    ``[0.75, 1.25]``.  ``max_total_s`` bounds the *sum* of delays a
+    caller should spend sleeping — callers track spend and stop
+    retrying once :meth:`exhausted` says so.
+    """
+
+    base_s: float = 0.05
+    factor: float = 2.0
+    max_s: float = 2.0
+    jitter: float = 0.25
+    max_total_s: float = 30.0
+    seed: int = 0
+
+    def delay(self, attempt: int) -> float:
+        """Deterministic delay for a 0-indexed retry attempt."""
+        raw = min(self.max_s, self.base_s * (self.factor ** attempt))
+        if self.jitter <= 0:
+            return raw
+        rng = random.Random(f"{self.seed}:{attempt}")
+        scale = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw * scale
+
+    def exhausted(self, slept_s: float) -> bool:
+        """True once cumulative sleep has hit the total budget."""
+        return slept_s >= self.max_total_s

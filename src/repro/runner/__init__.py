@@ -25,6 +25,7 @@ from repro.runner.cache import (
     ResultCache,
     decode_result,
     encode_result,
+    result_digest,
 )
 from repro.runner.manifest import RunManifest, SpecRecord
 from repro.runner.salt import code_version_salt
@@ -37,18 +38,22 @@ from repro.runner.spec import (
     parse_policy,
 )
 from repro.runner.sweep import (
+    RecoveryStats,
     SweepOutcome,
     SweepRunner,
     active,
     configure,
     configured,
     default_cache_root,
+    default_chunk_timeout,
     default_jobs,
+    default_max_retries,
     execute_spec,
 )
 
 __all__ = [
     "CacheStats",
+    "RecoveryStats",
     "ResultCache",
     "RunManifest",
     "RunSpec",
@@ -63,10 +68,13 @@ __all__ = [
     "configured",
     "decode_result",
     "default_cache_root",
+    "default_chunk_timeout",
     "default_jobs",
+    "default_max_retries",
     "describe_topology",
     "encode_result",
     "execute_spec",
     "make_spec",
     "parse_policy",
+    "result_digest",
 ]

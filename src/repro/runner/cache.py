@@ -7,30 +7,53 @@ spec's salted content hash.  Records round-trip
 preserve every bit of a double — so a cache hit is indistinguishable
 from re-running the simulation.
 
-Robustness policy: the cache is advisory.  Any unreadable record —
-truncated write, corrupted JSON, a record produced by an older format
-version, missing fields — is counted in ``stats.invalid`` and treated
-as a miss, never raised to the caller.  Writes go through a temp file
-and ``os.replace`` so concurrent writers (pool workers, parallel CI
-shards sharing a cache volume) can never publish a half-written record.
+Robustness policy: the cache is advisory, and a corrupt entry must
+never surface as a wrong result.  Every record carries a SHA-256
+checksum of its result payload, verified on read; any unreadable or
+checksum-failing record — truncated write, flipped bits, a record
+produced by an older format version, missing fields — is **moved to
+``<root>/quarantine/``** (kept for forensics, never re-read), counted
+in ``stats.invalid``/``stats.quarantined``, and treated as a miss so
+the result is recomputed.  Writes go through
+:func:`repro.core.atomicio.atomic_write_text` (temp file + fsync +
+``os.replace``) so concurrent writers (pool workers, parallel CI
+shards sharing a cache volume) and SIGKILL mid-write can never publish
+a half-written record.
+
+Fault injection: reads and writes consult the active
+:class:`~repro.resilience.faults.FaultPlan` at sites ``cache.read``
+and ``cache.write``, which damage the on-disk record *before* the
+normal code path runs — the integrity machinery is exercised against
+genuinely corrupt files, in tests and in the chaos CI job.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
 import numpy as np
 
+from repro.core.atomicio import atomic_write_text
 from repro.core.experiment import ExperimentResult
 from repro.gpu.trace import SimResult
+from repro.resilience.faults import (
+    FaultAction,
+    FaultPlan,
+    InjectedFaultError,
+    active_plan,
+)
 
 #: bump when the record layout changes; older records become misses.
-CACHE_FORMAT_VERSION = 1
+#: v2 added the result checksum.
+CACHE_FORMAT_VERSION = 2
+
+#: directory (under the cache root) where damaged records are moved.
+QUARANTINE_DIRNAME = "quarantine"
 
 
 def encode_result(result: ExperimentResult) -> dict:
@@ -79,6 +102,13 @@ def decode_result(payload: dict) -> ExperimentResult:
     )
 
 
+def result_digest(payload: dict) -> str:
+    """SHA-256 of a result payload's canonical JSON form."""
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 @dataclass
 class CacheStats:
     """Hit/miss/invalidation accounting for one cache instance."""
@@ -86,49 +116,103 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
-    #: records that existed on disk but could not be decoded.
+    #: records that existed on disk but could not be decoded or failed
+    #: their checksum.
     invalid: int = 0
+    #: invalid records moved to the quarantine directory.
+    quarantined: int = 0
 
     def as_dict(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores, "invalid": self.invalid}
+                "stores": self.stores, "invalid": self.invalid,
+                "quarantined": self.quarantined}
 
 
 class ResultCache:
-    """Content-addressed store of completed experiment results."""
+    """Content-addressed store of completed experiment results.
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    ``fault_plan`` overrides the process-wide plan from
+    :func:`repro.resilience.faults.active_plan` (tests pass one
+    explicitly; the chaos CI job sets ``REPRO_FAULTS``).
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.root = Path(root).expanduser()
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        self._fault_plan = fault_plan
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / QUARANTINE_DIRNAME
+
+    def _plan(self) -> Optional[FaultPlan]:
+        return (self._fault_plan if self._fault_plan is not None
+                else active_plan())
+
+    def _damage(self, path: Path, action: FaultAction) -> None:
+        """Apply an injected fault to an on-disk record."""
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:  # pragma: no cover - racing unlinkers
+            return
+        if action.mode == "truncate":
+            path.write_text(text[: len(text) // 2], encoding="utf-8")
+        else:  # corrupt: keep the length, trash the content
+            path.write_text("\x00garbage" + text[8:], encoding="utf-8")
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged record out of the lookup path, keeping it."""
+        self.stats.invalid += 1
+        target = self.quarantine_dir / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+            self.stats.quarantined += 1
+        except OSError:
+            # Fall back to deletion; a damaged record must never be
+            # re-read as a hit candidate.
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing unlinkers
+                pass
+
     def get(self, key: str) -> Optional[ExperimentResult]:
         """The cached result for ``key``, or ``None`` (counted a miss).
 
-        Unreadable records are deleted so they are recomputed once, not
-        re-parsed on every lookup.
+        Unreadable or checksum-failing records are quarantined so they
+        are recomputed once, not re-parsed on every lookup — and a
+        corrupt record can never surface as a wrong result.
         """
         path = self.path_for(key)
+        plan = self._plan()
+        if plan is not None and path.exists():
+            action = plan.decide("cache.read", key=key)
+            if action is not None:
+                if action.mode == "error":
+                    raise InjectedFaultError(
+                        "injected fault at cache.read")
+                self._damage(path, action)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 record = json.load(handle)
             if record.get("version") != CACHE_FORMAT_VERSION:
                 raise ValueError("cache format version mismatch")
-            result = decode_result(record["result"])
+            payload = record["result"]
+            if record.get("sha256") != result_digest(payload):
+                raise ValueError("cache record checksum mismatch")
+            result = decode_result(payload)
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (OSError, ValueError, KeyError, TypeError) as exc:
-            # Truncated/corrupted/stale record: treat as a miss.
-            self.stats.invalid += 1
+        except (OSError, ValueError, KeyError, TypeError):
+            # Truncated/corrupted/stale record: quarantine, miss.
             self.stats.misses += 1
-            try:
-                path.unlink()
-            except OSError:  # pragma: no cover - racing unlinkers
-                pass
+            self._quarantine(path)
             return None
         self.stats.hits += 1
         return result
@@ -137,37 +221,50 @@ class ResultCache:
             result: ExperimentResult) -> Path:
         """Atomically persist ``result`` under ``key``."""
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = encode_result(result)
         record = {
             "version": CACHE_FORMAT_VERSION,
             "key": key,
             "spec": spec_canonical,
-            "result": encode_result(result),
+            "result": payload,
+            "sha256": result_digest(payload),
         }
-        handle = tempfile.NamedTemporaryFile(
-            "w", encoding="utf-8", dir=path.parent,
-            prefix=f".{key[:8]}.", suffix=".tmp", delete=False,
-        )
-        try:
-            with handle:
-                json.dump(record, handle, default=str)
-            os.replace(handle.name, path)
-        except BaseException:  # pragma: no cover - crash mid-write
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+        text = json.dumps(record, default=str)
+        plan = self._plan()
+        if plan is not None:
+            action = plan.decide("cache.write", key=key)
+            if action is not None:
+                if action.mode == "error":
+                    raise InjectedFaultError(
+                        "injected fault at cache.write")
+                # Simulate a non-atomic writer killed mid-record: the
+                # torn file lands on the *final* path, exactly what the
+                # atomic path below can never produce.
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(text[: len(text) // 2],
+                                encoding="utf-8")
+                self.stats.stores += 1
+                return path
+        atomic_write_text(path, text)
         self.stats.stores += 1
         return path
 
+    def _record_paths(self):
+        for path in self.root.glob("*/*.json"):
+            if path.parent.name != QUARANTINE_DIRNAME:
+                yield path
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self._record_paths())
 
     def clear(self) -> int:
-        """Delete every record; returns the number removed."""
+        """Delete every live record; returns the number removed.
+
+        Quarantined records are kept — they are forensic artifacts,
+        not lookup candidates.
+        """
         removed = 0
-        for path in self.root.glob("*/*.json"):
+        for path in self._record_paths():
             try:
                 path.unlink()
                 removed += 1

@@ -11,13 +11,13 @@ fact — "did that figure actually re-simulate anything?" is answered by
 
 from __future__ import annotations
 
-import json
-import os
 import time
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
+
+from repro.core.atomicio import atomic_write_json
 
 
 @dataclass(frozen=True)
@@ -61,6 +61,10 @@ class RunManifest:
     cache_dir: Optional[str]
     cache_stats: dict
     records: tuple[SpecRecord, ...] = ()
+    #: failure-recovery accounting for the batch (retries, rebuilt
+    #: pools, chunk timeouts, degraded-serial executions...); empty
+    #: when the sweep ran clean.
+    recovery: dict = field(default_factory=dict)
     #: where the manifest was written, when it was.
     path: Optional[Path] = None
 
@@ -90,26 +94,35 @@ class RunManifest:
             "wall_time_s": self.wall_time_s,
             "cache_dir": self.cache_dir,
             "cache_stats": self.cache_stats,
+            "recovery": self.recovery,
             "specs": [record.as_dict() for record in self.records],
         }
 
     def write(self, runs_dir: Union[str, Path]) -> Path:
-        """Persist to ``<runs_dir>/<run_id>/manifest.json``."""
-        directory = Path(runs_dir).expanduser() / self.run_id
-        directory.mkdir(parents=True, exist_ok=True)
-        path = directory / "manifest.json"
-        tmp = path.with_suffix(".json.tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(self.as_dict(), handle, indent=2, default=str)
-            handle.write("\n")
-        os.replace(tmp, path)
+        """Persist to ``<runs_dir>/<run_id>/manifest.json``.
+
+        Atomic (temp file + fsync + ``os.replace``): a SIGKILL
+        mid-write can never leave a truncated manifest behind.
+        """
+        path = (Path(runs_dir).expanduser() / self.run_id
+                / "manifest.json")
+        atomic_write_json(path, self.as_dict(), indent=2)
         self.path = path
         return path
 
     def summary(self) -> str:
         """One line for CLI output."""
-        return (f"sweep {self.run_id}: {self.n_specs} specs, "
+        line = (f"sweep {self.run_id}: {self.n_specs} specs, "
                 f"{self.cache_hits} cache hits, "
                 f"{self.deduplicated} deduplicated, "
                 f"{self.executed} executed, jobs={self.jobs}, "
                 f"{self.wall_time_s:.2f}s")
+        noteworthy = {k: v for k, v in self.recovery.items() if v}
+        quarantined = (self.cache_stats or {}).get("quarantined", 0)
+        if quarantined:
+            noteworthy["quarantined"] = quarantined
+        if noteworthy:
+            line += " [recovery: " + ", ".join(
+                f"{value} {key}" for key, value in
+                sorted(noteworthy.items())) + "]"
+        return line

@@ -22,6 +22,23 @@ once.  Executed results are round-tripped through the cache codec even
 on the serial path, so a value can never depend on whether it came
 from a worker, the cache, or an in-process run.
 
+Fault tolerance: the fan-out path survives crashed workers, hung
+chunks, and transient exceptions.  Each chunk gets a wall-clock budget
+(``chunk_timeout_s``); a timeout or a ``BrokenProcessPool`` abandons
+and rebuilds the pool, and the failed chunks are retried with
+exponential backoff + deterministic jitter, **split in half** on each
+retry so a single poisoned spec is progressively isolated.  A spec
+that exhausts ``max_retries`` gets one last in-process attempt (the
+degraded serial fallback); if that fails too the sweep raises a
+structured :class:`~repro.core.errors.SweepError` naming the offending
+specs.  Completed chunks are checkpointed to the cache *as they
+finish*, so a killed or failed sweep only re-runs actual misses when
+resumed.  All recovery events are counted in the manifest's
+``recovery`` dict.  Failures are injectable via
+:class:`~repro.resilience.faults.FaultPlan` (site ``runner.chunk``) —
+decisions are made in the parent and shipped to workers as arguments,
+so every recovery path is deterministic and testable.
+
 A module-global *active runner* lets high-level entry points (the CLI,
 figure regenerators) share one configuration: ``configure()`` installs
 a runner, ``configured()`` scopes one to a ``with`` block, ``active()``
@@ -34,9 +51,10 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional, Sequence, Union
 
@@ -45,8 +63,16 @@ from repro.core.cachedir import (
     DEFAULT_CACHE_DIRNAME,
     cache_root,
 )
-from repro.core.errors import RunnerError
+from repro.core.errors import RunnerError, SweepError
 from repro.core.experiment import ExperimentResult, run_experiment
+from repro.resilience.faults import (
+    FaultAction,
+    FaultPlan,
+    InjectedFaultError,
+    active_plan,
+    perform_worker_action,
+)
+from repro.resilience.retry import BackoffPolicy
 from repro.runner.cache import (
     ResultCache,
     decode_result,
@@ -61,6 +87,11 @@ from repro.runner.spec import RunSpec, parse_policy
 #: CLI and the serve daemon share the exact same rule.)
 RUNS_DIR_ENV = "REPRO_RUNS_DIR"
 JOBS_ENV = "REPRO_JOBS"
+CHUNK_TIMEOUT_ENV = "REPRO_CHUNK_TIMEOUT"
+MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
+
+#: retry budget per spec when none is configured.
+DEFAULT_MAX_RETRIES = 2
 
 
 def default_jobs() -> int:
@@ -72,6 +103,37 @@ def default_jobs() -> int:
         except ValueError:
             raise RunnerError(f"{JOBS_ENV} must be an integer, got {raw!r}")
     return 1
+
+
+def default_chunk_timeout() -> Optional[float]:
+    """Chunk budget when none is configured (``REPRO_CHUNK_TIMEOUT``).
+
+    ``None`` (no env var) disables the timeout — identical to the
+    historical behavior; any positive float enables it.
+    """
+    raw = os.environ.get(CHUNK_TIMEOUT_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise RunnerError(
+            f"{CHUNK_TIMEOUT_ENV} must be a number, got {raw!r}")
+    if value <= 0:
+        raise RunnerError(f"{CHUNK_TIMEOUT_ENV} must be positive")
+    return value
+
+
+def default_max_retries() -> int:
+    """Per-spec retry budget (``REPRO_MAX_RETRIES`` or 2)."""
+    raw = os.environ.get(MAX_RETRIES_ENV, "").strip()
+    if not raw:
+        return DEFAULT_MAX_RETRIES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        raise RunnerError(
+            f"{MAX_RETRIES_ENV} must be an integer, got {raw!r}")
 
 
 def default_cache_root() -> Path:
@@ -98,12 +160,17 @@ def execute_spec(spec: RunSpec) -> ExperimentResult:
     )
 
 
-def _execute_chunk(specs: Sequence[RunSpec]) -> list[tuple[dict, float]]:
+def _execute_chunk(specs: Sequence[RunSpec],
+                   action: Optional[FaultAction] = None
+                   ) -> list[tuple[dict, float]]:
     """Worker entry point: run specs, return (encoded result, seconds).
 
     Results cross the process boundary in the cache's JSON encoding so
     fresh and cached results are byte-for-byte the same representation.
+    ``action`` is a fault decision shipped from the parent (crash /
+    hang / transient error) — ``None`` outside chaos runs and tests.
     """
+    perform_worker_action(action)
     out = []
     for spec in specs:
         start = time.perf_counter()
@@ -126,6 +193,30 @@ def _chunk_slices(n: int, chunks: int) -> list[range]:
         slices.append(range(start, start + size))
         start += size
     return slices
+
+
+@dataclass
+class RecoveryStats:
+    """What it took to complete a sweep beyond the happy path."""
+
+    retries: int = 0
+    pool_rebuilds: int = 0
+    chunk_timeouts: int = 0
+    worker_crashes: int = 0
+    chunk_errors: int = 0
+    degraded_serial: int = 0
+    backoff_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "retries": self.retries,
+            "pool_rebuilds": self.pool_rebuilds,
+            "chunk_timeouts": self.chunk_timeouts,
+            "worker_crashes": self.worker_crashes,
+            "chunk_errors": self.chunk_errors,
+            "degraded_serial": self.degraded_serial,
+            "backoff_s": round(self.backoff_s, 6),
+        }
 
 
 @dataclass(frozen=True)
@@ -154,13 +245,25 @@ class SweepRunner:
     ``REPRO_CACHE_DIR`` is set).  ``runs_dir``: where batch manifests
     are written (``None`` → ``REPRO_RUNS_DIR``, else ``<cache>/runs``
     when caching, else in-memory manifests only).
+
+    Resilience knobs: ``chunk_timeout_s`` (``None`` → disabled or
+    ``REPRO_CHUNK_TIMEOUT``) bounds each chunk's wall clock before it
+    is declared hung; ``max_retries`` (``None`` → 2 or
+    ``REPRO_MAX_RETRIES``) bounds per-spec retry attempts; ``backoff``
+    schedules the inter-retry sleeps; ``fault_plan`` overrides the
+    process-wide injection plan (``None`` → ``REPRO_FAULTS``/installed
+    plan via :func:`repro.resilience.faults.active_plan`).
     """
 
     def __init__(self,
                  jobs: Optional[int] = None,
                  cache: Union[ResultCache, bool, None] = None,
                  runs_dir: Union[str, Path, None] = None,
-                 salt: Optional[str] = None) -> None:
+                 salt: Optional[str] = None,
+                 chunk_timeout_s: Optional[float] = None,
+                 max_retries: Optional[int] = None,
+                 backoff: Optional[BackoffPolicy] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         if isinstance(cache, ResultCache):
             self.cache: Optional[ResultCache] = cache
@@ -179,12 +282,28 @@ class SweepRunner:
         else:
             self.runs_dir = None
         self.salt = code_version_salt() if salt is None else salt
+        self.chunk_timeout_s = (default_chunk_timeout()
+                                if chunk_timeout_s is None
+                                else float(chunk_timeout_s))
+        self.max_retries = (default_max_retries() if max_retries is None
+                            else max(0, int(max_retries)))
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self._fault_plan = fault_plan
+        #: injectable for tests; the only place the runner sleeps.
+        self._sleep = time.sleep
         self.last_manifest: Optional[RunManifest] = None
 
     # ------------------------------------------------------------------
 
-    def run(self, specs: Sequence[RunSpec]) -> SweepOutcome:
-        """Resolve every spec, in order (cache → dedup → fan-out)."""
+    def run(self, specs: Sequence[RunSpec],
+            deadline: Optional[float] = None) -> SweepOutcome:
+        """Resolve every spec, in order (cache → dedup → fan-out).
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant;
+        once it passes, the sweep stops launching work and raises
+        :class:`SweepError` naming the unresolved specs (the serve
+        layer propagates request deadlines this way).
+        """
         specs = tuple(specs)
         start = time.perf_counter()
         n = len(specs)
@@ -193,6 +312,7 @@ class SweepRunner:
         durations = [0.0] * n
         hit = [False] * n
         duplicate = [False] * n
+        recovery = RecoveryStats()
 
         first_index: dict[str, int] = {}
         misses: list[int] = []
@@ -210,11 +330,8 @@ class SweepRunner:
             misses.append(i)
 
         if misses:
-            self._execute_misses(specs, misses, results, durations)
-            if self.cache is not None:
-                for i in misses:
-                    self.cache.put(keys[i], specs[i].canonical(),
-                                   results[i])
+            self._execute_misses(specs, keys, misses, results,
+                                 durations, recovery, deadline)
         for i in range(n):
             if duplicate[i]:
                 results[i] = results[first_index[keys[i]]]
@@ -233,6 +350,7 @@ class SweepRunner:
                        if self.cache is not None else None),
             cache_stats=(self.cache.stats.as_dict()
                          if self.cache is not None else {}),
+            recovery=recovery.as_dict(),
             records=tuple(
                 SpecRecord(index=i, label=specs[i].label(),
                            cache_key=keys[i], cache_hit=hit[i],
@@ -246,27 +364,269 @@ class SweepRunner:
         self.last_manifest = manifest
         return SweepOutcome(results=tuple(results), manifest=manifest)
 
+    # ------------------------------------------------------------------
+    # execution with recovery
+    # ------------------------------------------------------------------
+
+    def _fault(self) -> Optional[FaultPlan]:
+        return (self._fault_plan if self._fault_plan is not None
+                else active_plan())
+
+    def _decide(self, key: str) -> Optional[FaultAction]:
+        plan = self._fault()
+        return plan.decide("runner.chunk", key=key) if plan else None
+
+    @staticmethod
+    def _apply_inprocess_action(action: Optional[FaultAction]) -> None:
+        """Honor a fault decision without a worker process to kill.
+
+        ``crash`` and ``error`` both surface as a transient exception
+        (there is no process to lose); ``hang`` sleeps.
+        """
+        if action is None:
+            return
+        if action.mode in ("crash", "error"):
+            raise InjectedFaultError(
+                f"injected {action.mode} at {action.site} (in-process)")
+        if action.mode == "hang":
+            time.sleep(action.delay_s)
+
+    def _checkpoint(self, specs: Sequence[RunSpec], keys: Sequence[str],
+                    index: int, results: list) -> None:
+        """Persist one finished result immediately (resumable sweeps)."""
+        if self.cache is not None:
+            self.cache.put(keys[index], specs[index].canonical(),
+                           results[index])
+
+    def _harvest(self, specs: Sequence[RunSpec], keys: Sequence[str],
+                 block: Sequence[int], payload: Sequence[tuple],
+                 results: list, durations: list) -> None:
+        for index, (encoded, spent) in zip(block, payload):
+            results[index] = decode_result(encoded)
+            durations[index] = spent
+            self._checkpoint(specs, keys, index, results)
+
+    def _backoff_sleep(self, attempt: int,
+                       recovery: RecoveryStats) -> None:
+        """Sleep before a retry wave, bounded by the total budget."""
+        if self.backoff.exhausted(recovery.backoff_s):
+            return
+        delay = min(self.backoff.delay(attempt),
+                    self.backoff.max_total_s - recovery.backoff_s)
+        if delay > 0:
+            recovery.backoff_s += delay
+            self._sleep(delay)
+
+    @staticmethod
+    def _check_deadline(deadline: Optional[float],
+                        labels: Sequence[str]) -> None:
+        if deadline is not None and time.monotonic() >= deadline:
+            raise SweepError(
+                f"sweep deadline exceeded with {len(labels)} spec(s) "
+                "unresolved",
+                failed_specs=tuple(labels),
+                causes=("deadline exceeded",) * len(labels),
+            )
+
     def _execute_misses(self, specs: Sequence[RunSpec],
+                        keys: Sequence[str],
                         misses: Sequence[int],
-                        results: list, durations: list) -> None:
+                        results: list, durations: list,
+                        recovery: RecoveryStats,
+                        deadline: Optional[float] = None) -> None:
         if self.jobs > 1 and len(misses) > 1:
-            slices = _chunk_slices(len(misses), self.jobs)
-            with ProcessPoolExecutor(max_workers=len(slices)) as pool:
-                futures = [
-                    pool.submit(_execute_chunk,
-                                [specs[misses[j]] for j in block])
-                    for block in slices
-                ]
-                for block, future in zip(slices, futures):
-                    for j, (encoded, spent) in zip(block, future.result()):
-                        index = misses[j]
-                        results[index] = decode_result(encoded)
-                        durations[index] = spent
+            self._execute_parallel(specs, keys, misses, results,
+                                   durations, recovery, deadline)
         else:
-            for index in misses:
-                encoded, spent = _execute_chunk((specs[index],))[0]
-                results[index] = decode_result(encoded)
-                durations[index] = spent
+            self._execute_serial(specs, keys, misses, results,
+                                 durations, recovery, deadline)
+
+    def _execute_serial(self, specs: Sequence[RunSpec],
+                        keys: Sequence[str],
+                        misses: Sequence[int],
+                        results: list, durations: list,
+                        recovery: RecoveryStats,
+                        deadline: Optional[float]) -> None:
+        failed: list[str] = []
+        causes: list[str] = []
+        for position, index in enumerate(misses):
+            label = specs[index].label()
+            self._check_deadline(
+                deadline,
+                [specs[i].label() for i in misses[position:]])
+            last_cause: Optional[str] = None
+            for attempt in range(self.max_retries + 1):
+                try:
+                    self._apply_inprocess_action(self._decide(label))
+                    encoded, spent = _execute_chunk((specs[index],))[0]
+                except Exception as exc:  # noqa: BLE001 - retry boundary
+                    recovery.chunk_errors += 1
+                    last_cause = f"{type(exc).__name__}: {exc}"
+                    if attempt < self.max_retries:
+                        recovery.retries += 1
+                        self._backoff_sleep(attempt, recovery)
+                else:
+                    results[index] = decode_result(encoded)
+                    durations[index] = spent
+                    self._checkpoint(specs, keys, index, results)
+                    last_cause = None
+                    break
+            if last_cause is not None:
+                failed.append(label)
+                causes.append(last_cause)
+        if failed:
+            raise SweepError(
+                f"sweep failed for {len(failed)} spec(s) after "
+                f"{self.max_retries} retries each: {', '.join(failed)}",
+                failed_specs=failed, causes=causes,
+            )
+
+    def _execute_parallel(self, specs: Sequence[RunSpec],
+                          keys: Sequence[str],
+                          misses: Sequence[int],
+                          results: list, durations: list,
+                          recovery: RecoveryStats,
+                          deadline: Optional[float]) -> None:
+        queue: list[list[int]] = [
+            [misses[j] for j in block]
+            for block in _chunk_slices(len(misses), self.jobs)
+        ]
+        attempts = {index: 0 for index in misses}
+        failed: dict[int, str] = {}
+        pool: Optional[ProcessPoolExecutor] = None
+        retry_round = 0
+        try:
+            while queue:
+                self._check_deadline(
+                    deadline,
+                    [specs[i].label() for blk in queue for i in blk])
+                if pool is None:
+                    pool = ProcessPoolExecutor(
+                        max_workers=min(self.jobs, len(queue)))
+                wave, queue = queue, []
+                submitted: list[tuple[list[int], object]] = []
+                failed_blocks: list[tuple[list[int], str]] = []
+                pool_broken = False
+                for position, block in enumerate(wave):
+                    chunk_key = "|".join(specs[i].label() for i in block)
+                    action = self._decide(chunk_key)
+                    try:
+                        future = pool.submit(
+                            _execute_chunk,
+                            [specs[i] for i in block], action)
+                    except BrokenExecutor as exc:
+                        recovery.worker_crashes += 1
+                        pool_broken = True
+                        for late in wave[position:]:
+                            failed_blocks.append(
+                                (late, f"worker pool broke on "
+                                       f"submit: {exc}"))
+                        break
+                    submitted.append((block, future))
+
+                wave_deadline = (
+                    time.monotonic() + self.chunk_timeout_s
+                    if self.chunk_timeout_s is not None else None)
+                for block, future in submitted:
+                    if pool_broken:
+                        # Pool already abandoned: salvage finished
+                        # chunks, requeue the rest.
+                        if future.done() and future.exception() is None:
+                            self._harvest(specs, keys, block,
+                                          future.result(), results,
+                                          durations)
+                        else:
+                            failed_blocks.append(
+                                (block, "worker pool broken"))
+                        continue
+                    timeout = None
+                    if wave_deadline is not None:
+                        timeout = max(0.05,
+                                      wave_deadline - time.monotonic())
+                    try:
+                        payload = future.result(timeout=timeout)
+                    except FuturesTimeoutError:
+                        recovery.chunk_timeouts += 1
+                        pool_broken = True
+                        failed_blocks.append(
+                            (block, f"chunk exceeded "
+                                    f"{self.chunk_timeout_s}s timeout"))
+                    except BrokenExecutor as exc:
+                        recovery.worker_crashes += 1
+                        pool_broken = True
+                        failed_blocks.append(
+                            (block, f"worker crashed: {exc}"))
+                    except Exception as exc:  # noqa: BLE001
+                        recovery.chunk_errors += 1
+                        failed_blocks.append(
+                            (block, f"{type(exc).__name__}: {exc}"))
+                    else:
+                        self._harvest(specs, keys, block, payload,
+                                      results, durations)
+
+                if pool_broken:
+                    # A hung worker cannot be cancelled and a crashed
+                    # pool cannot accept work: abandon and rebuild.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = None
+                    recovery.pool_rebuilds += 1
+
+                if failed_blocks:
+                    for block, cause in failed_blocks:
+                        retriable: list[int] = []
+                        for index in block:
+                            attempts[index] += 1
+                            if attempts[index] > self.max_retries:
+                                self._degraded_serial(
+                                    specs, keys, index, cause,
+                                    results, durations, recovery,
+                                    failed)
+                            else:
+                                retriable.append(index)
+                        if retriable:
+                            recovery.retries += 1
+                            # Shrink the chunk on retry so a poisoned
+                            # spec is isolated in ~log2(chunk) rounds.
+                            if len(retriable) > 1:
+                                mid = len(retriable) // 2
+                                queue.append(retriable[:mid])
+                                queue.append(retriable[mid:])
+                            else:
+                                queue.append(retriable)
+                    if queue:
+                        self._backoff_sleep(retry_round, recovery)
+                        retry_round += 1
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        if failed:
+            order = sorted(failed)
+            labels = [specs[i].label() for i in order]
+            raise SweepError(
+                f"sweep failed for {len(failed)} spec(s) despite "
+                f"retries and serial fallback: {', '.join(labels)}",
+                failed_specs=labels,
+                causes=[failed[i] for i in order],
+            )
+
+    def _degraded_serial(self, specs: Sequence[RunSpec],
+                         keys: Sequence[str], index: int, cause: str,
+                         results: list, durations: list,
+                         recovery: RecoveryStats,
+                         failed: dict) -> None:
+        """Last-resort in-process execution of one exhausted spec."""
+        recovery.degraded_serial += 1
+        label = specs[index].label()
+        try:
+            self._apply_inprocess_action(self._decide(label))
+            encoded, spent = _execute_chunk((specs[index],))[0]
+        except Exception as exc:  # noqa: BLE001 - terminal boundary
+            failed[index] = (f"{type(exc).__name__}: {exc} "
+                             f"(after: {cause})")
+        else:
+            results[index] = decode_result(encoded)
+            durations[index] = spent
+            self._checkpoint(specs, keys, index, results)
 
 
 # ----------------------------------------------------------------------
@@ -286,22 +646,34 @@ def active() -> SweepRunner:
 
 def configure(jobs: Optional[int] = None,
               cache: Union[ResultCache, bool, None] = None,
-              runs_dir: Union[str, Path, None] = None) -> SweepRunner:
+              runs_dir: Union[str, Path, None] = None,
+              chunk_timeout_s: Optional[float] = None,
+              max_retries: Optional[int] = None,
+              fault_plan: Optional[FaultPlan] = None) -> SweepRunner:
     """Install (and return) a new process-wide runner."""
     global _ACTIVE
-    _ACTIVE = SweepRunner(jobs=jobs, cache=cache, runs_dir=runs_dir)
+    _ACTIVE = SweepRunner(jobs=jobs, cache=cache, runs_dir=runs_dir,
+                          chunk_timeout_s=chunk_timeout_s,
+                          max_retries=max_retries,
+                          fault_plan=fault_plan)
     return _ACTIVE
 
 
 @contextmanager
 def configured(jobs: Optional[int] = None,
                cache: Union[ResultCache, bool, None] = None,
-               runs_dir: Union[str, Path, None] = None
+               runs_dir: Union[str, Path, None] = None,
+               chunk_timeout_s: Optional[float] = None,
+               max_retries: Optional[int] = None,
+               fault_plan: Optional[FaultPlan] = None
                ) -> Iterator[SweepRunner]:
     """Scope a runner configuration to a ``with`` block."""
     global _ACTIVE
     previous = _ACTIVE
-    runner = SweepRunner(jobs=jobs, cache=cache, runs_dir=runs_dir)
+    runner = SweepRunner(jobs=jobs, cache=cache, runs_dir=runs_dir,
+                         chunk_timeout_s=chunk_timeout_s,
+                         max_retries=max_retries,
+                         fault_plan=fault_plan)
     _ACTIVE = runner
     try:
         yield runner

@@ -36,8 +36,10 @@ from repro.serve.http import BackgroundServer, ServeApp, run
 from repro.serve.metrics import MetricsRegistry, parse_metrics
 from repro.serve.service import (
     BadRequestError,
+    DeadlineExceededError,
     PlacementService,
     ServiceSaturatedError,
+    ServiceUnavailableError,
 )
 
 __all__ = [
@@ -46,6 +48,7 @@ __all__ = [
     "BatchSaturatedError",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
+    "DeadlineExceededError",
     "MetricsRegistry",
     "MicroBatcher",
     "PlacementService",
@@ -54,6 +57,7 @@ __all__ = [
     "ServeClient",
     "ServeConfig",
     "ServiceSaturatedError",
+    "ServiceUnavailableError",
     "SingleFlight",
     "default_serve_url",
     "parse_metrics",

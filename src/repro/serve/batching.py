@@ -160,6 +160,11 @@ class SingleFlight:
     def keys(self) -> Sequence[str]:
         return tuple(self._inflight)
 
+    def tasks(self) -> "tuple[asyncio.Task, ...]":
+        """The in-flight tasks themselves (graceful shutdown drains
+        these before tearing down the executor)."""
+        return tuple(self._inflight.values())
+
     def join_or_start(
         self, key: str, factory: Callable[[], Awaitable[Any]]
     ) -> tuple[asyncio.Task, bool]:
@@ -182,5 +187,10 @@ class SingleFlight:
         return task, False
 
     def _discard(self, key: str, task: asyncio.Task) -> None:
+        if not task.cancelled():
+            # Mark any failure retrieved: waiters that stopped waiting
+            # (deadline, disconnect) must not trigger asyncio's "task
+            # exception was never retrieved" warning.
+            task.exception()
         if self._inflight.get(key) is task:
             del self._inflight[key]

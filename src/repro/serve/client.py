@@ -29,17 +29,30 @@ import urllib.request
 from typing import Any, Mapping, Optional, Sequence, Union
 
 from repro.core.errors import ServeError
+from repro.resilience import BackoffPolicy
 from repro.serve.config import default_serve_url
 from repro.serve.metrics import parse_metrics
+
+#: HTTP statuses worth re-submitting: queue saturation (429) and
+#: temporary unavailability — draining or an open circuit breaker (503).
+RETRYABLE_STATUSES = frozenset({429, 503})
 
 
 class ServeClient:
     """Synchronous client for one daemon instance."""
 
     def __init__(self, base_url: Optional[str] = None,
-                 timeout_s: float = 300.0) -> None:
+                 timeout_s: float = 300.0,
+                 backoff: Optional[BackoffPolicy] = None) -> None:
         self.base_url = (base_url or default_serve_url()).rstrip("/")
         self.timeout_s = timeout_s
+        #: governs sleeps between simulate retries when the server does
+        #: not send a usable ``Retry-After``; also caps the cumulative
+        #: time spent sleeping across one ``simulate`` call.
+        self.backoff = backoff if backoff is not None else BackoffPolicy(
+            base_s=0.25, factor=2.0, max_s=5.0, max_total_s=60.0
+        )
+        self._sleep = time.sleep  # test seam
 
     # ------------------------------------------------------------------
     # transport
@@ -146,9 +159,14 @@ class ServeClient:
                  retries: int = 0) -> dict:
         """``POST /v1/simulate`` — run (or fetch) one experiment.
 
-        ``retries`` > 0 re-submits after the server's ``Retry-After``
-        hint when the simulate queue is saturated (429); all other
-        errors raise immediately.
+        ``retries`` > 0 re-submits when the server signals transient
+        trouble — queue saturation (429) or unavailability while
+        draining / breaker-open (503).  The sleep between attempts is
+        the server's ``Retry-After`` hint capped at the backoff
+        policy's ``max_s``, or the policy's own exponential delay when
+        no hint is sent; cumulative sleep is bounded by the policy's
+        ``max_total_s``, after which the last error raises even if
+        retries remain.  All other errors raise immediately.
         """
         payload: dict[str, Any] = {
             "workload": workload, "policy": policy, "dataset": dataset,
@@ -163,14 +181,21 @@ class ServeClient:
         if training_dataset is not None:
             payload["training_dataset"] = training_dataset
         attempts = max(0, int(retries)) + 1
+        slept_s = 0.0
         for attempt in range(attempts):
             try:
                 return self._json("POST", "/v1/simulate", payload)
             except ServeError as exc:
-                if exc.status != 429 or attempt == attempts - 1:
+                if (exc.status not in RETRYABLE_STATUSES
+                        or attempt == attempts - 1
+                        or self.backoff.exhausted(slept_s)):
                     raise
-                time.sleep(exc.retry_after
-                           if exc.retry_after is not None else 1.0)
+                if exc.retry_after is not None and exc.retry_after > 0:
+                    delay = min(exc.retry_after, self.backoff.max_s)
+                else:
+                    delay = self.backoff.delay(attempt)
+                self._sleep(delay)
+                slept_s += delay
         raise AssertionError("unreachable")  # pragma: no cover
 
     def profile(self, workload: str, dataset: str = "default",

@@ -67,6 +67,22 @@ class ServeConfig:
     #: Retry-After hint attached to 429 responses.
     retry_after_s: float = 1.0
 
+    #: consecutive simulate failures before the circuit breaker opens
+    #: (open → fast 503 + Retry-After instead of queueing doomed work).
+    breaker_threshold: int = 5
+    #: seconds the breaker stays open before admitting half-open probes.
+    breaker_reset_s: float = 30.0
+    #: concurrent probe jobs admitted while half-open.
+    breaker_probes: int = 1
+    #: how long graceful shutdown waits for in-flight jobs to drain.
+    drain_timeout_s: float = 10.0
+    #: per-chunk wall-clock budget for the runner (None → no timeout,
+    #: or $REPRO_CHUNK_TIMEOUT).
+    chunk_timeout_s: Optional[float] = None
+    #: per-spec retry budget for the runner (None → 2, or
+    #: $REPRO_MAX_RETRIES).
+    max_retries: Optional[int] = None
+
     #: placement micro-batch collection window and size cap.
     batch_window_ms: float = 2.0
     max_batch_size: int = 64
@@ -95,6 +111,17 @@ class ServeConfig:
             raise ConfigError("max_batch_size must be >= 1")
         if self.profile_cache_size < 1:
             raise ConfigError("profile_cache_size must be >= 1")
+        if self.breaker_threshold < 1:
+            raise ConfigError("breaker_threshold must be >= 1")
+        if self.breaker_reset_s <= 0:
+            raise ConfigError("breaker_reset_s must be positive")
+        if self.breaker_probes < 1:
+            raise ConfigError("breaker_probes must be >= 1")
+        if self.drain_timeout_s < 0:
+            raise ConfigError("drain_timeout_s must be >= 0")
+        if (self.chunk_timeout_s is not None
+                and self.chunk_timeout_s <= 0):
+            raise ConfigError("chunk_timeout_s must be positive")
 
     def resolved_cache_dir(self) -> Optional[Path]:
         """The cache root this daemon will read and write, or ``None``."""

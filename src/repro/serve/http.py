@@ -16,15 +16,29 @@ Routes::
 
 Error contract: JSON ``{"error": ...}`` bodies; 400 for malformed
 requests, 404 unknown route, 413 oversized body, 429 + ``Retry-After``
-when the simulate queue is saturated, 504 when a request outlives the
-configured timeout, 500 for anything unexpected.
+when the simulate queue is saturated, 503 + ``Retry-After`` when the
+circuit breaker is open or the daemon is draining, 504 when a request
+outlives its deadline, 500 for anything unexpected.
+
+Deadlines: each request's budget is the configured
+``request_timeout_s``, optionally tightened by an ``X-Request-Timeout``
+header (seconds; never loosened).  The resulting absolute deadline is
+propagated into the service and from there into the sweep runner, so
+work stops when the caller stops waiting.
+
+Shutdown: ``run()`` installs SIGTERM/SIGINT handlers that trigger a
+graceful drain — stop accepting, finish in-flight requests and jobs
+(bounded by ``drain_timeout_s``), then exit — instead of an asyncio
+traceback.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import threading
+import time
 from typing import Any, Mapping, Optional
 from urllib.parse import parse_qs, unquote, urlsplit
 
@@ -36,15 +50,19 @@ _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
     429: "Too Many Requests", 500: "Internal Server Error",
-    504: "Gateway Timeout",
+    503: "Service Unavailable", 504: "Gateway Timeout",
 }
+
+#: request header that tightens (never loosens) the request timeout.
+DEADLINE_HEADER = "x-request-timeout"
 
 #: /metrics content type (Prometheus text exposition format).
 METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class _HttpRequest:
-    __slots__ = ("method", "path", "query", "headers", "body")
+    __slots__ = ("method", "path", "query", "headers", "body",
+                 "deadline")
 
     def __init__(self, method: str, target: str,
                  headers: Mapping[str, str], body: bytes) -> None:
@@ -54,6 +72,19 @@ class _HttpRequest:
         self.query = {k: v[-1] for k, v in parse_qs(split.query).items()}
         self.headers = headers
         self.body = body
+        #: absolute time.monotonic() budget, set by the router.
+        self.deadline: Optional[float] = None
+
+    def timeout_hint(self) -> Optional[float]:
+        """The client's X-Request-Timeout, if present and sane."""
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except ValueError:
+            return None
+        return value if value > 0 else None
 
     def json(self) -> dict:
         if not self.body:
@@ -106,6 +137,7 @@ class ServeApp:
         self.config = config or ServeConfig()
         self.service = PlacementService(self.config)
         self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -130,10 +162,18 @@ class ServeApp:
         )
 
     async def stop(self) -> None:
+        """Graceful shutdown: close the listener, let in-flight
+        connections finish (bounded by ``drain_timeout_s``), then
+        drain the service's jobs."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        pending = {task for task in self._connections
+                   if not task.done()}
+        if pending and self.config.drain_timeout_s > 0:
+            await asyncio.wait(pending,
+                               timeout=self.config.drain_timeout_s)
         await self.service.stop()
 
     async def serve_forever(self) -> None:
@@ -180,6 +220,10 @@ class ServeApp:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
         try:
             try:
                 request = await self._read_request(reader)
@@ -233,6 +277,11 @@ class ServeApp:
         endpoint, handler = self._route(request)
         loop = asyncio.get_running_loop()
         started = loop.time()
+        timeout = self.config.request_timeout_s
+        hint = request.timeout_hint()
+        if hint is not None:
+            timeout = min(timeout, hint)
+        request.deadline = time.monotonic() + timeout
         if handler is None:
             response = _HttpResponse.json(
                 {"error": f"method {request.method} not allowed "
@@ -243,13 +292,12 @@ class ServeApp:
         else:
             try:
                 response = await asyncio.wait_for(
-                    handler(), timeout=self.config.request_timeout_s,
+                    handler(), timeout=timeout,
                 )
             except asyncio.TimeoutError:
                 service.m_timeouts.inc()
                 response = _HttpResponse.json(
-                    {"error": "request timed out after "
-                              f"{self.config.request_timeout_s}s"},
+                    {"error": f"request timed out after {timeout}s"},
                     status=504,
                 )
             except ServeError as exc:
@@ -293,7 +341,8 @@ class ServeApp:
 
     async def _post_simulate(self, request: _HttpRequest
                              ) -> _HttpResponse:
-        result = await self.service.simulate(request.json())
+        result = await self.service.simulate(
+            request.json(), deadline=request.deadline)
         return _HttpResponse.json(result)
 
     async def _get_profile(self, request: _HttpRequest) -> _HttpResponse:
@@ -324,23 +373,53 @@ class ServeApp:
 
 def run(config: Optional[ServeConfig] = None,
         ready_message: bool = True) -> None:
-    """Blocking entry point for ``repro serve``."""
+    """Blocking entry point for ``repro serve``.
+
+    SIGTERM and Ctrl-C (SIGINT) both trigger the graceful drain:
+    stop accepting, finish in-flight requests and simulate jobs
+    (bounded by ``drain_timeout_s``), flush results to the cache,
+    exit 0 — no asyncio traceback.
+    """
     app = ServeApp(config)
 
     async def main() -> None:
         await app.start()
+        stop_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        handled_signals = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop_requested.set)
+                handled_signals.append(signum)
+            except (NotImplementedError, RuntimeError):
+                # Non-Unix event loop: fall back to KeyboardInterrupt.
+                pass
         if ready_message:
             print(f"repro.serve listening on {app.base_url} "
                   f"(cache: {app.service.health()['cache_dir']})")
+        assert app._server is not None
+        server_task = asyncio.ensure_future(app._server.serve_forever())
         try:
-            assert app._server is not None
-            await app._server.serve_forever()
+            await stop_requested.wait()
+            if ready_message:
+                print("repro.serve draining "
+                      f"({len(app.service._flight)} job(s) in flight, "
+                      f"timeout {app.config.drain_timeout_s:g}s)...")
         finally:
+            server_task.cancel()
+            try:
+                await server_task
+            except (asyncio.CancelledError, Exception):
+                pass
             await app.stop()
+            for signum in handled_signals:
+                loop.remove_signal_handler(signum)
+        if ready_message:
+            print("repro.serve stopped cleanly")
 
     try:
         asyncio.run(main())
-    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+    except KeyboardInterrupt:  # pragma: no cover - non-Unix fallback
         pass
 
 

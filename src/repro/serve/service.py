@@ -19,6 +19,19 @@ between wire format and these methods.
 * **profile** — Section 5.1 profiling runs, cached in an in-memory LRU
   keyed by (workload, dataset, accesses, seed).
 
+Resilience: the simulate path sits behind a
+:class:`~repro.resilience.breaker.CircuitBreaker` — repeated job
+failures open it, after which requests get a fast 503 + ``Retry-After``
+instead of queueing onto a failing backend; half-open probes close it
+again once jobs succeed.  Request deadlines propagate from the HTTP
+layer through :meth:`PlacementService.simulate` into
+:meth:`SweepRunner.run`, so a job never keeps computing past the point
+its caller stopped waiting.  :meth:`PlacementService.stop` drains
+in-flight jobs (bounded by ``drain_timeout_s``) before tearing down
+the executor — the graceful-shutdown path ``repro serve`` runs on
+SIGTERM/SIGINT.  Failures are injectable at site ``serve.simulate``
+via :class:`~repro.resilience.faults.FaultPlan`.
+
 Every path records Prometheus metrics in the service's registry; the
 integration tests and the CI smoke job assert against that text.
 """
@@ -35,7 +48,14 @@ from typing import Any, Mapping, Optional, Sequence
 from repro.core.errors import (
     ReproError,
     ServeError,
+    SweepError,
     WorkloadError,
+)
+from repro.resilience.breaker import BREAKER_STATE_VALUES, CircuitBreaker
+from repro.resilience.faults import (
+    FaultPlan,
+    InjectedFaultError,
+    active_plan,
 )
 from repro.memory.acpi import FirmwareTables, Sbit, enumerate_tables
 from repro.memory.topology import topology_by_name, topology_names
@@ -63,6 +83,20 @@ class ServiceSaturatedError(ServeError):
 
     def __init__(self, message: str, retry_after: float) -> None:
         super().__init__(message, status=429, retry_after=retry_after)
+
+
+class ServiceUnavailableError(ServeError):
+    """Fast-fail: breaker open or daemon draining (503 + Retry-After)."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message, status=503, retry_after=retry_after)
+
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline passed before its work completed (504)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, status=504)
 
 
 @dataclass(frozen=True)
@@ -101,16 +135,27 @@ def _int_field(payload: Mapping[str, Any], key: str, default: Any = None,
 class PlacementService:
     """All daemon behaviour that is independent of the wire protocol."""
 
-    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.config = config or ServeConfig()
         self.metrics = MetricsRegistry()
         self.started_at = time.time()
+        self._fault_plan = fault_plan
+        self._draining = False
 
         cache_dir = self.config.resolved_cache_dir()
         self.runner = SweepRunner(
             jobs=self.config.jobs,
             cache=(ResultCache(cache_dir) if cache_dir is not None
                    else False),
+            chunk_timeout_s=self.config.chunk_timeout_s,
+            max_retries=self.config.max_retries,
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            reset_timeout_s=self.config.breaker_reset_s,
+            half_open_max_probes=self.config.breaker_probes,
+            on_transition=self._breaker_transition,
         )
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.simulate_workers,
@@ -180,6 +225,67 @@ class PlacementService:
         self.m_timeouts = m.counter(
             "repro_serve_timeouts_total",
             "Requests that exceeded the per-request timeout.")
+        self.m_sim_failures = m.counter(
+            "repro_serve_simulate_failures_total",
+            "Simulate jobs that raised (excluding deadline rejects).")
+        self.m_breaker_state = m.gauge(
+            "repro_serve_breaker_state",
+            "Simulate circuit breaker state "
+            "(0=closed, 1=open, 2=half_open).")
+        self.m_breaker_transitions = m.counter(
+            "repro_serve_breaker_transitions_total",
+            "Circuit breaker state transitions by edge.")
+        self.m_breaker_rejected = m.counter(
+            "repro_serve_breaker_rejected_total",
+            "Simulate requests fast-failed 503 while the breaker "
+            "was open.")
+        self.m_deadline_rejected = m.counter(
+            "repro_serve_deadline_rejected_total",
+            "Simulate work abandoned because its deadline passed.")
+        self.m_runner_retries = m.counter(
+            "repro_serve_runner_retries_total",
+            "Chunk retries performed by the sweep runner.")
+        self.m_runner_rebuilds = m.counter(
+            "repro_serve_runner_pool_rebuilds_total",
+            "Worker pools abandoned and rebuilt by the sweep runner.")
+        self.m_runner_degraded = m.counter(
+            "repro_serve_runner_degraded_serial_total",
+            "Specs that fell back to in-process serial execution.")
+        self.m_cache_quarantined = m.gauge(
+            "repro_serve_cache_quarantined_total",
+            "Corrupt cache records quarantined by this daemon's "
+            "runner (counted as misses, never served).")
+        self.m_draining = m.gauge(
+            "repro_serve_draining",
+            "1 while the daemon is draining for shutdown.")
+        self.m_drained = m.counter(
+            "repro_serve_drained_jobs_total",
+            "In-flight simulate jobs completed during graceful drain.")
+
+    # ------------------------------------------------------------------
+    # resilience plumbing
+    # ------------------------------------------------------------------
+
+    def _breaker_transition(self, old: str, new: str) -> None:
+        """CircuitBreaker callback: keep /metrics in step with state."""
+        self.m_breaker_transitions.inc(transition=f"{old}_to_{new}")
+        self.m_breaker_state.set(BREAKER_STATE_VALUES[new])
+
+    def _fault(self) -> Optional[FaultPlan]:
+        return (self._fault_plan if self._fault_plan is not None
+                else active_plan())
+
+    def _export_runner_recovery(self, recovery: Mapping[str, Any]) -> None:
+        """Surface one job's runner recovery counts on /metrics."""
+        if recovery.get("retries"):
+            self.m_runner_retries.inc(recovery["retries"])
+        if recovery.get("pool_rebuilds"):
+            self.m_runner_rebuilds.inc(recovery["pool_rebuilds"])
+        if recovery.get("degraded_serial"):
+            self.m_runner_degraded.inc(recovery["degraded_serial"])
+        if self.runner.cache is not None:
+            self.m_cache_quarantined.set(
+                self.runner.cache.stats.quarantined)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -189,8 +295,26 @@ class PlacementService:
         self._batcher.start()
 
     async def stop(self) -> None:
+        """Graceful shutdown: refuse new work, drain in-flight jobs.
+
+        In-flight simulate/profile jobs get up to ``drain_timeout_s``
+        to finish (their waiters receive real responses and their
+        results reach the cache); only then are the batcher and the
+        executor torn down.
+        """
+        self._draining = True
+        self.m_draining.set(1)
+        pending = self._flight.tasks() + self._profile_flight.tasks()
+        if pending and self.config.drain_timeout_s > 0:
+            done, _ = await asyncio.wait(
+                pending, timeout=self.config.drain_timeout_s)
+            self.m_drained.inc(len(done))
         await self._batcher.stop()
         self._executor.shutdown(wait=False, cancel_futures=True)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     # ------------------------------------------------------------------
     # /healthz
@@ -207,6 +331,8 @@ class PlacementService:
             "cache_dir": str(cache_dir) if cache_dir else None,
             "inflight_jobs": len(self._flight),
             "max_pending_jobs": self.config.max_pending_jobs,
+            "breaker": self.breaker.state,
+            "draining": self._draining,
         }
 
     # ------------------------------------------------------------------
@@ -372,15 +498,29 @@ class PlacementService:
         except ReproError as exc:
             raise BadRequestError(str(exc))
 
-    def _run_spec_job(self, spec: RunSpec) -> dict:
-        """Executor-thread body: one runner batch for one spec."""
+    def _run_spec_job(self, spec: RunSpec,
+                      deadline: Optional[float] = None) -> dict:
+        """Executor-thread body: one runner batch for one spec.
+
+        ``deadline`` (``time.monotonic()`` absolute) is propagated
+        into the runner, which stops launching work once it passes.
+        """
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceededError(
+                "request deadline passed before the simulation started")
         started = time.perf_counter()
-        outcome = self.runner.run([spec])
+        try:
+            outcome = self.runner.run([spec], deadline=deadline)
+        except SweepError as exc:
+            if "deadline exceeded" in exc.causes:
+                raise DeadlineExceededError(str(exc))
+            raise
         record = outcome.manifest.records[0]
         result = outcome.results[0]
         return {
             "cache_hit": bool(record.cache_hit),
             "duration_s": time.perf_counter() - started,
+            "recovery": dict(outcome.manifest.recovery),
             "result": {
                 "workload": result.workload,
                 "dataset": result.dataset,
@@ -396,13 +536,35 @@ class PlacementService:
             },
         }
 
-    async def simulate(self, payload: Mapping[str, Any]) -> dict:
-        """Deduplicated, bounded, cached simulate path."""
+    async def simulate(self, payload: Mapping[str, Any],
+                       deadline: Optional[float] = None) -> dict:
+        """Deduplicated, bounded, breaker-guarded, cached simulate path.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant (the
+        HTTP layer derives it from the request timeout); it rides into
+        the runner so abandoned requests stop consuming workers.  When
+        deduplicated joiners share a job, the job runs under the
+        *first* waiter's deadline.
+        """
         spec = self.parse_simulate_spec(payload)
         key = spec.cache_key(self.runner.salt)
         self.m_sim_requests.inc()
 
+        if self._draining:
+            raise ServiceUnavailableError(
+                "daemon is draining for shutdown",
+                retry_after=self.config.retry_after_s,
+            )
+
         joined_existing = key in self._flight.keys()
+        if not joined_existing and not self.breaker.allow():
+            self.m_breaker_rejected.inc()
+            raise ServiceUnavailableError(
+                "simulate circuit breaker is open after repeated "
+                "failures",
+                retry_after=max(self.breaker.retry_after(),
+                                self.config.retry_after_s),
+            )
         if (not joined_existing
                 and len(self._flight) >= self.config.max_pending_jobs):
             self.m_sim_rejected.inc()
@@ -416,13 +578,34 @@ class PlacementService:
 
         async def job() -> dict:
             self.m_sim_jobs.inc()
-            report = await loop.run_in_executor(
-                self._executor, self._run_spec_job, spec
-            )
+            try:
+                plan = self._fault()
+                action = (plan.decide("serve.simulate", key=key)
+                          if plan else None)
+                if action is not None:
+                    if action.mode == "hang":
+                        await asyncio.sleep(action.delay_s)
+                    else:
+                        raise InjectedFaultError(
+                            "injected fault at serve.simulate")
+                report = await loop.run_in_executor(
+                    self._executor, self._run_spec_job, spec, deadline,
+                )
+            except DeadlineExceededError:
+                # Client-caused: the backend is fine, don't trip the
+                # breaker on it.
+                self.m_deadline_rejected.inc()
+                raise
+            except Exception:
+                self.m_sim_failures.inc()
+                self.breaker.record_failure()
+                raise
+            self.breaker.record_success()
             if report["cache_hit"]:
                 self.m_sim_cache_hits.inc()
             else:
                 self.m_sim_cache_misses.inc()
+            self._export_runner_recovery(report.get("recovery", {}))
             return report
 
         task, joined = self._flight.join_or_start(key, job)
@@ -514,4 +697,9 @@ class PlacementService:
         # Refresh sampled gauges at scrape time.
         self.m_queue_depth.set(self._batcher.queue_depth)
         self.m_sim_inflight.set(len(self._flight))
+        self.m_breaker_state.set(
+            BREAKER_STATE_VALUES[self.breaker.state])
+        if self.runner.cache is not None:
+            self.m_cache_quarantined.set(
+                self.runner.cache.stats.quarantined)
         return self.metrics.render()

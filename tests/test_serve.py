@@ -60,9 +60,9 @@ def gate_jobs(service):
     original = service._run_spec_job
     gate = threading.Event()
 
-    def gated(spec):
+    def gated(spec, deadline=None):
         assert gate.wait(timeout=30), "test gate never released"
-        return original(spec)
+        return original(spec, deadline)
 
     service._run_spec_job = gated
     return gate, lambda: setattr(service, "_run_spec_job", original)
