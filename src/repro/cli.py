@@ -32,6 +32,7 @@ from typing import Optional, Sequence
 
 from repro.core.cachedir import describe_default
 from repro.core.errors import ConfigError, ServeError
+from repro.obs import trace as obs_trace
 from repro.core.experiment import compare_policies, run_experiment
 from repro.core.metrics import normalize
 from repro.core.units import format_bytes
@@ -392,7 +393,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="raw trace length")
         p.add_argument("--seed", type=int, default=0)
 
+    def trace_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", default=None, metavar="PATH",
+                       help="record a span trace and write Chrome "
+                            "trace-event JSON here on exit (also: "
+                            "REPRO_TRACE=<path>); open in Perfetto or "
+                            "about:tracing")
+
     def runner_options(p: argparse.ArgumentParser) -> None:
+        trace_option(p)
         p.add_argument("--jobs", "-j", type=int, default=None,
                        help="worker processes for the sweep "
                             "(default: $REPRO_JOBS or 1)")
@@ -417,6 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--policy", "-p", default="BW-AWARE")
     p_run.add_argument("--engine", default="throughput",
                        choices=("throughput", "detailed", "banked"))
+    trace_option(p_run)
     p_run.set_defaults(fn=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare policies")
@@ -474,6 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--max-regression", type=float, default=3.0,
                          help="fail if any vectorized timing exceeds "
                               "the baseline by more than this factor")
+    trace_option(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
 
     p_trace = sub.add_parser("trace",
@@ -526,6 +537,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-retries", type=int, default=None,
                          help="runner retry budget per spec "
                               "(default: $REPRO_MAX_RETRIES or 2)")
+    trace_option(p_serve)
     p_serve.set_defaults(fn=cmd_serve)
 
     p_req = sub.add_parser(
@@ -539,6 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="daemon base URL (default: $REPRO_SERVE_URL "
                             "or http://127.0.0.1:8077)")
         p.add_argument("--timeout", type=float, default=300.0)
+        trace_option(p)
         p.set_defaults(fn=cmd_request)
 
     r_health = req_sub.add_parser("health", help="GET /healthz")
@@ -588,7 +601,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return args.fn(args)
+    tracer = obs_trace.install(trace_path)
+    try:
+        return args.fn(args)
+    finally:
+        obs_trace.uninstall()
+        tracer.export()
+        print(f"wrote trace to {trace_path}", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -34,6 +34,7 @@ import numpy as np
 from repro.core.errors import SimulationError
 from repro.core.units import LINE_SIZE, PAGE_SIZE
 from repro.gpu.config import GpuConfig
+from repro.obs import trace as obs_trace
 from repro.gpu.service import simulate_windowed
 from repro.gpu.trace import (
     DramTrace,
@@ -134,6 +135,13 @@ class BankedEngine:
     def run(self, trace: DramTrace, zone_map: np.ndarray,
             topology: SystemTopology,
             chars: WorkloadCharacteristics) -> SimResult:
+        with obs_trace.span("engine.banked", cat="gpu",
+                            accesses=trace.n_accesses):
+            return self._simulate(trace, zone_map, topology, chars)
+
+    def _simulate(self, trace: DramTrace, zone_map: np.ndarray,
+                  topology: SystemTopology,
+                  chars: WorkloadCharacteristics) -> SimResult:
         zone_map = validate_zone_map(zone_map, trace.footprint_pages,
                                      len(topology))
         if trace.n_accesses == 0:

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.errors import SimulationError
 from repro.gpu.config import GpuConfig
+from repro.obs import trace as obs_trace
 from repro.gpu.service import rank_within_groups, simulate_windowed
 from repro.gpu.trace import (
     DramTrace,
@@ -54,6 +55,13 @@ class DetailedEngine:
     def run(self, trace: DramTrace, zone_map: np.ndarray,
             topology: SystemTopology,
             chars: WorkloadCharacteristics) -> SimResult:
+        with obs_trace.span("engine.detailed", cat="gpu",
+                            accesses=trace.n_accesses):
+            return self._simulate(trace, zone_map, topology, chars)
+
+    def _simulate(self, trace: DramTrace, zone_map: np.ndarray,
+                  topology: SystemTopology,
+                  chars: WorkloadCharacteristics) -> SimResult:
         zone_map = validate_zone_map(zone_map, trace.footprint_pages,
                                      len(topology))
         if trace.n_accesses == 0:

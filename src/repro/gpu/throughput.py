@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.errors import SimulationError
 from repro.gpu.config import GpuConfig
+from repro.obs import trace as obs_trace
 from repro.gpu.trace import (
     DramTrace,
     SimResult,
@@ -58,6 +59,14 @@ class ThroughputEngine:
             topology: SystemTopology,
             chars: WorkloadCharacteristics) -> SimResult:
         """Simulate one execution; see module docstring for the model."""
+        with obs_trace.span("engine.throughput", cat="gpu",
+                            accesses=trace.n_accesses,
+                            epochs=trace.n_epochs):
+            return self._simulate(trace, zone_map, topology, chars)
+
+    def _simulate(self, trace: DramTrace, zone_map: np.ndarray,
+                  topology: SystemTopology,
+                  chars: WorkloadCharacteristics) -> SimResult:
         zone_map = validate_zone_map(zone_map, trace.footprint_pages,
                                      len(topology))
         n_zones = len(topology)

@@ -1,0 +1,90 @@
+"""Structured JSON logging: one line per event, keyed fields.
+
+The daemon and the runner used ad-hoc ``print`` calls for operational
+messages, which log aggregators cannot index.  :func:`log_event`
+replaces them with a single seam:
+
+* **text mode** (default) — a human-readable line, either the caller's
+  ``message`` verbatim (so existing console output is unchanged) or
+  ``event key=value ...``;
+* **JSON mode** (``REPRO_LOG_JSON=1``) — one JSON object per line with
+  a stable schema::
+
+      {"ts": "2026-08-07T12:00:00.123+00:00", "level": "info",
+       "event": "serve.listening", "trace_id": "...", ...fields}
+
+  ``ts`` is ISO-8601 UTC; ``level`` is ``debug|info|warning|error``;
+  ``event`` is a dotted machine name (``runner.retry``,
+  ``cache.quarantined``); the current trace id (when a request context
+  is active) correlates log lines with spans; every extra keyword
+  lands as a top-level field.
+
+Lines go to stderr by default (stdout stays clean for command output);
+the serve daemon routes its lifecycle messages to stdout explicitly to
+preserve historical behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from datetime import datetime, timezone
+from typing import Any, Optional, TextIO
+
+from repro.obs.trace import current_trace_id
+
+#: environment variable that switches output to one-JSON-per-line.
+LOG_JSON_ENV = "REPRO_LOG_JSON"
+
+_LEVELS = ("debug", "info", "warning", "error")
+
+
+def json_mode() -> bool:
+    """True when ``REPRO_LOG_JSON`` asks for machine-readable lines."""
+    return os.environ.get(LOG_JSON_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on")
+
+
+def format_event(event: str, level: str = "info",
+                 message: Optional[str] = None,
+                 **fields: Any) -> str:
+    """The log line :func:`log_event` would emit, without emitting it."""
+    if json_mode():
+        record: dict[str, Any] = {
+            "ts": datetime.now(timezone.utc).isoformat(
+                timespec="milliseconds"),
+            "level": level if level in _LEVELS else "info",
+            "event": event,
+        }
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        if message is not None:
+            record["message"] = message
+        record.update(fields)
+        return json.dumps(record, default=str)
+    if message is not None:
+        return message
+    suffix = " ".join(f"{key}={fields[key]}" for key in fields)
+    return f"{event} {suffix}".rstrip()
+
+
+def log_event(event: str, level: str = "info",
+              message: Optional[str] = None,
+              stream: Optional[TextIO] = None,
+              **fields: Any) -> None:
+    """Emit one structured log line (see module docstring).
+
+    ``message`` is the human text used verbatim in text mode (and
+    carried as the ``message`` field in JSON mode); without it, text
+    mode prints ``event key=value ...``.  ``stream`` defaults to
+    stderr.
+    """
+    out = stream if stream is not None else sys.stderr
+    try:
+        print(format_event(event, level=level, message=message,
+                           **fields),
+              file=out, flush=True)
+    except (OSError, ValueError):  # pragma: no cover - closed stream
+        pass

@@ -41,6 +41,8 @@ import numpy as np
 from repro.core.atomicio import atomic_write_text
 from repro.core.experiment import ExperimentResult
 from repro.gpu.trace import SimResult
+from repro.obs import trace as obs_trace
+from repro.obs.log import log_event
 from repro.resilience.faults import (
     FaultAction,
     FaultPlan,
@@ -197,25 +199,34 @@ class ResultCache:
                     raise InjectedFaultError(
                         "injected fault at cache.read")
                 self._damage(path, action)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                record = json.load(handle)
-            if record.get("version") != CACHE_FORMAT_VERSION:
-                raise ValueError("cache format version mismatch")
-            payload = record["result"]
-            if record.get("sha256") != result_digest(payload):
-                raise ValueError("cache record checksum mismatch")
-            result = decode_result(payload)
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return None
-        except (OSError, ValueError, KeyError, TypeError):
-            # Truncated/corrupted/stale record: quarantine, miss.
-            self.stats.misses += 1
-            self._quarantine(path)
-            return None
-        self.stats.hits += 1
-        return result
+        with obs_trace.span("cache.get", cat="cache",
+                            key=key[:12]) as span:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    record = json.load(handle)
+                if record.get("version") != CACHE_FORMAT_VERSION:
+                    raise ValueError("cache format version mismatch")
+                payload = record["result"]
+                if record.get("sha256") != result_digest(payload):
+                    raise ValueError("cache record checksum mismatch")
+                result = decode_result(payload)
+            except FileNotFoundError:
+                self.stats.misses += 1
+                span.annotate(outcome="miss")
+                return None
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                # Truncated/corrupted/stale record: quarantine, miss.
+                self.stats.misses += 1
+                self._quarantine(path)
+                span.annotate(outcome="quarantined",
+                              cause=f"{type(exc).__name__}: {exc}")
+                log_event("cache.quarantined", level="warning",
+                          key=key, path=str(path),
+                          cause=f"{type(exc).__name__}: {exc}")
+                return None
+            self.stats.hits += 1
+            span.annotate(outcome="hit")
+            return result
 
     def put(self, key: str, spec_canonical: dict,
             result: ExperimentResult) -> Path:
@@ -245,7 +256,9 @@ class ResultCache:
                                 encoding="utf-8")
                 self.stats.stores += 1
                 return path
-        atomic_write_text(path, text)
+        with obs_trace.span("cache.put", cat="cache", key=key[:12],
+                            bytes=len(text)):
+            atomic_write_text(path, text)
         self.stats.stores += 1
         return path
 

@@ -65,6 +65,8 @@ from repro.core.cachedir import (
 )
 from repro.core.errors import RunnerError, SweepError
 from repro.core.experiment import ExperimentResult, run_experiment
+from repro.obs import trace as obs_trace
+from repro.obs.log import log_event
 from repro.resilience.faults import (
     FaultAction,
     FaultPlan,
@@ -160,23 +162,42 @@ def execute_spec(spec: RunSpec) -> ExperimentResult:
     )
 
 
+def _run_chunk_body(specs: Sequence[RunSpec],
+                    action: Optional[FaultAction]
+                    ) -> list[tuple[dict, float]]:
+    perform_worker_action(action)
+    out = []
+    for spec in specs:
+        start = time.perf_counter()
+        with obs_trace.span("runner.exec", cat="runner",
+                            spec=spec.label()):
+            result = execute_spec(spec)
+        out.append((encode_result(result), time.perf_counter() - start))
+    return out
+
+
 def _execute_chunk(specs: Sequence[RunSpec],
-                   action: Optional[FaultAction] = None
-                   ) -> list[tuple[dict, float]]:
-    """Worker entry point: run specs, return (encoded result, seconds).
+                   action: Optional[FaultAction] = None,
+                   collect_spans: bool = False
+                   ) -> tuple[list[tuple[dict, float]], list[dict]]:
+    """Worker entry point: run specs, return (encoded result, seconds)
+    pairs plus any spans recorded while executing them.
 
     Results cross the process boundary in the cache's JSON encoding so
     fresh and cached results are byte-for-byte the same representation.
     ``action`` is a fault decision shipped from the parent (crash /
     hang / transient error) — ``None`` outside chaos runs and tests.
+    ``collect_spans`` is set by a tracing parent submitting to a worker
+    pool: execution spans are buffered locally (pid/tid of this
+    process) and returned with the payload so the parent can merge
+    them into its timeline.  In-process callers leave it ``False`` and
+    record straight into the ambient tracer.
     """
-    perform_worker_action(action)
-    out = []
-    for spec in specs:
-        start = time.perf_counter()
-        result = execute_spec(spec)
-        out.append((encode_result(result), time.perf_counter() - start))
-    return out
+    if collect_spans:
+        with obs_trace.capture() as events:
+            out = _run_chunk_body(specs, action)
+        return out, list(events)
+    return _run_chunk_body(specs, action), []
 
 
 def _chunk_slices(n: int, chunks: int) -> list[range]:
@@ -314,27 +335,32 @@ class SweepRunner:
         duplicate = [False] * n
         recovery = RecoveryStats()
 
-        first_index: dict[str, int] = {}
-        misses: list[int] = []
-        for i, key in enumerate(keys):
-            if key in first_index:
-                duplicate[i] = True
-                continue
-            first_index[key] = i
-            if self.cache is not None:
-                cached = self.cache.get(key)
-                if cached is not None:
-                    results[i] = cached
-                    hit[i] = True
+        with obs_trace.span("runner.run", cat="runner",
+                            n_specs=n, jobs=self.jobs) as run_span:
+            first_index: dict[str, int] = {}
+            misses: list[int] = []
+            for i, key in enumerate(keys):
+                if key in first_index:
+                    duplicate[i] = True
                     continue
-            misses.append(i)
+                first_index[key] = i
+                if self.cache is not None:
+                    cached = self.cache.get(key)
+                    if cached is not None:
+                        results[i] = cached
+                        hit[i] = True
+                        continue
+                misses.append(i)
 
-        if misses:
-            self._execute_misses(specs, keys, misses, results,
-                                 durations, recovery, deadline)
-        for i in range(n):
-            if duplicate[i]:
-                results[i] = results[first_index[keys[i]]]
+            if misses:
+                self._execute_misses(specs, keys, misses, results,
+                                     durations, recovery, deadline)
+            for i in range(n):
+                if duplicate[i]:
+                    results[i] = results[first_index[keys[i]]]
+            run_span.annotate(cache_hits=sum(hit),
+                              deduplicated=sum(duplicate),
+                              executed=len(misses))
 
         manifest = RunManifest(
             run_id=RunManifest.new_run_id(),
@@ -399,12 +425,19 @@ class SweepRunner:
                            results[index])
 
     def _harvest(self, specs: Sequence[RunSpec], keys: Sequence[str],
-                 block: Sequence[int], payload: Sequence[tuple],
+                 block: Sequence[int], payload: tuple,
                  results: list, durations: list) -> None:
-        for index, (encoded, spent) in zip(block, payload):
-            results[index] = decode_result(encoded)
-            durations[index] = spent
-            self._checkpoint(specs, keys, index, results)
+        pairs, worker_events = payload
+        if worker_events:
+            tracer = obs_trace.active()
+            if tracer is not None:
+                tracer.absorb(worker_events)
+        with obs_trace.span("runner.decode", cat="runner",
+                            n_specs=len(block)):
+            for index, (encoded, spent) in zip(block, pairs):
+                results[index] = decode_result(encoded)
+                durations[index] = spent
+                self._checkpoint(specs, keys, index, results)
 
     def _backoff_sleep(self, attempt: int,
                        recovery: RecoveryStats) -> None:
@@ -458,12 +491,19 @@ class SweepRunner:
             for attempt in range(self.max_retries + 1):
                 try:
                     self._apply_inprocess_action(self._decide(label))
-                    encoded, spent = _execute_chunk((specs[index],))[0]
+                    pairs, _ = _execute_chunk((specs[index],))
+                    encoded, spent = pairs[0]
                 except Exception as exc:  # noqa: BLE001 - retry boundary
                     recovery.chunk_errors += 1
                     last_cause = f"{type(exc).__name__}: {exc}"
                     if attempt < self.max_retries:
                         recovery.retries += 1
+                        obs_trace.instant("runner.retry", cat="runner",
+                                          spec=label, attempt=attempt + 1,
+                                          cause=last_cause)
+                        log_event("runner.retry", level="warning",
+                                  spec=label, attempt=attempt + 1,
+                                  cause=last_cause)
                         self._backoff_sleep(attempt, recovery)
                 else:
                     results[index] = decode_result(encoded)
@@ -507,62 +547,81 @@ class SweepRunner:
                 submitted: list[tuple[list[int], object]] = []
                 failed_blocks: list[tuple[list[int], str]] = []
                 pool_broken = False
-                for position, block in enumerate(wave):
-                    chunk_key = "|".join(specs[i].label() for i in block)
-                    action = self._decide(chunk_key)
-                    try:
-                        future = pool.submit(
-                            _execute_chunk,
-                            [specs[i] for i in block], action)
-                    except BrokenExecutor as exc:
-                        recovery.worker_crashes += 1
-                        pool_broken = True
-                        for late in wave[position:]:
-                            failed_blocks.append(
-                                (late, f"worker pool broke on "
-                                       f"submit: {exc}"))
-                        break
-                    submitted.append((block, future))
+                tracing = obs_trace.enabled()
+                with obs_trace.span("runner.submit", cat="runner",
+                                    n_chunks=len(wave)):
+                    for position, block in enumerate(wave):
+                        chunk_key = "|".join(
+                            specs[i].label() for i in block)
+                        action = self._decide(chunk_key)
+                        try:
+                            future = pool.submit(
+                                _execute_chunk,
+                                [specs[i] for i in block], action,
+                                tracing)
+                        except BrokenExecutor as exc:
+                            recovery.worker_crashes += 1
+                            pool_broken = True
+                            for late in wave[position:]:
+                                failed_blocks.append(
+                                    (late, f"worker pool broke on "
+                                           f"submit: {exc}"))
+                            break
+                        submitted.append((block, future))
 
                 wave_deadline = (
                     time.monotonic() + self.chunk_timeout_s
                     if self.chunk_timeout_s is not None else None)
                 for block, future in submitted:
-                    if pool_broken:
-                        # Pool already abandoned: salvage finished
-                        # chunks, requeue the rest.
-                        if future.done() and future.exception() is None:
-                            self._harvest(specs, keys, block,
-                                          future.result(), results,
-                                          durations)
-                        else:
+                    labels = [specs[i].label() for i in block]
+                    with obs_trace.span("runner.chunk", cat="runner",
+                                        specs=labels) as chunk_span:
+                        if pool_broken:
+                            # Pool already abandoned: salvage finished
+                            # chunks, requeue the rest.
+                            if (future.done()
+                                    and future.exception() is None):
+                                self._harvest(specs, keys, block,
+                                              future.result(), results,
+                                              durations)
+                                chunk_span.annotate(outcome="salvaged")
+                            else:
+                                failed_blocks.append(
+                                    (block, "worker pool broken"))
+                                chunk_span.annotate(outcome="abandoned")
+                            continue
+                        timeout = None
+                        if wave_deadline is not None:
+                            timeout = max(
+                                0.05, wave_deadline - time.monotonic())
+                        try:
+                            with obs_trace.span("runner.wait",
+                                                cat="runner"):
+                                payload = future.result(timeout=timeout)
+                        except FuturesTimeoutError:
+                            recovery.chunk_timeouts += 1
+                            pool_broken = True
+                            cause = (f"chunk exceeded "
+                                     f"{self.chunk_timeout_s}s timeout")
+                            failed_blocks.append((block, cause))
+                            chunk_span.annotate(outcome="timeout")
+                        except BrokenExecutor as exc:
+                            recovery.worker_crashes += 1
+                            pool_broken = True
                             failed_blocks.append(
-                                (block, "worker pool broken"))
-                        continue
-                    timeout = None
-                    if wave_deadline is not None:
-                        timeout = max(0.05,
-                                      wave_deadline - time.monotonic())
-                    try:
-                        payload = future.result(timeout=timeout)
-                    except FuturesTimeoutError:
-                        recovery.chunk_timeouts += 1
-                        pool_broken = True
-                        failed_blocks.append(
-                            (block, f"chunk exceeded "
-                                    f"{self.chunk_timeout_s}s timeout"))
-                    except BrokenExecutor as exc:
-                        recovery.worker_crashes += 1
-                        pool_broken = True
-                        failed_blocks.append(
-                            (block, f"worker crashed: {exc}"))
-                    except Exception as exc:  # noqa: BLE001
-                        recovery.chunk_errors += 1
-                        failed_blocks.append(
-                            (block, f"{type(exc).__name__}: {exc}"))
-                    else:
-                        self._harvest(specs, keys, block, payload,
-                                      results, durations)
+                                (block, f"worker crashed: {exc}"))
+                            chunk_span.annotate(outcome="crashed")
+                        except Exception as exc:  # noqa: BLE001
+                            recovery.chunk_errors += 1
+                            failed_blocks.append(
+                                (block, f"{type(exc).__name__}: {exc}"))
+                            chunk_span.annotate(
+                                outcome="error",
+                                cause=f"{type(exc).__name__}: {exc}")
+                        else:
+                            self._harvest(specs, keys, block, payload,
+                                          results, durations)
+                            chunk_span.annotate(outcome="ok")
 
                 if pool_broken:
                     # A hung worker cannot be cancelled and a crashed
@@ -570,6 +629,10 @@ class SweepRunner:
                     pool.shutdown(wait=False, cancel_futures=True)
                     pool = None
                     recovery.pool_rebuilds += 1
+                    obs_trace.instant("runner.pool_rebuild",
+                                      cat="runner")
+                    log_event("runner.pool_rebuild", level="warning",
+                              rebuilds=recovery.pool_rebuilds)
 
                 if failed_blocks:
                     for block, cause in failed_blocks:
@@ -585,12 +648,24 @@ class SweepRunner:
                                 retriable.append(index)
                         if retriable:
                             recovery.retries += 1
+                            obs_trace.instant(
+                                "runner.retry", cat="runner",
+                                specs=[specs[i].label()
+                                       for i in retriable],
+                                cause=cause)
+                            log_event(
+                                "runner.retry", level="warning",
+                                n_specs=len(retriable), cause=cause)
                             # Shrink the chunk on retry so a poisoned
                             # spec is isolated in ~log2(chunk) rounds.
                             if len(retriable) > 1:
                                 mid = len(retriable) // 2
                                 queue.append(retriable[:mid])
                                 queue.append(retriable[mid:])
+                                obs_trace.instant(
+                                    "runner.chunk_halved",
+                                    cat="runner",
+                                    sizes=[mid, len(retriable) - mid])
                             else:
                                 queue.append(retriable)
                     if queue:
@@ -617,9 +692,14 @@ class SweepRunner:
         """Last-resort in-process execution of one exhausted spec."""
         recovery.degraded_serial += 1
         label = specs[index].label()
+        obs_trace.instant("runner.degraded_serial", cat="runner",
+                          spec=label, cause=cause)
+        log_event("runner.degraded_serial", level="warning",
+                  spec=label, cause=cause)
         try:
             self._apply_inprocess_action(self._decide(label))
-            encoded, spent = _execute_chunk((specs[index],))[0]
+            pairs, _ = _execute_chunk((specs[index],))
+            encoded, spent = pairs[0]
         except Exception as exc:  # noqa: BLE001 - terminal boundary
             failed[index] = (f"{type(exc).__name__}: {exc} "
                              f"(after: {cause})")

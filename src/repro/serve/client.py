@@ -22,6 +22,7 @@ reaction to graceful degradation.
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -29,6 +30,7 @@ import urllib.request
 from typing import Any, Mapping, Optional, Sequence, Union
 
 from repro.core.errors import ServeError
+from repro.obs import trace as obs_trace
 from repro.resilience import BackoffPolicy
 from repro.serve.config import default_serve_url
 from repro.serve.metrics import parse_metrics
@@ -66,25 +68,60 @@ class ServeClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        token = None
+        if obs_trace.enabled():
+            trace_id = obs_trace.current_trace_id()
+            if trace_id is None:
+                trace_id = obs_trace.new_trace_id()
+                token = obs_trace.set_trace_id(trace_id)
+            headers[obs_trace.TRACE_ID_HEADER] = trace_id
         request = urllib.request.Request(
             self.base_url + path, data=body, headers=headers,
             method=method,
         )
         try:
-            with urllib.request.urlopen(
-                    request, timeout=self.timeout_s) as response:
-                return (response.status,
-                        {k.lower(): v for k, v in response.headers.items()},
-                        response.read())
-        except urllib.error.HTTPError as exc:
-            with exc:
-                return (exc.code,
-                        {k.lower(): v for k, v in exc.headers.items()},
-                        exc.read())
-        except urllib.error.URLError as exc:
-            raise ServeError(
-                f"cannot reach {self.base_url}: {exc.reason}", status=0
-            )
+            return self._send(request, method, path)
+        finally:
+            if token is not None:
+                obs_trace.reset_trace_id(token)
+
+    def _send(self, request: urllib.request.Request, method: str,
+              path: str) -> tuple[int, Mapping[str, str], bytes]:
+        with obs_trace.span("client.request", cat="client",
+                            method=method, path=path) as span:
+            try:
+                with urllib.request.urlopen(
+                        request, timeout=self.timeout_s) as response:
+                    span.annotate(status=response.status)
+                    return (response.status,
+                            {k.lower(): v
+                             for k, v in response.headers.items()},
+                            response.read())
+            except urllib.error.HTTPError as exc:
+                span.annotate(status=exc.code)
+                with exc:
+                    return (exc.code,
+                            {k.lower(): v
+                             for k, v in exc.headers.items()},
+                            exc.read())
+            except urllib.error.URLError as exc:
+                span.annotate(error=type(exc).__name__)
+                raise ServeError(
+                    f"cannot reach {self.base_url}: {exc.reason}",
+                    status=0,
+                )
+            except (OSError, http.client.HTTPException) as exc:
+                # Mid-read failures — the connection dropped or timed
+                # out *after* urlopen returned — arrive as raw
+                # ConnectionResetError / IncompleteRead / TimeoutError,
+                # not URLError.  Wrap them so callers see one exception
+                # type for every transport failure.
+                span.annotate(error=type(exc).__name__)
+                raise ServeError(
+                    f"transport error talking to {self.base_url}: "
+                    f"{type(exc).__name__}: {exc}",
+                    status=0,
+                )
 
     def _json(self, method: str, path: str,
               payload: Optional[Mapping[str, Any]] = None) -> dict:

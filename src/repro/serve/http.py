@@ -37,12 +37,15 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+import sys
 import threading
 import time
 from typing import Any, Mapping, Optional
 from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.core.errors import ServeError
+from repro.obs import trace as obs_trace
+from repro.obs.log import log_event
 from repro.serve.config import ServeConfig
 from repro.serve.service import PlacementService
 
@@ -273,6 +276,32 @@ class ServeApp:
         return "other", False  # unknown path
 
     async def _respond(self, request: _HttpRequest) -> _HttpResponse:
+        """Trace-scope wrapper: one ``http.request`` span per request.
+
+        The client's ``X-Trace-Id`` (or a fresh id when tracing is on)
+        is bound to the handling context so every span below — service,
+        runner, cache, engine — carries the same ``args.trace_id``, and
+        is echoed on the response so callers can correlate.
+        """
+        trace_id = request.headers.get(obs_trace.TRACE_ID_HEADER.lower())
+        if trace_id is None and obs_trace.enabled():
+            trace_id = obs_trace.new_trace_id()
+        if trace_id is None:
+            return await self._dispatch(request)
+        token = obs_trace.set_trace_id(trace_id)
+        try:
+            with obs_trace.lane():
+                with obs_trace.span("http.request", cat="http",
+                                    method=request.method,
+                                    path=request.path) as span:
+                    response = await self._dispatch(request)
+                    span.annotate(status=response.status)
+        finally:
+            obs_trace.reset_trace_id(token)
+        response.headers.setdefault(obs_trace.TRACE_ID_HEADER, trace_id)
+        return response
+
+    async def _dispatch(self, request: _HttpRequest) -> _HttpResponse:
         service = self.service
         endpoint, handler = self._route(request)
         loop = asyncio.get_running_loop()
@@ -395,16 +424,29 @@ def run(config: Optional[ServeConfig] = None,
                 # Non-Unix event loop: fall back to KeyboardInterrupt.
                 pass
         if ready_message:
-            print(f"repro.serve listening on {app.base_url} "
-                  f"(cache: {app.service.health()['cache_dir']})")
+            cache_dir = app.service.health()["cache_dir"]
+            log_event(
+                "serve.listening",
+                message=(f"repro.serve listening on {app.base_url} "
+                         f"(cache: {cache_dir})"),
+                url=app.base_url, cache_dir=cache_dir,
+                stream=sys.stdout,
+            )
         assert app._server is not None
         server_task = asyncio.ensure_future(app._server.serve_forever())
         try:
             await stop_requested.wait()
             if ready_message:
-                print("repro.serve draining "
-                      f"({len(app.service._flight)} job(s) in flight, "
-                      f"timeout {app.config.drain_timeout_s:g}s)...")
+                inflight = len(app.service._flight)
+                log_event(
+                    "serve.draining",
+                    message=("repro.serve draining "
+                             f"({inflight} job(s) in flight, timeout "
+                             f"{app.config.drain_timeout_s:g}s)..."),
+                    inflight=inflight,
+                    drain_timeout_s=app.config.drain_timeout_s,
+                    stream=sys.stdout,
+                )
         finally:
             server_task.cancel()
             try:
@@ -415,7 +457,9 @@ def run(config: Optional[ServeConfig] = None,
             for signum in handled_signals:
                 loop.remove_signal_handler(signum)
         if ready_message:
-            print("repro.serve stopped cleanly")
+            log_event("serve.stopped",
+                      message="repro.serve stopped cleanly",
+                      stream=sys.stdout)
 
     try:
         asyncio.run(main())

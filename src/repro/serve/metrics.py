@@ -1,238 +1,32 @@
-"""A minimal Prometheus-text-format metrics registry.
+"""Compatibility re-export: this module moved to :mod:`repro.obs.metrics`.
 
-The daemon's observability surface without pulling in a client library:
-counters, gauges, and fixed-bucket histograms that render to the
-`text exposition format <https://prometheus.io/docs/instrumenting/exposition_formats/>`_
-scrapers understand.  All mutation happens on the event loop (or under
-the GIL from worker threads incrementing plain ints/floats), so no
-locking is needed for the accuracy class this serves.
-
-Label handling is deliberately small: a metric family is instantiated
-per label *tuple* on first use, and labels render sorted by key so the
-output is deterministic — important because the integration tests and
-the CI smoke job grep this text.
+The metrics registry was promoted out of the serve package so the
+runner and the cache can record counters and histograms without a
+daemon in the process.  Import from :mod:`repro.obs.metrics` (or
+:mod:`repro.obs`) in new code; this shim keeps every existing
+``repro.serve.metrics`` import working unchanged.
 """
 
-from __future__ import annotations
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+    parse_metrics,
+    unescape_label_value,
+    validate_exposition,
+)
 
-import math
-from typing import Iterable, Mapping, Optional, Sequence
-
-#: default latency buckets (seconds) — service-time shaped: sub-ms cache
-#: hits through multi-second cold simulations.
-DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
-                   1.0, 2.5, 5.0, 10.0, 30.0)
-
-
-def _format_value(value: float) -> str:
-    if value == math.inf:
-        return "+Inf"
-    if float(value).is_integer():
-        return str(int(value))
-    return repr(float(value))
-
-
-def _render_labels(labels: Mapping[str, str],
-                   extra: Optional[Mapping[str, str]] = None) -> str:
-    merged = dict(labels)
-    if extra:
-        merged.update(extra)
-    if not merged:
-        return ""
-    body = ",".join(
-        f'{key}="{str(merged[key])}"' for key in sorted(merged)
-    )
-    return "{" + body + "}"
-
-
-class _Family:
-    """Shared bookkeeping: one named metric, many label children."""
-
-    kind = "untyped"
-
-    def __init__(self, name: str, help_text: str,
-                 registry: "MetricsRegistry") -> None:
-        self.name = name
-        self.help = help_text
-        self._children: dict[tuple, object] = {}
-        registry._register(self)
-
-    def _child_key(self, labels: Mapping[str, str]) -> tuple:
-        return tuple(sorted(labels.items()))
-
-    def render(self) -> list[str]:  # pragma: no cover - overridden
-        raise NotImplementedError
-
-    def header(self) -> list[str]:
-        return [f"# HELP {self.name} {self.help}",
-                f"# TYPE {self.name} {self.kind}"]
-
-
-class Counter(_Family):
-    """Monotonic counter with optional labels."""
-
-    kind = "counter"
-
-    def inc(self, amount: float = 1.0, **labels: str) -> None:
-        key = self._child_key(labels)
-        entry = self._children.setdefault(key, [dict(labels), 0.0])
-        entry[1] += amount
-
-    def value(self, **labels: str) -> float:
-        entry = self._children.get(self._child_key(labels))
-        return entry[1] if entry else 0.0
-
-    def render(self) -> list[str]:
-        lines = self.header()
-        if not self._children:
-            lines.append(f"{self.name} 0")
-            return lines
-        for key in sorted(self._children):
-            labels, value = self._children[key]
-            lines.append(
-                f"{self.name}{_render_labels(labels)} "
-                f"{_format_value(value)}"
-            )
-        return lines
-
-
-class Gauge(_Family):
-    """Instantaneous value (queue depths, in-flight counts)."""
-
-    kind = "gauge"
-
-    def set(self, value: float, **labels: str) -> None:
-        key = self._child_key(labels)
-        self._children[key] = [dict(labels), float(value)]
-
-    def inc(self, amount: float = 1.0, **labels: str) -> None:
-        key = self._child_key(labels)
-        entry = self._children.setdefault(key, [dict(labels), 0.0])
-        entry[1] += amount
-
-    def dec(self, amount: float = 1.0, **labels: str) -> None:
-        self.inc(-amount, **labels)
-
-    def value(self, **labels: str) -> float:
-        entry = self._children.get(self._child_key(labels))
-        return entry[1] if entry else 0.0
-
-    def render(self) -> list[str]:
-        lines = self.header()
-        if not self._children:
-            lines.append(f"{self.name} 0")
-            return lines
-        for key in sorted(self._children):
-            labels, value = self._children[key]
-            lines.append(
-                f"{self.name}{_render_labels(labels)} "
-                f"{_format_value(value)}"
-            )
-        return lines
-
-
-class Histogram(_Family):
-    """Fixed-bucket latency histogram (cumulative buckets + sum/count)."""
-
-    kind = "histogram"
-
-    def __init__(self, name: str, help_text: str,
-                 registry: "MetricsRegistry",
-                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
-        super().__init__(name, help_text, registry)
-        self.buckets = tuple(sorted(buckets))
-
-    def observe(self, value: float, **labels: str) -> None:
-        key = self._child_key(labels)
-        entry = self._children.setdefault(
-            key, [dict(labels), [0] * len(self.buckets), 0.0, 0]
-        )
-        _, counts, _, _ = entry
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                counts[i] += 1
-        entry[2] += value
-        entry[3] += 1
-
-    def count(self, **labels: str) -> int:
-        entry = self._children.get(self._child_key(labels))
-        return entry[3] if entry else 0
-
-    def render(self) -> list[str]:
-        lines = self.header()
-        for key in sorted(self._children):
-            labels, counts, total, n = self._children[key]
-            # counts[i] is already cumulative: observe() increments
-            # every bucket whose bound admits the value.
-            for bound, count in zip(self.buckets, counts):
-                lines.append(
-                    f"{self.name}_bucket"
-                    f"{_render_labels(labels, {'le': _format_value(bound)})}"
-                    f" {count}"
-                )
-            lines.append(
-                f"{self.name}_bucket"
-                f"{_render_labels(labels, {'le': '+Inf'})} {n}"
-            )
-            lines.append(
-                f"{self.name}_sum{_render_labels(labels)} "
-                f"{_format_value(total)}"
-            )
-            lines.append(
-                f"{self.name}_count{_render_labels(labels)} {n}"
-            )
-        return lines
-
-
-class MetricsRegistry:
-    """Create-and-collect registry; renders the full exposition text."""
-
-    def __init__(self) -> None:
-        self._families: dict[str, _Family] = {}
-
-    def _register(self, family: _Family) -> None:
-        if family.name in self._families:
-            raise ValueError(f"duplicate metric {family.name!r}")
-        self._families[family.name] = family
-
-    def counter(self, name: str, help_text: str) -> Counter:
-        return Counter(name, help_text, self)
-
-    def gauge(self, name: str, help_text: str) -> Gauge:
-        return Gauge(name, help_text, self)
-
-    def histogram(self, name: str, help_text: str,
-                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
-        return Histogram(name, help_text, self, buckets=buckets)
-
-    def families(self) -> Iterable[_Family]:
-        return self._families.values()
-
-    def render(self) -> str:
-        lines: list[str] = []
-        for name in sorted(self._families):
-            lines.extend(self._families[name].render())
-        return "\n".join(lines) + "\n"
-
-
-def parse_metrics(text: str) -> dict[str, float]:
-    """Parse exposition text into ``{'name{labels}': value}``.
-
-    The inverse of :meth:`MetricsRegistry.render` for the sample lines —
-    used by the client library and the integration tests to assert on
-    daemon counters without regexes.
-    """
-    samples: dict[str, float] = {}
-    for line in text.splitlines():
-        line = line.strip()
-        if not line or line.startswith("#"):
-            continue
-        name, _, raw = line.rpartition(" ")
-        if not name:
-            continue
-        try:
-            value = float(raw)
-        except ValueError:
-            continue
-        samples[name] = value
-    return samples
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "escape_label_value",
+    "parse_metrics",
+    "unescape_label_value",
+    "validate_exposition",
+]

@@ -39,6 +39,7 @@ integration tests and the CI smoke job assert against that text.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -59,6 +60,8 @@ from repro.resilience.faults import (
 )
 from repro.memory.acpi import FirmwareTables, Sbit, enumerate_tables
 from repro.memory.topology import topology_by_name, topology_names
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.policies.registry import policy_names
 from repro.profiling.cdf import AccessCdf
 from repro.profiling.profiler import PageAccessProfiler
@@ -67,7 +70,6 @@ from repro.runner.spec import RunSpec
 from repro.runtime.hints import get_allocation
 from repro.serve.batching import BatchSaturatedError, MicroBatcher, SingleFlight
 from repro.serve.config import ServeConfig
-from repro.serve.metrics import MetricsRegistry
 from repro.workloads import get_workload, workload_names
 
 
@@ -140,6 +142,9 @@ class PlacementService:
         self.config = config or ServeConfig()
         self.metrics = MetricsRegistry()
         self.started_at = time.time()
+        # Uptime must come from the monotonic clock: time.time() jumps
+        # under NTP slews/steps, which once produced negative uptimes.
+        self._started_monotonic = time.monotonic()
         self._fault_plan = fault_plan
         self._draining = False
 
@@ -324,7 +329,8 @@ class PlacementService:
         cache_dir = self.config.resolved_cache_dir()
         return {
             "status": "ok",
-            "uptime_s": round(time.time() - self.started_at, 3),
+            "uptime_s": round(
+                time.monotonic() - self._started_monotonic, 3),
             "workloads": len(workload_names()),
             "policies": len(policy_names()),
             "topologies": list(topology_names()),
@@ -422,15 +428,18 @@ class PlacementService:
     async def placement(self, payload: Mapping[str, Any]) -> dict:
         """Micro-batched placement; degrades inline when saturated."""
         self.m_place_requests.inc()
-        try:
-            result = await self._batcher.submit(payload)
-            degraded = False
-        except BatchSaturatedError:
-            # Graceful degradation: placement must always answer, so a
-            # saturated batch queue means compute right here instead.
-            self.m_place_inline.inc()
-            result = self.compute_placement(payload)
-            degraded = True
+        with obs_trace.span("serve.placement", cat="serve") as span:
+            try:
+                result = await self._batcher.submit(payload)
+                degraded = False
+            except BatchSaturatedError:
+                # Graceful degradation: placement must always answer,
+                # so a saturated batch queue means compute right here
+                # instead.
+                self.m_place_inline.inc()
+                result = self.compute_placement(payload)
+                degraded = True
+            span.annotate(degraded=degraded)
         self.m_queue_depth.set(self._batcher.queue_depth)
         return dict(result, degraded=degraded)
 
@@ -588,8 +597,13 @@ class PlacementService:
                     else:
                         raise InjectedFaultError(
                             "injected fault at serve.simulate")
+                # run_in_executor does not copy the caller's context:
+                # carry it over so the worker thread keeps the request's
+                # trace id and span lane.
+                ctx = contextvars.copy_context()
                 report = await loop.run_in_executor(
-                    self._executor, self._run_spec_job, spec, deadline,
+                    self._executor,
+                    lambda: ctx.run(self._run_spec_job, spec, deadline),
                 )
             except DeadlineExceededError:
                 # Client-caused: the backend is fine, don't trip the
@@ -612,12 +626,18 @@ class PlacementService:
         if joined:
             self.m_sim_dedup.inc()
         self.m_sim_inflight.set(len(self._flight))
-        try:
-            # shield: one waiter's cancellation/timeout must not kill a
-            # job other waiters share (and whose result feeds the cache).
-            report = await asyncio.shield(task)
-        finally:
-            self.m_sim_inflight.set(len(self._flight))
+        with obs_trace.span("serve.simulate", cat="serve",
+                            workload=spec.workload,
+                            policy=spec.policy) as span:
+            span.annotate(deduplicated=joined)
+            try:
+                # shield: one waiter's cancellation/timeout must not
+                # kill a job other waiters share (and whose result
+                # feeds the cache).
+                report = await asyncio.shield(task)
+            finally:
+                self.m_sim_inflight.set(len(self._flight))
+            span.annotate(cache_hit=bool(report.get("cache_hit")))
         return {
             "spec": spec.canonical(),
             "cache_key": key,
@@ -674,9 +694,11 @@ class PlacementService:
         loop = asyncio.get_running_loop()
 
         async def job() -> dict:
+            ctx = contextvars.copy_context()
             payload = await loop.run_in_executor(
-                self._executor, self._profile_payload,
-                workload_name, dataset, n_accesses, seed,
+                self._executor,
+                lambda: ctx.run(self._profile_payload, workload_name,
+                                dataset, n_accesses, seed),
             )
             self._profiles[key] = payload
             while len(self._profiles) > self.config.profile_cache_size:
@@ -686,7 +708,9 @@ class PlacementService:
         task, _ = self._profile_flight.join_or_start(
             "/".join(map(str, key)), job
         )
-        payload = await asyncio.shield(task)
+        with obs_trace.span("serve.profile", cat="serve",
+                            workload=workload_name, dataset=dataset):
+            payload = await asyncio.shield(task)
         return dict(payload, cached=False)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,96 @@
+"""Unit tests for :mod:`repro.obs.log` (structured JSON logging)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import trace as obs_trace
+from repro.obs.log import LOG_JSON_ENV, format_event, json_mode, log_event
+
+
+@pytest.fixture
+def json_logs(monkeypatch):
+    monkeypatch.setenv(LOG_JSON_ENV, "1")
+
+
+@pytest.fixture
+def text_logs(monkeypatch):
+    monkeypatch.delenv(LOG_JSON_ENV, raising=False)
+
+
+class TestJsonMode:
+    def test_env_truthiness(self, monkeypatch):
+        for value in ("1", "true", "YES", " on "):
+            monkeypatch.setenv(LOG_JSON_ENV, value)
+            assert json_mode() is True
+        for value in ("", "0", "false", "off"):
+            monkeypatch.setenv(LOG_JSON_ENV, value)
+            assert json_mode() is False
+
+    def test_schema(self, json_logs):
+        line = format_event("runner.retry", level="warning",
+                            spec="bfs/LOCAL", cause="timeout")
+        record = json.loads(line)
+        assert record["event"] == "runner.retry"
+        assert record["level"] == "warning"
+        assert record["spec"] == "bfs/LOCAL"
+        assert record["cause"] == "timeout"
+        # ISO-8601 UTC timestamp.
+        assert "T" in record["ts"] and record["ts"].endswith("+00:00")
+
+    def test_unknown_level_normalised(self, json_logs):
+        record = json.loads(format_event("x", level="shouting"))
+        assert record["level"] == "info"
+
+    def test_message_carried_as_field(self, json_logs):
+        record = json.loads(
+            format_event("serve.listening", message="listening on :8077",
+                         url="http://x:8077"))
+        assert record["message"] == "listening on :8077"
+        assert record["url"] == "http://x:8077"
+
+    def test_trace_id_included_when_bound(self, json_logs):
+        token = obs_trace.set_trace_id("feedc0de00000000")
+        try:
+            record = json.loads(format_event("cache.quarantined"))
+        finally:
+            obs_trace.reset_trace_id(token)
+        assert record["trace_id"] == "feedc0de00000000"
+        record = json.loads(format_event("cache.quarantined"))
+        assert "trace_id" not in record
+
+    def test_non_serialisable_fields_stringified(self, json_logs):
+        record = json.loads(format_event("x", path=io.BytesIO))
+        assert isinstance(record["path"], str)
+
+
+class TestTextMode:
+    def test_message_verbatim(self, text_logs):
+        assert (format_event("serve.listening",
+                             message="repro.serve listening on :8077")
+                == "repro.serve listening on :8077")
+
+    def test_key_value_fallback(self, text_logs):
+        assert (format_event("runner.retry", spec="bfs", attempt=2)
+                == "runner.retry spec=bfs attempt=2")
+
+    def test_event_only(self, text_logs):
+        assert format_event("serve.stopped") == "serve.stopped"
+
+
+class TestLogEvent:
+    def test_writes_one_line_to_stream(self, json_logs):
+        stream = io.StringIO()
+        log_event("runner.retry", level="warning", stream=stream,
+                  spec="bfs")
+        output = stream.getvalue()
+        assert output.endswith("\n") and output.count("\n") == 1
+        assert json.loads(output)["spec"] == "bfs"
+
+    def test_closed_stream_swallowed(self, text_logs):
+        stream = io.StringIO()
+        stream.close()
+        log_event("x", stream=stream)  # must not raise

@@ -1,0 +1,184 @@
+"""Unit tests for :mod:`repro.obs.trace`.
+
+The exported file must be loadable by Perfetto/about:tracing (Chrome
+trace-event JSON: ``traceEvents`` of ``ph: "X"`` complete events with
+microsecond ``ts``/``dur``), spans must nest, worker capture/absorb
+must preserve pids, and — critically — the disabled path must stay a
+no-op returning the shared null handle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.obs import trace as obs_trace
+
+
+@pytest.fixture(autouse=True)
+def _isolated_tracer():
+    """Each test starts with no tracer and an unprobed environment."""
+    obs_trace._reset_state()
+    yield
+    obs_trace._reset_state()
+
+
+class TestDisabled:
+    def test_span_returns_shared_null_handle(self, monkeypatch):
+        monkeypatch.delenv(obs_trace.TRACE_ENV, raising=False)
+        assert obs_trace.enabled() is False
+        assert obs_trace.span("x") is obs_trace._NULL_SPAN
+        assert obs_trace.span("y", cat="c", k=1) is obs_trace._NULL_SPAN
+        # Null handle is inert.
+        with obs_trace.span("z") as handle:
+            handle.annotate(anything="goes")
+        obs_trace.instant("nothing")  # no-op, no error
+
+
+class TestRecording:
+    def test_span_records_complete_event(self):
+        tracer = obs_trace.install(path=None)
+        with obs_trace.span("outer", cat="test", fixed=1) as span:
+            span.annotate(late=2)
+            time.sleep(0.001)
+        (event,) = tracer.events
+        assert event["ph"] == "X"
+        assert event["name"] == "outer"
+        assert event["cat"] == "test"
+        assert event["pid"] == os.getpid()
+        assert isinstance(event["tid"], int)
+        assert event["dur"] >= 1  # microseconds, floor-clamped to 1
+        assert event["args"] == {"fixed": 1, "late": 2}
+
+    def test_spans_nest_in_time(self):
+        tracer = obs_trace.install(path=None)
+        with obs_trace.span("parent"):
+            time.sleep(0.001)
+            with obs_trace.span("child"):
+                time.sleep(0.001)
+            time.sleep(0.001)
+        by_name = {e["name"]: e for e in tracer.events}
+        parent, child = by_name["parent"], by_name["child"]
+        assert parent["ts"] <= child["ts"]
+        assert (child["ts"] + child["dur"]
+                <= parent["ts"] + parent["dur"] + 1)
+
+    def test_instant_event(self):
+        tracer = obs_trace.install(path=None)
+        obs_trace.instant("runner.retry", cat="runner", spec="bfs")
+        (event,) = tracer.events
+        assert event["ph"] == "i"
+        assert event["args"]["spec"] == "bfs"
+
+    def test_trace_id_tagged_on_spans(self):
+        tracer = obs_trace.install(path=None)
+        token = obs_trace.set_trace_id("abc123")
+        try:
+            with obs_trace.span("tagged"):
+                pass
+            obs_trace.instant("tick")
+        finally:
+            obs_trace.reset_trace_id(token)
+        with obs_trace.span("untagged"):
+            pass
+        events = {e["name"]: e for e in tracer.events}
+        assert events["tagged"]["args"]["trace_id"] == "abc123"
+        assert events["tick"]["args"]["trace_id"] == "abc123"
+        assert "trace_id" not in events["untagged"]["args"]
+
+    def test_lane_pins_tid(self):
+        tracer = obs_trace.install(path=None)
+        with obs_trace.lane(tid=42):
+            with obs_trace.span("a"):
+                with obs_trace.span("b"):
+                    pass
+        assert [e["tid"] for e in tracer.events] == [42, 42]
+
+
+class TestCaptureAbsorb:
+    def test_capture_shadows_active_tracer(self):
+        tracer = obs_trace.install(path=None)
+        with obs_trace.capture() as events:
+            with obs_trace.span("inside"):
+                pass
+        assert len(tracer) == 0
+        assert [e["name"] for e in events] == ["inside"]
+        # Back to the original tracer afterwards.
+        with obs_trace.span("after"):
+            pass
+        assert [e["name"] for e in tracer.events] == ["after"]
+
+    def test_absorb_preserves_pid_tid(self):
+        tracer = obs_trace.install(path=None)
+        foreign = [{"name": "worker.span", "cat": "runner", "ph": "X",
+                    "ts": 1, "dur": 2, "pid": 99999, "tid": 7,
+                    "args": {}}]
+        tracer.absorb(foreign)
+        (event,) = tracer.events
+        assert event["pid"] == 99999
+        assert event["tid"] == 7
+
+
+class TestExport:
+    def test_export_writes_chrome_trace_json(self, tmp_path):
+        out = tmp_path / "trace.json"
+        tracer = obs_trace.install(out)
+        with obs_trace.span("runner.run", cat="runner", n_specs=2):
+            with obs_trace.span("cache.get", cat="cache"):
+                pass
+        tracer.export()
+        data = json.loads(out.read_text())
+        assert "traceEvents" in data
+        assert data["displayTimeUnit"] == "ms"
+        events = data["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert metadata and metadata[0]["name"] == "process_name"
+        assert {e["name"] for e in spans} == {"runner.run", "cache.get"}
+        for event in spans:
+            # Chrome trace-event schema keys.
+            assert {"name", "cat", "ph", "ts", "dur",
+                    "pid", "tid", "args"} <= set(event)
+
+    def test_forked_child_never_exports(self, tmp_path):
+        out = tmp_path / "trace.json"
+        tracer = obs_trace.install(out)
+        with obs_trace.span("x"):
+            pass
+        tracer.pid = os.getpid() + 1  # simulate an inherited fork copy
+        tracer.export()
+        assert not out.exists()
+
+    def test_export_without_path_raises(self):
+        tracer = obs_trace.install(path=None)
+        with pytest.raises(ValueError):
+            tracer.export()
+
+
+class TestActivation:
+    def test_env_variable_activates(self, tmp_path, monkeypatch):
+        out = tmp_path / "env-trace.json"
+        monkeypatch.setenv(obs_trace.TRACE_ENV, str(out))
+        obs_trace._reset_state()
+        assert obs_trace.enabled() is True
+        tracer = obs_trace.active()
+        assert tracer is not None and tracer.path == out
+
+    def test_blank_env_stays_disabled(self, monkeypatch):
+        monkeypatch.setenv(obs_trace.TRACE_ENV, "  ")
+        obs_trace._reset_state()
+        assert obs_trace.enabled() is False
+
+    def test_uninstall_disables(self):
+        obs_trace.install(path=None)
+        assert obs_trace.enabled() is True
+        obs_trace.uninstall()
+        assert obs_trace.enabled() is False
+
+    def test_new_trace_ids_are_distinct(self):
+        ids = {obs_trace.new_trace_id() for _ in range(32)}
+        assert len(ids) == 32
+        assert all(len(i) == 16 for i in ids)
