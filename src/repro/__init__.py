@@ -60,6 +60,7 @@ _API = {
     "table1_config": "repro.gpu.config",
     # workloads
     "get_workload": "repro.workloads.suite",
+    "scenario_names": "repro.workloads.suite",
     "workload_names": "repro.workloads.suite",
     "TraceWorkload": "repro.workloads.base",
     "DataStructureSpec": "repro.workloads.base",

@@ -47,7 +47,7 @@ from repro.policies.registry import policy_names
 from repro.profiling.cdf import AccessCdf
 from repro.profiling.profiler import PageAccessProfiler
 from repro.runner import ResultCache, configured, make_spec
-from repro.workloads import get_workload, workload_names
+from repro.workloads import get_workload, scenario_names, workload_names
 
 #: the CLI spelling of the shared topology registry.
 TOPOLOGIES = NAMED_TOPOLOGIES
@@ -72,6 +72,10 @@ def cmd_list(args: argparse.Namespace) -> int:
         for name in workload_names():
             workload = get_workload(name)
             print(f"{name:12s} [{workload.suite:8s}] "
+                  f"{workload.description}")
+        for name in scenario_names():
+            workload = get_workload(name)
+            print(f"{name:14s} [{workload.suite:8s}] "
                   f"{workload.description}")
     elif kind == "policies":
         for name in policy_names():
@@ -431,7 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="compare policies")
     common(p_cmp, multi_workload=True)
-    p_cmp.add_argument("--policies", "-p", nargs="+",
+    p_cmp.add_argument("--policies", "--policy", "-p", nargs="+",
                        default=["LOCAL", "INTERLEAVE", "BW-AWARE"])
     runner_options(p_cmp)
     p_cmp.set_defaults(fn=cmd_compare)

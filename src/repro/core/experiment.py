@@ -46,6 +46,9 @@ class ExperimentResult:
     sim: SimResult
     zone_page_counts: tuple[int, ...]
     topology_name: str
+    #: dynamic-placement accounting (pages moved, migration time, ...);
+    #: ``None`` for static policies.
+    migration: Optional[Mapping[str, object]] = None
 
     @property
     def time_ns(self) -> float:
@@ -124,6 +127,10 @@ def resolve_policy(policy: Union[str, PlacementPolicy],
             bo_capacity_bytes=bo_zone.capacity_bytes, dataset=dataset,
         )
         return make_policy("ANNOTATED"), hints
+    if name.partition("@")[0] == "ONLINE":
+        from repro.policies.online import online_from_spec
+
+        return online_from_spec(name), None
     return make_policy(name), None
 
 
@@ -150,24 +157,96 @@ def run_experiment(workload: Union[str, TraceWorkload],
         policy, workload, dataset, trace_accesses, seed, system, process,
         training_dataset=training_dataset,
     )
+    online = resolved if getattr(resolved, "dynamic", False) else None
+    if online is not None:
+        # ONLINE places with its *initial* static policy (resolved
+        # through the same path, so ORACLE/ANNOTATED initials get their
+        # profiling passes), then migrates at epoch boundaries.
+        initial = online.initial
+        if isinstance(initial, str):
+            from repro.runner.spec import parse_policy
+
+            initial = parse_policy(initial.upper())
+        resolved, hints = resolve_policy(
+            initial, workload, dataset, trace_accesses, seed, system,
+            process, training_dataset=training_dataset,
+        )
     workload.reserve_in(process, dataset, hints=hints)
     zone_map = process.place_all(resolved)
 
     kwargs = {} if trace_accesses is None else {"n_accesses": trace_accesses}
-    trace = workload.dram_trace(dataset, seed=seed, **kwargs)
-    simulator = GpuSystemSimulator(system, config, engine)
-    sim = simulator.simulate(trace, zone_map,
-                             workload.characteristics(dataset))
+    migration = None
+    if online is not None:
+        trace = workload.dram_trace(dataset, seed=seed,
+                                    n_epochs=online.epochs, **kwargs)
+        sim, zone_map, migration = _simulate_online(
+            online, system, config, engine, trace,
+            workload.characteristics(dataset), zone_map,
+        )
+    else:
+        trace = workload.dram_trace(dataset, seed=seed, **kwargs)
+        simulator = GpuSystemSimulator(system, config, engine)
+        sim = simulator.simulate(trace, zone_map,
+                                 workload.characteristics(dataset))
 
     counts = np.bincount(zone_map, minlength=len(system))
     return ExperimentResult(
         workload=workload.name,
         dataset=dataset,
-        policy=(policy if isinstance(policy, str) else resolved.name),
+        policy=(policy if isinstance(policy, str)
+                else (online or resolved).name),
         sim=sim,
         zone_page_counts=tuple(int(c) for c in counts),
         topology_name=system.name,
+        migration=migration,
     )
+
+
+def _simulate_online(online, system: SystemTopology,
+                     config: Optional[GpuConfig], engine: EngineName,
+                     trace, chars, zone_map: np.ndarray):
+    """Replay the trace through the migration engine for ONLINE.
+
+    The CO target is the largest non-BO pool (on the two-zone baseline
+    simply "the other zone"); migration traffic is charged through the
+    Section 5.5 cost model scaled by the policy's ``cost_scale``.
+    """
+    from repro.migration.cost import scaled_migration
+    from repro.migration.engine import MigrationSimulator
+    from repro.migration.policy import EpochMigrationPolicy
+
+    bo_zone = system.gpu_local_zone
+    co_zone = max(
+        (zone for zone in system.zones if zone.zone_id != bo_zone),
+        key=lambda zone: zone.capacity_bytes,
+    ).zone_id
+    mig_policy = EpochMigrationPolicy(
+        bo_zone=bo_zone,
+        co_zone=co_zone,
+        bo_capacity_pages=system.local.capacity_pages,
+        bo_traffic_fraction=system.bandwidth_fractions()[bo_zone],
+        budget_pages_per_epoch=online.budget_pages_per_epoch,
+        hysteresis=online.hysteresis,
+        watermarks=online.watermarks,
+    )
+    simulator = MigrationSimulator(
+        system, config, scaled_migration(online.cost_scale), engine=engine
+    )
+    result = simulator.run(
+        trace, zone_map, chars, mig_policy,
+        tracker_decay=online.decay,
+        oracle_scores=(trace.page_access_counts()
+                       if online.oracle_hotness else None),
+        plan_before_start=online.oracle_hotness,
+        max_overhead=online.max_overhead,
+    )
+    migration = {
+        "pages_migrated": int(result.pages_migrated),
+        "migration_time_ns": float(result.migration_time_ns),
+        "execution_time_ns": float(result.execution_time_ns),
+        "moves_per_epoch": [int(n) for n in result.moves_per_epoch],
+    }
+    return result.sim, result.final_zone_map, migration
 
 
 def compare_policies(workload: Union[str, TraceWorkload],

@@ -13,6 +13,7 @@ from repro.experiments import (
     ext_granularity,
     ext_interconnect,
     ext_migration,
+    ext_online_placement,
     ext_three_pool,
     fig01_topologies,
     fig02_sensitivity,
@@ -46,6 +47,7 @@ __all__ = [
     "ext_granularity",
     "ext_interconnect",
     "ext_migration",
+    "ext_online_placement",
     "ext_three_pool",
 ]
 

@@ -26,10 +26,9 @@ import numpy as np
 
 from repro.analysis.report import FigureResult, Series
 from repro.core.experiment import constrained_topology
-from repro.core.units import gbps
 from repro.experiments.common import EXP_ACCESSES, EXP_SEED, run
 from repro.memory.topology import simulated_baseline
-from repro.migration.cost import MigrationCostModel
+from repro.migration.cost import MigrationCostModel, scaled_migration
 from repro.migration.engine import MigrationSimulator
 from repro.migration.policy import EpochMigrationPolicy
 from repro.workloads.suite import get_workload
@@ -39,15 +38,13 @@ DEFAULT_CAPACITY_FRACTION = 0.10
 
 
 def scaled_cost(scale: float) -> MigrationCostModel:
-    """The Section 5.5 cost model scaled by ``scale`` (0 = free)."""
-    if scale == 0.0:
-        return MigrationCostModel(migration_bandwidth=float("inf"),
-                                  first_touch_stall_us=0.0,
-                                  stall_exposure=0.0)
-    return MigrationCostModel(
-        migration_bandwidth=gbps(4.0) / scale,
-        first_touch_stall_us=5.0 * scale,
-    )
+    """The Section 5.5 cost model scaled by ``scale`` (0 = free).
+
+    Kept as an alias of :func:`repro.migration.cost.scaled_migration`,
+    which the ONLINE policy also uses — one definition of "scaled paper
+    cost" across the whole tree.
+    """
+    return scaled_migration(scale)
 
 
 def run_workload(name: str,

@@ -70,3 +70,22 @@ def free_migration() -> MigrationCostModel:
 def paper_migration() -> MigrationCostModel:
     """The Section 5.5 measured costs."""
     return MigrationCostModel()
+
+
+def scaled_migration(scale: float) -> MigrationCostModel:
+    """The Section 5.5 cost model scaled by ``scale``.
+
+    ``1.0`` is the paper's measured cost, ``0.0`` is free migration.
+    Intermediate values model faster migration hardware — or,
+    equivalently, longer-running kernels that amortize a fixed per-page
+    cost over more execution time (the framing of the ext_migration
+    and ext_online_placement cost sweeps).
+    """
+    if scale < 0:
+        raise ConfigError("cost scale must be >= 0")
+    if scale == 0.0:
+        return free_migration()
+    return MigrationCostModel(
+        migration_bandwidth=gbps(4.0) / scale,
+        first_touch_stall_us=5.0 * scale,
+    )

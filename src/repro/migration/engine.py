@@ -9,18 +9,36 @@ placement policy is putting the cart before the horse" — made
 quantitative: the extension bench compares static BW-AWARE/oracle
 placement against online migration from good and bad starting points,
 under measured and idealized migration costs.
+
+The simulator doubles as the execution engine behind the first-class
+ONLINE placement policy (:mod:`repro.policies.online`), which needs a
+few extras beyond the original ext_migration study:
+
+* any performance engine (throughput/detailed/banked), not just the
+  analytic one;
+* ``oracle_scores`` — prefill the tracker with a full-trace profile
+  (the differential tests' "oracle hotness" configuration) instead of
+  learning hotness online;
+* ``plan_before_start`` — allow one migration boundary before the
+  first epoch runs (meaningful only with oracle scores: it models a
+  profiling pass followed by a re-placed run, i.e. the two-phase
+  oracle realized through the migration engine);
+* ``max_overhead`` — a cumulative rate limit: migration time may never
+  exceed this fraction of execution time so far, which is what lets
+  ONLINE guarantee bounded degradation on stationary workloads.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
 from repro.core.errors import SimulationError
 from repro.gpu.config import GpuConfig, table1_config
-from repro.gpu.throughput import ThroughputEngine
-from repro.gpu.trace import DramTrace, WorkloadCharacteristics
+from repro.gpu.simulator import EngineName, make_engine
+from repro.gpu.trace import DramTrace, SimResult, WorkloadCharacteristics
 from repro.memory.topology import SystemTopology
 from repro.migration.cost import MigrationCostModel, paper_migration
 from repro.migration.policy import EpochMigrationPolicy
@@ -37,6 +55,11 @@ class MigrationResult:
     pages_migrated: int
     epochs: int
     final_zone_map: np.ndarray
+    #: pages moved at each epoch boundary (ping-pong diagnostics).
+    moves_per_epoch: tuple[int, ...] = ()
+    #: aggregate engine result with the migration overhead folded into
+    #: the total (``None`` only for legacy constructions).
+    sim: Optional[SimResult] = field(default=None, repr=False)
 
     @property
     def throughput(self) -> float:
@@ -53,17 +76,36 @@ class MigrationSimulator:
 
     def __init__(self, topology: SystemTopology,
                  config: GpuConfig | None = None,
-                 cost_model: MigrationCostModel | None = None) -> None:
+                 cost_model: MigrationCostModel | None = None,
+                 engine: EngineName = "throughput") -> None:
         self.topology = topology
         self.config = config if config is not None else table1_config()
         self.cost_model = (cost_model if cost_model is not None
                            else paper_migration())
-        self._engine = ThroughputEngine(self.config)
+        self.engine_name = engine
+        self._engine = make_engine(engine, self.config)
+
+    def _boundary_budget(self, max_overhead: Optional[float],
+                         execution_ns: float,
+                         migration_ns: float) -> Optional[int]:
+        """Pages affordable at this boundary under the overhead cap."""
+        if max_overhead is None:
+            return None
+        per_page = self.cost_model.total_time_ns(1)
+        if per_page <= 0:
+            return None  # free migration: the cap cannot bind
+        allowed = max_overhead * execution_ns - migration_ns
+        return max(0, int(allowed / per_page))
 
     def run(self, trace: DramTrace, initial_zone_map: np.ndarray,
             chars: WorkloadCharacteristics,
             policy: EpochMigrationPolicy,
-            tracker_decay: float = 0.5) -> MigrationResult:
+            tracker_decay: float = 0.5,
+            oracle_scores: Optional[np.ndarray] = None,
+            plan_before_start: bool = False,
+            max_overhead: Optional[float] = None) -> MigrationResult:
+        if max_overhead is not None and max_overhead < 0:
+            raise SimulationError("max_overhead must be >= 0 or None")
         zone_map = np.array(initial_zone_map, dtype=np.int16, copy=True)
         if zone_map.size != trace.footprint_pages:
             raise SimulationError(
@@ -78,10 +120,53 @@ class MigrationSimulator:
 
         tracker = HotnessTracker(trace.footprint_pages,
                                  decay=tracker_decay)
+        if oracle_scores is not None:
+            scores = np.asarray(oracle_scores, dtype=np.float64)
+            if scores.shape != (trace.footprint_pages,):
+                raise SimulationError(
+                    "oracle_scores must cover the trace footprint"
+                )
+            tracker.observe_epoch(
+                np.repeat(np.arange(trace.footprint_pages),
+                          np.maximum(scores, 0).astype(np.int64))
+            )
         raw_per_epoch = max(1, trace.n_raw_accesses // trace.n_epochs)
         execution_ns = 0.0
         migration_ns = 0.0
         moved = 0
+        moves_per_epoch: list[int] = []
+        n_zones = len(self.topology)
+        bytes_by_zone = np.zeros(n_zones, dtype=np.float64)
+        time_bandwidth = 0.0
+        time_latency = 0.0
+        time_compute = 0.0
+        dram_accesses = 0
+        mshr_merges = 0
+
+        def apply_boundary() -> None:
+            nonlocal migration_ns, moved
+            budget = self._boundary_budget(max_overhead, execution_ns,
+                                           migration_ns)
+            plan = policy.plan(zone_map, tracker, budget_pages=budget)
+            moves_per_epoch.append(plan.n_pages)
+            if plan.n_pages:
+                zone_map[plan.demote] = policy.co_zone
+                zone_map[plan.promote] = policy.bo_zone
+                if int((zone_map == policy.bo_zone).sum()) \
+                        > policy.bo_capacity_pages:
+                    raise SimulationError(
+                        "migration plan exceeded BO capacity"
+                    )
+                migration_ns += self.cost_model.total_time_ns(plan.n_pages)
+                moved += plan.n_pages
+
+        if plan_before_start:
+            if oracle_scores is None:
+                raise SimulationError(
+                    "plan_before_start requires oracle_scores (there is "
+                    "nothing to plan from before the first epoch)"
+                )
+            apply_boundary()
 
         slices = trace.epoch_slices()
         for epoch, epoch_slice in enumerate(slices):
@@ -93,28 +178,38 @@ class MigrationSimulator:
                     n_raw_accesses=max(raw_per_epoch, pages.size),
                     n_epochs=1,
                     bytes_per_access=trace.bytes_per_access,
+                    is_write=(trace.is_write[epoch_slice]
+                              if trace.is_write is not None else None),
                 )
                 result = self._engine.run(sub_trace, zone_map,
                                           self.topology, chars)
                 execution_ns += result.total_time_ns
-                tracker.observe_epoch(pages)
+                bytes_by_zone += result.bytes_by_zone
+                time_bandwidth += result.time_bandwidth_ns
+                time_latency += result.time_latency_ns
+                time_compute += result.time_compute_ns
+                dram_accesses += result.dram_accesses
+                mshr_merges += result.mshr_merges
+                if oracle_scores is None:
+                    tracker.observe_epoch(pages)
 
             if epoch == len(slices) - 1:
                 break  # nothing left to run; migrating would be waste
-            plan = policy.plan(zone_map, tracker)
-            if plan.n_pages:
-                zone_map[plan.demote] = policy.co_zone
-                zone_map[plan.promote] = policy.bo_zone
-                if int((zone_map == policy.bo_zone).sum()) > policy.bo_capacity_pages:
-                    raise SimulationError(
-                        "migration plan exceeded BO capacity"
-                    )
-                migration_ns += self.cost_model.total_time_ns(plan.n_pages)
-                moved += plan.n_pages
+            apply_boundary()
 
         total = execution_ns + migration_ns
         if total <= 0:
             raise SimulationError("migrated run produced zero time")
+        sim = SimResult(
+            engine=f"{self.engine_name}+migration",
+            total_time_ns=total,
+            dram_accesses=dram_accesses,
+            bytes_by_zone=bytes_by_zone,
+            time_bandwidth_ns=time_bandwidth,
+            time_latency_ns=time_latency,
+            time_compute_ns=time_compute,
+            mshr_merges=mshr_merges,
+        )
         return MigrationResult(
             total_time_ns=total,
             execution_time_ns=execution_ns,
@@ -122,4 +217,6 @@ class MigrationSimulator:
             pages_migrated=moved,
             epochs=trace.n_epochs,
             final_zone_map=zone_map,
+            moves_per_epoch=tuple(moves_per_epoch),
+            sim=sim,
         )

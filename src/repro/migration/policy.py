@@ -5,6 +5,17 @@ current estimate against the placement and plans page moves toward the
 oracle-shaped target: the hottest pages into BO until either the SBIT
 bandwidth share of (estimated) traffic is captured or BO capacity is
 full.  A per-epoch page budget models the limited migration rate.
+
+Two TPP-style refinements (used by the ONLINE placement policy):
+
+* **hysteresis** — a candidate promotion must be clearly hotter than
+  the coldest resident BO page it would displace, damping ping-pong on
+  near-ties;
+* **watermarks** — when BO occupancy crosses the *high* watermark,
+  cold pages are proactively demoted down to the *low* watermark, so
+  later promotion bursts find free frames instead of spending their
+  budget on paired demotions (TPP's "proactive demotion keeps a
+  promotion headroom").
 """
 
 from __future__ import annotations
@@ -30,6 +41,27 @@ class MigrationPlan:
         return int(self.promote.size + self.demote.size)
 
 
+def validate_watermarks(watermarks) -> Optional[tuple[float, float]]:
+    """Check a ``(low, high)`` BO-occupancy watermark pair.
+
+    ``None`` disables proactive demotion.  Otherwise both values are
+    occupancy fractions with ``0 < low <= high <= 1``.
+    """
+    if watermarks is None:
+        return None
+    try:
+        low, high = (float(w) for w in watermarks)
+    except (TypeError, ValueError):
+        raise PolicyError(
+            f"watermarks must be a (low, high) pair, got {watermarks!r}"
+        )
+    if not 0.0 < low <= high <= 1.0:
+        raise PolicyError(
+            f"watermarks need 0 < low <= high <= 1, got ({low}, {high})"
+        )
+    return (low, high)
+
+
 class EpochMigrationPolicy:
     """Greedy hottest-first migration toward the bandwidth target.
 
@@ -37,12 +69,17 @@ class EpochMigrationPolicy:
     (``None`` = unlimited); ``hysteresis`` requires a candidate
     promotion to be at least that factor hotter than the coldest
     resident BO page it would displace, damping thrash on near-ties.
+    ``watermarks=(low, high)`` adds proactive demotion: whenever BO
+    occupancy would end the boundary above ``high * capacity``, the
+    coldest non-desired resident pages are demoted until occupancy
+    falls to ``low * capacity`` (still within the budget).
     """
 
     def __init__(self, bo_zone: int, co_zone: int,
                  bo_capacity_pages: int, bo_traffic_fraction: float,
                  budget_pages_per_epoch: Optional[int] = None,
-                 hysteresis: float = 1.25) -> None:
+                 hysteresis: float = 1.25,
+                 watermarks: Optional[tuple[float, float]] = None) -> None:
         if bo_zone == co_zone:
             raise PolicyError("BO and CO zones must differ")
         if bo_capacity_pages < 0:
@@ -59,6 +96,7 @@ class EpochMigrationPolicy:
         self.bo_traffic_fraction = bo_traffic_fraction
         self.budget = budget_pages_per_epoch
         self.hysteresis = hysteresis
+        self.watermarks = validate_watermarks(watermarks)
 
     def _desired_bo_set(self, tracker: HotnessTracker) -> np.ndarray:
         scores = tracker.scores
@@ -72,12 +110,24 @@ class EpochMigrationPolicy:
         take = min(take, self.bo_capacity_pages, order.size)
         return order[:take]
 
-    def plan(self, zone_map: np.ndarray,
-             tracker: HotnessTracker) -> MigrationPlan:
-        """Plan this boundary's moves given the current placement."""
+    def plan(self, zone_map: np.ndarray, tracker: HotnessTracker,
+             budget_pages: Optional[int] = None) -> MigrationPlan:
+        """Plan this boundary's moves given the current placement.
+
+        ``budget_pages`` further caps this boundary's moves below the
+        policy's per-epoch budget (the ONLINE policy derives it from an
+        execution-time overhead cap); the effective budget is the
+        minimum of the two.
+        """
         zone_map = np.asarray(zone_map)
         if zone_map.size != tracker.n_pages:
             raise PolicyError("zone map and tracker footprint mismatch")
+        budget = self.budget
+        if budget_pages is not None:
+            if budget_pages < 0:
+                raise PolicyError("budget_pages must be >= 0")
+            budget = (budget_pages if budget is None
+                      else min(budget, budget_pages))
         scores = tracker.scores
         desired = self._desired_bo_set(tracker)
         in_bo = zone_map == self.bo_zone
@@ -104,18 +154,40 @@ class EpochMigrationPolicy:
         n_demote = max(0, n_promote - free_bo)
         n_demote = min(n_demote, evictable.size)
         n_promote = min(n_promote, free_bo + n_demote)
-        if self.budget is not None:
-            while n_promote + n_demote > self.budget:
+        if budget is not None:
+            while n_promote + n_demote > budget:
                 if n_promote > 0:
                     n_promote -= 1
-                if n_promote + n_demote > self.budget and n_demote > 0:
+                if n_promote + n_demote > budget and n_demote > 0:
                     n_demote -= 1
                 if n_promote == 0 and n_demote == 0:
                     break
             # Never demote more than needed for the kept promotions.
             n_demote = min(n_demote,
                            max(0, n_promote - free_bo))
+        n_demote = self._proactive_demotions(
+            in_bo, evictable, n_promote, n_demote, budget)
         return MigrationPlan(
             promote=candidates[:n_promote],
             demote=evictable[:n_demote],
         )
+
+    def _proactive_demotions(self, in_bo: np.ndarray,
+                             evictable: np.ndarray, n_promote: int,
+                             n_demote: int,
+                             budget: Optional[int]) -> int:
+        """Extend demotions down to the low watermark when occupancy
+        would end the boundary above the high watermark."""
+        if self.watermarks is None:
+            return n_demote
+        low, high = self.watermarks
+        occupancy = int(in_bo.sum()) + n_promote - n_demote
+        high_pages = int(high * self.bo_capacity_pages)
+        if occupancy <= high_pages:
+            return n_demote
+        low_pages = int(low * self.bo_capacity_pages)
+        extra = occupancy - low_pages
+        extra = min(extra, evictable.size - n_demote)
+        if budget is not None:
+            extra = min(extra, budget - n_promote - n_demote)
+        return n_demote + max(0, extra)

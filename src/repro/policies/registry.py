@@ -19,6 +19,7 @@ from repro.policies.base import PlacementPolicy
 from repro.policies.bwaware import BwAwarePolicy, CounterBwAwarePolicy
 from repro.policies.interleave import InterleavePolicy
 from repro.policies.local import LocalPolicy
+from repro.policies.online import OnlinePolicy
 from repro.policies.oracle import OraclePolicy
 
 
@@ -64,6 +65,28 @@ def _make_annotated(**kwargs: object) -> PlacementPolicy:
     return AnnotatedPolicy(fallback=fallback)
 
 
+def _make_online(**kwargs: object) -> PlacementPolicy:
+    initial = kwargs.pop("initial", "BW-AWARE")
+    epochs = kwargs.pop("epochs", 16)
+    budget = kwargs.pop("budget_pages_per_epoch", None)
+    hysteresis = kwargs.pop("hysteresis", 1.25)
+    watermarks = kwargs.pop("watermarks", None)
+    decay = kwargs.pop("decay", 0.5)
+    cost_scale = kwargs.pop("cost_scale", 1.0)
+    max_overhead = kwargs.pop("max_overhead", 0.01)
+    oracle_hotness = kwargs.pop("oracle_hotness", False)
+    _reject_extras("ONLINE", kwargs)
+    return OnlinePolicy(
+        initial=initial, epochs=int(epochs),
+        budget_pages_per_epoch=(None if budget is None else int(budget)),
+        hysteresis=float(hysteresis), watermarks=watermarks,
+        decay=float(decay), cost_scale=float(cost_scale),
+        max_overhead=(None if max_overhead is None
+                      else float(max_overhead)),
+        oracle_hotness=bool(oracle_hotness),
+    )
+
+
 def _reject_extras(name: str, kwargs: dict) -> None:
     if kwargs:
         raise PolicyError(f"unknown arguments for {name}: {sorted(kwargs)}")
@@ -77,13 +100,15 @@ _FACTORIES: dict[str, Callable[..., PlacementPolicy]] = {
     "BW-AWARE-COUNTER": _make_counter_bwaware,
     "ORACLE": _make_oracle,
     "ANNOTATED": _make_annotated,
+    "ONLINE": _make_online,
 }
 
 
 def policy_names() -> tuple[str, ...]:
-    """Canonical policy names, in the order the paper discusses them."""
+    """Canonical policy names, in the order the paper discusses them
+    (the ONLINE extension last)."""
     return ("LOCAL", "INTERLEAVE", "BW-AWARE", "BW-AWARE-COUNTER",
-            "ORACLE", "ANNOTATED")
+            "ORACLE", "ANNOTATED", "ONLINE")
 
 
 def make_policy(name: str, **kwargs: object) -> PlacementPolicy:
@@ -96,6 +121,7 @@ def make_policy(name: str, **kwargs: object) -> PlacementPolicy:
         factory = _FACTORIES[name.upper()]
     except KeyError:
         raise PolicyError(
-            f"unknown policy {name!r}; known: {sorted(_FACTORIES)}"
+            f"unknown policy {name!r}; valid policies: "
+            f"{', '.join(policy_names())}"
         )
     return factory(**dict(kwargs))

@@ -67,6 +67,10 @@ def encode_result(result: ExperimentResult) -> dict:
         "policy": result.policy,
         "topology_name": result.topology_name,
         "zone_page_counts": list(result.zone_page_counts),
+        # Dynamic-placement accounting; None for static policies.
+        # Kept a plain-JSON dict so the digest stays canonical.
+        "migration": (None if result.migration is None
+                      else dict(result.migration)),
         "sim": {
             "engine": sim.engine,
             "total_time_ns": sim.total_time_ns,
@@ -101,6 +105,9 @@ def decode_result(payload: dict) -> ExperimentResult:
         zone_page_counts=tuple(int(c) for c in
                                payload["zone_page_counts"]),
         topology_name=payload["topology_name"],
+        # .get(): records written before the ONLINE policy lack the key
+        # (they are also orphaned by the salt bump, but stay decodable).
+        migration=payload.get("migration"),
     )
 
 

@@ -25,6 +25,7 @@ RESULT_AFFECTING_PACKAGES = (
     "gpu",
     "kernelsim",
     "memory",
+    "migration",
     "policies",
     "profiling",
     "runtime",

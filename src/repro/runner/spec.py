@@ -22,6 +22,9 @@ vector::
     "BW-AWARE@0.7,0.3"           explicit fraction vector (Figure 3's
                                  xC-yB sweeps, two-pool ablations)
     "BW-AWARE-COUNTER@0.5,0.5"   the deterministic ablation variant
+    "ONLINE"                     dynamic promotion/demotion, defaults
+    "ONLINE@cost=0.1,epochs=8"   k=v knob tail (sorted, non-default
+                                 knobs only; see repro.policies.online)
 
 :func:`canonical_policy` maps the policy inputs the experiment layer
 accepts (names, :class:`BwAwarePolicy` instances) onto this grammar;
@@ -39,10 +42,15 @@ import json
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from repro.core.errors import RunnerError, UncacheableSpecError
+from repro.core.errors import (
+    PolicyError,
+    RunnerError,
+    UncacheableSpecError,
+)
 from repro.memory.topology import SystemTopology
 from repro.policies.base import PlacementPolicy
 from repro.policies.bwaware import BwAwarePolicy, CounterBwAwarePolicy
+from repro.policies.online import OnlinePolicy
 from repro.workloads.base import TraceWorkload
 
 #: policy names that may carry an explicit ``@f0,f1,...`` fraction tail.
@@ -77,6 +85,18 @@ def canonical_policy(policy: Union[str, PlacementPolicy]) -> str:
     :class:`UncacheableSpecError`.
     """
     if isinstance(policy, str):
+        if policy.upper().partition("@")[0] == "ONLINE":
+            from repro.policies.online import (
+                canonical_online_tail,
+                parse_online_options,
+            )
+
+            tail = policy.partition("@")[2] or None
+            try:
+                canon = canonical_online_tail(parse_online_options(tail))
+            except PolicyError as exc:
+                raise UncacheableSpecError(str(exc))
+            return f"ONLINE@{canon}" if canon else "ONLINE"
         name = policy.upper()
         if "@" in name:
             base, _, tail = name.partition("@")
@@ -97,6 +117,9 @@ def canonical_policy(policy: Union[str, PlacementPolicy]) -> str:
         if explicit is None:
             return policy.name
         return f"{policy.name}@{_format_fractions(explicit)}"
+    if isinstance(policy, OnlinePolicy):
+        # describe() emits the canonical sorted non-default knob tail.
+        return policy.describe()
     raise UncacheableSpecError(
         f"cannot canonicalize policy object {policy!r}; pass a registry "
         "name or a BW-AWARE fraction spec instead"
@@ -108,6 +131,10 @@ def parse_policy(spec: str) -> Union[str, PlacementPolicy]:
     if "@" not in spec:
         return spec
     base, _, tail = spec.partition("@")
+    if base.upper() == "ONLINE":
+        from repro.policies.online import online_from_spec
+
+        return online_from_spec(spec)
     try:
         cls = _FRACTION_POLICIES[base]
     except KeyError:

@@ -12,6 +12,7 @@ from repro.workloads.suite import (
     all_workloads,
     bandwidth_sensitive_workloads,
     get_workload,
+    scenario_names,
     workload_names,
     workloads_by_suite,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "all_workloads",
     "bandwidth_sensitive_workloads",
     "get_workload",
+    "scenario_names",
     "workload_names",
     "workloads_by_suite",
 ]

@@ -1,0 +1,95 @@
+"""Dynamic-placement scenario workloads.
+
+Two synthetic scenario families built for the ONLINE policy study
+(``ext_online_placement``), modelling exactly the regimes where static
+placement — the paper's whole design space — is structurally weakest:
+
+* :class:`PhaseShiftWorkload` — a hot window carries most of the
+  traffic but rotates across the footprint every K accesses.  Averaged
+  over the run every page is equally hot, so whole-trace profiles (the
+  ORACLE's input, the annotation workflow's hints) carry no signal;
+  under BO capacity pressure any static placement strands most hot
+  traffic in CO.
+* :class:`SlidingWindowWorkload` — all traffic falls in a window that
+  slides linearly across a footprint sized to exceed BO under the
+  study's capacity constraint (the moving resident set of an
+  out-of-core sweep).
+
+They are registered as *scenarios*, not benchmarks: the paper's
+19-workload suite (Figure 2) stays exactly as characterized, and the
+full-registry sweeps behind the paper figures are unchanged.  Use
+``get_workload("phase_shift")`` or ``repro run -w phase_shift`` to
+reach them; :func:`repro.workloads.suite.scenario_names` lists them.
+
+Both patterns pin their window schedules to closed-form functions of
+the access index (see :mod:`repro.workloads.patterns`), so the golden
+regression tests can assert phase boundaries exactly.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import DataStructureSpec, TraceWorkload, mib
+
+
+class PhaseShiftWorkload(TraceWorkload):
+    """Rotating hot set: defeats any placement frozen at allocation."""
+
+    name = "phase_shift"
+    suite = "scenario"
+    description = "hot window rotates every K accesses"
+    bandwidth_sensitive = True
+    latency_sensitive = False
+    parallelism = 448.0
+    compute_ns_per_access = 0.1
+
+    #: pattern knobs, shared with the golden tests so the asserted
+    #: schedule is the shipped schedule.
+    n_phases = 4
+    hot_fraction = 0.1
+    hot_traffic = 0.85
+
+    def define_structures(self, dataset: str = "default"
+                          ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        return (
+            DataStructureSpec(
+                "working_set", mib(64), traffic_weight=1.0,
+                pattern="phase_shift",
+                pattern_params={
+                    "n_phases": self.n_phases,
+                    "hot_fraction": self.hot_fraction,
+                    "hot_traffic": self.hot_traffic,
+                },
+                read_fraction=0.7,
+            ),
+        )
+
+
+class SlidingWindowWorkload(TraceWorkload):
+    """Footprint exceeds BO; the live window slides across it."""
+
+    name = "sliding_window"
+    suite = "scenario"
+    description = "resident window slides over an oversized footprint"
+    bandwidth_sensitive = True
+    latency_sensitive = False
+    parallelism = 448.0
+    compute_ns_per_access = 0.1
+
+    window_fraction = 0.2
+    passes = 1.0
+
+    def define_structures(self, dataset: str = "default"
+                          ) -> tuple[DataStructureSpec, ...]:
+        self._check_dataset(dataset)
+        return (
+            DataStructureSpec(
+                "out_of_core", mib(96), traffic_weight=1.0,
+                pattern="sliding_window",
+                pattern_params={
+                    "window_fraction": self.window_fraction,
+                    "passes": self.passes,
+                },
+                read_fraction=0.7,
+            ),
+        )

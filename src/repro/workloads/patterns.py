@@ -18,7 +18,24 @@ Figures 6 and 7:
 * ``partial`` — only a sub-range is ever touched (mummergpu's allocated
   but never-accessed ranges).
 
-All generators take an ``rng`` and are deterministic given its state.
+Two *dynamic* families exercise the ONLINE placement extension — they
+are non-stationary by construction, the regime where any static
+placement (even the oracle, which sees only whole-trace counts) is
+provably pessimal:
+
+* ``phase_shift`` — a hot window takes most of the traffic and rotates
+  to the adjacent window every ``K = max(1, n_accesses // n_phases)``
+  accesses (phase ``p = i // K`` starts its window at line
+  ``(p * n_hot) % n_lines``);
+* ``sliding_window`` — all traffic falls in a window whose start slides
+  linearly across the structure (access ``i`` uses window start
+  ``floor(i * passes * n_lines / n_accesses) % n_lines``), the moving
+  resident set of an out-of-core sweep.
+
+All generators take an ``rng`` and are deterministic given its state;
+the two dynamic families additionally pin their *window positions* to
+closed-form functions of the access index, so tests can verify phase
+boundaries exactly.
 """
 
 from __future__ import annotations
@@ -163,6 +180,83 @@ def partial(rng: np.random.Generator, n_accesses: int, n_lines: int,
     return rng.integers(0, used, size=n_accesses, dtype=np.int64)
 
 
+def phase_shift_period(n_accesses: int, n_phases: int) -> int:
+    """Accesses per phase: the ``K`` of the ``phase_shift`` spec."""
+    if n_phases <= 0:
+        raise WorkloadError("n_phases must be positive")
+    return max(1, n_accesses // n_phases)
+
+
+def phase_shift_window(phase: int, n_lines: int,
+                       hot_fraction: float) -> tuple[int, int]:
+    """``(start, length)`` of phase ``p``'s hot window (may wrap)."""
+    n_hot = max(1, int(round(n_lines * hot_fraction)))
+    return (phase * n_hot) % n_lines, n_hot
+
+
+def phase_shift(rng: np.random.Generator, n_accesses: int, n_lines: int,
+                params: dict) -> np.ndarray:
+    """Rotating hot window: the static-placement worst case.
+
+    ``hot_fraction`` of the lines take ``hot_traffic`` of the accesses,
+    but *which* lines are hot rotates every ``K`` accesses (see
+    :func:`phase_shift_period`/:func:`phase_shift_window` for the exact
+    schedule).  Over the whole trace every line sees roughly the same
+    count, so whole-trace profiles (the ORACLE's input) carry no
+    signal — only a policy that reacts to the current phase can keep
+    the hot window resident in BO.  Cold accesses are uniform over the
+    whole structure.  ``hot_traffic=1.0`` puts every access in its
+    phase window, which tests use to pin boundaries exactly.
+    """
+    _require_positive(n_accesses, n_lines)
+    n_phases = int(params.get("n_phases", 4))
+    hot_fraction = float(params.get("hot_fraction", 0.1))
+    hot_traffic = float(params.get("hot_traffic", 0.85))
+    if not 0.0 < hot_fraction < 1.0:
+        raise WorkloadError("hot_fraction must be in (0,1)")
+    if not 0.0 < hot_traffic <= 1.0:
+        raise WorkloadError("hot_traffic must be in (0,1]")
+    period = phase_shift_period(n_accesses, n_phases)
+    _, n_hot = phase_shift_window(0, n_lines, hot_fraction)
+    index = np.arange(n_accesses, dtype=np.int64)
+    starts = (index // period) * n_hot % n_lines
+    is_hot = rng.random(n_accesses) < hot_traffic
+    addrs = rng.integers(0, n_lines, size=n_accesses, dtype=np.int64)
+    n_hot_accesses = int(is_hot.sum())
+    offsets = rng.integers(0, n_hot, size=n_hot_accesses, dtype=np.int64)
+    addrs[is_hot] = (starts[is_hot] + offsets) % n_lines
+    return addrs
+
+
+def sliding_window(rng: np.random.Generator, n_accesses: int,
+                   n_lines: int, params: dict) -> np.ndarray:
+    """All traffic in a window sliding linearly across the structure.
+
+    ``window_fraction`` sets the resident-set size; ``passes`` is how
+    many times the window's start crosses the whole structure (it wraps
+    around).  Access ``i`` draws uniformly from the window starting at
+    ``floor(i * passes * n_lines / n_accesses) % n_lines`` — an exact
+    schedule, so every access satisfies
+    ``(addr - start_i) % n_lines < window``.  Models the moving
+    resident set of an out-of-core sweep: the footprint exceeds BO but
+    the *current* window need not.
+    """
+    _require_positive(n_accesses, n_lines)
+    window_fraction = float(params.get("window_fraction", 0.25))
+    passes = float(params.get("passes", 1.0))
+    if not 0.0 < window_fraction <= 1.0:
+        raise WorkloadError("window_fraction must be in (0,1]")
+    if passes <= 0:
+        raise WorkloadError("passes must be positive")
+    n_window = max(1, int(round(n_lines * window_fraction)))
+    index = np.arange(n_accesses, dtype=np.int64)
+    starts = (index * passes * n_lines / max(1, n_accesses)).astype(
+        np.int64
+    ) % n_lines
+    offsets = rng.integers(0, n_window, size=n_accesses, dtype=np.int64)
+    return (starts + offsets) % n_lines
+
+
 PATTERNS: dict[str, PatternFn] = {
     "sequential": sequential,
     "strided": strided,
@@ -171,6 +265,8 @@ PATTERNS: dict[str, PatternFn] = {
     "hot_cold": hot_cold,
     "gaussian": gaussian,
     "partial": partial,
+    "phase_shift": phase_shift,
+    "sliding_window": sliding_window,
 }
 
 

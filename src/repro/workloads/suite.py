@@ -5,6 +5,12 @@ proxy applications: 17 bandwidth-sensitive, plus comd (memory
 insensitive) and sgemm (latency sensitive) as controls (Section 3.2.1).
 This module registers one model per benchmark and provides lookup
 helpers used by the experiment harness and benches.
+
+Beyond the paper's suite, *scenario* workloads (the dynamic-placement
+families of :mod:`repro.workloads.dynamic`) are registered separately:
+:func:`get_workload` finds them, but :func:`workload_names` — the set
+every full-registry sweep and figure iterates — remains exactly the 19
+benchmarks, so the paper reproduction is untouched by extensions.
 """
 
 from __future__ import annotations
@@ -18,6 +24,10 @@ from repro.workloads.bfs import BfsWorkload
 from repro.workloads.cfd import CfdWorkload
 from repro.workloads.comd import ComdWorkload
 from repro.workloads.cutcp import CutcpWorkload
+from repro.workloads.dynamic import (
+    PhaseShiftWorkload,
+    SlidingWindowWorkload,
+)
 from repro.workloads.hotspot import HotspotWorkload
 from repro.workloads.kmeans import KmeansWorkload
 from repro.workloads.lavamd import LavamdWorkload
@@ -59,24 +69,44 @@ _REGISTRY: dict[str, TraceWorkload] = {
     cls.name: cls() for cls in _WORKLOAD_CLASSES
 }
 
+#: dynamic-placement scenarios; looked up like workloads, but kept out
+#: of ``workload_names()`` so the paper's figure sweeps are unchanged.
+_SCENARIO_CLASSES: tuple[type[TraceWorkload], ...] = (
+    PhaseShiftWorkload,
+    SlidingWindowWorkload,
+)
+
+_SCENARIOS: dict[str, TraceWorkload] = {
+    cls.name: cls() for cls in _SCENARIO_CLASSES
+}
+
 #: the four workloads of the Figure 11 cross-dataset study, chosen in
 #: the paper as those with the largest oracle-over-BW-AWARE headroom.
 CROSS_DATASET_WORKLOADS = ("bfs", "xsbench", "minife", "mummergpu")
 
 
 def workload_names() -> tuple[str, ...]:
-    """All 19 benchmark names, alphabetical."""
+    """All 19 benchmark names, alphabetical (scenarios excluded)."""
     return tuple(sorted(_REGISTRY))
 
 
+def scenario_names() -> tuple[str, ...]:
+    """Dynamic-placement scenario names, alphabetical."""
+    return tuple(sorted(_SCENARIOS))
+
+
 def get_workload(name: str) -> TraceWorkload:
-    """Look up a workload model by benchmark name."""
-    try:
-        return _REGISTRY[name.lower()]
-    except KeyError:
+    """Look up a benchmark or scenario model by name."""
+    key = name.lower()
+    found = _REGISTRY.get(key)
+    if found is None:
+        found = _SCENARIOS.get(key)
+    if found is None:
         raise WorkloadError(
-            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+            f"unknown workload {name!r}; known: "
+            f"{sorted(_REGISTRY) + sorted(_SCENARIOS)}"
         )
+    return found
 
 
 def all_workloads() -> tuple[TraceWorkload, ...]:

@@ -16,7 +16,9 @@ class TestList:
         code, out = run_cli(capsys, "list", "workloads")
         assert code == 0
         assert "bfs" in out and "sgemm" in out
-        assert len(out.strip().splitlines()) == 19
+        # 19 paper workloads + the 2 dynamic scenarios.
+        assert len(out.strip().splitlines()) == 21
+        assert "phase_shift" in out
 
     def test_policies(self, capsys):
         code, out = run_cli(capsys, "list", "policies")

@@ -1,0 +1,180 @@
+"""Golden regression tests for the dynamic-scenario trace generators.
+
+The ONLINE differential suites assert performance *relationships*
+(ONLINE beats statics on phase_shift, loses at paper costs).  Those
+assertions are only meaningful while the underlying traces stay
+byte-identical, so this file pins them:
+
+* fixed-seed SHA-256 digests of both generators and both scenario
+  workload traces;
+* the closed-form schedule: phase boundaries land exactly where
+  :func:`phase_shift_period` says, and with ``hot_traffic=1.0`` every
+  access falls inside the window :func:`phase_shift_window` declares;
+* the sliding-window invariant: every access of ``sliding_window``
+  lies within ``n_window`` lines of its closed-form start offset.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.workloads import get_workload, scenario_names, workload_names
+from repro.workloads import patterns
+
+N_LINES = 4096
+N_ACCESSES = 20_000
+
+
+def digest(addrs: np.ndarray) -> str:
+    data = np.ascontiguousarray(addrs, dtype=np.int64).tobytes()
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+def generate(name: str, seed: int = 42, n: int = N_ACCESSES,
+             **params) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return patterns.PATTERNS[name](rng, n, N_LINES, params)
+
+
+class TestGoldenDigests:
+    """Byte-exact pins; a change here invalidates the win assertions
+    in test_online_differential.py and must be deliberate."""
+
+    def test_phase_shift_digest(self):
+        assert digest(generate("phase_shift")) == "5def93b2d6e99d07"
+
+    def test_sliding_window_digest(self):
+        assert digest(generate("sliding_window")) == "8bb0c9d5d6e029ce"
+
+    def test_phase_shift_workload_trace_digest(self):
+        trace = get_workload("phase_shift").dram_trace(
+            n_accesses=30_000, seed=7)
+        assert trace.footprint_pages == 2048
+        assert digest(trace.page_indices) == "5f6b5e4e9a127913"
+
+    def test_sliding_window_workload_trace_digest(self):
+        trace = get_workload("sliding_window").dram_trace(
+            n_accesses=30_000, seed=7)
+        assert trace.footprint_pages == 3072
+        assert digest(trace.page_indices) == "b1173f5d713a711c"
+
+    @pytest.mark.parametrize("name", ("phase_shift", "sliding_window"))
+    def test_deterministic_in_the_seed(self, name):
+        assert np.array_equal(generate(name, seed=3), generate(name, seed=3))
+        assert not np.array_equal(generate(name, seed=3),
+                                  generate(name, seed=4))
+
+
+class TestPhaseShiftSchedule:
+    def test_period_closed_form(self):
+        assert patterns.phase_shift_period(20_000, 4) == 5_000
+        assert patterns.phase_shift_period(7, 4) == 1
+        assert patterns.phase_shift_period(0, 4) == 1
+
+    def test_window_closed_form(self):
+        start, n_hot = patterns.phase_shift_window(0, N_LINES, 0.1)
+        assert (start, n_hot) == (0, 410)
+        start, _ = patterns.phase_shift_window(3, N_LINES, 0.1)
+        assert start == (3 * 410) % N_LINES
+
+    def test_exact_phase_boundaries(self):
+        # hot_traffic=1.0 removes the cold-background noise, so every
+        # access must land inside its phase's declared window — the
+        # boundary between phases is exact to the single access.
+        n_phases = 5
+        hot_fraction = 0.07
+        addrs = generate("phase_shift", n_phases=n_phases,
+                         hot_fraction=hot_fraction, hot_traffic=1.0)
+        period = patterns.phase_shift_period(N_ACCESSES, n_phases)
+        for phase in range(n_phases):
+            start, n_hot = patterns.phase_shift_window(
+                phase, N_LINES, hot_fraction)
+            chunk = addrs[phase * period:(phase + 1) * period]
+            offsets = (chunk - start) % N_LINES
+            assert offsets.max() < n_hot, f"phase {phase} leaked"
+
+    def test_adjacent_phases_use_disjoint_windows(self):
+        # With hot_fraction <= 1/n_phases the rotating windows never
+        # overlap, so the access sets across a boundary are disjoint —
+        # the signal the ONLINE tracker is built to chase.
+        addrs = generate("phase_shift", n_phases=4, hot_fraction=0.1,
+                         hot_traffic=1.0)
+        period = patterns.phase_shift_period(N_ACCESSES, 4)
+        for phase in range(3):
+            before = set(addrs[phase * period:(phase + 1) * period])
+            after = set(addrs[(phase + 1) * period:(phase + 2) * period])
+            assert not before & after
+
+    def test_hot_traffic_fraction_respected(self):
+        addrs = generate("phase_shift", n_phases=1, hot_fraction=0.1,
+                         hot_traffic=0.85)
+        start, n_hot = patterns.phase_shift_window(0, N_LINES, 0.1)
+        inside = np.mean((addrs - start) % N_LINES < n_hot)
+        # Hot draws land inside; cold draws land inside ~10% of the
+        # time too, so the observed rate is 0.85 + 0.15*0.1 ~ 0.865.
+        assert 0.82 <= inside <= 0.91
+
+    @pytest.mark.parametrize("params", [
+        {"n_phases": 0}, {"hot_fraction": 0.0}, {"hot_fraction": 1.5},
+        {"hot_traffic": 0.0}, {"hot_traffic": 1.2},
+    ])
+    def test_bad_params_rejected(self, params):
+        with pytest.raises(WorkloadError):
+            generate("phase_shift", **params)
+
+
+class TestSlidingWindowSchedule:
+    def test_every_access_within_window(self):
+        window_fraction = 0.25
+        passes = 2.0
+        addrs = generate("sliding_window",
+                         window_fraction=window_fraction, passes=passes)
+        n_window = max(1, int(round(N_LINES * window_fraction)))
+        index = np.arange(N_ACCESSES)
+        starts = (index * passes * N_LINES
+                  / max(1, N_ACCESSES)).astype(np.int64) % N_LINES
+        assert np.all((addrs - starts) % N_LINES < n_window)
+
+    def test_window_covers_whole_structure(self):
+        # One pass slides the window across every line.
+        addrs = generate("sliding_window", window_fraction=0.1,
+                         passes=1.0)
+        assert np.unique(addrs).size > 0.95 * N_LINES
+
+    def test_wraps_around(self):
+        # With >1 passes the start offset wraps; late accesses reuse
+        # early lines.
+        addrs = generate("sliding_window", window_fraction=0.05,
+                         passes=4.0)
+        late = addrs[-N_ACCESSES // 16:]
+        assert late.min() < N_LINES // 8
+
+    @pytest.mark.parametrize("params", [
+        {"window_fraction": 0.0}, {"window_fraction": 1.5},
+        {"passes": 0.0}, {"passes": -1.0},
+    ])
+    def test_bad_params_rejected(self, params):
+        with pytest.raises(WorkloadError):
+            generate("sliding_window", **params)
+
+
+class TestScenarioRegistry:
+    def test_scenarios_are_separate_from_the_paper_suite(self):
+        assert scenario_names() == ("phase_shift", "sliding_window")
+        assert len(workload_names()) == 19
+        assert not set(scenario_names()) & set(workload_names())
+
+    @pytest.mark.parametrize("name", ("phase_shift", "sliding_window"))
+    def test_scenarios_resolve_via_get_workload(self, name):
+        workload = get_workload(name)
+        assert workload.name == name
+        assert workload.suite == "scenario"
+
+    def test_unknown_workload_error_mentions_scenarios(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            get_workload("not-a-workload")
+        assert "phase_shift" in str(excinfo.value)

@@ -1,0 +1,142 @@
+"""Registry round-trips: every policy name works at every entry point.
+
+The policy registry now backs four surfaces — ``make_policy`` kwargs,
+the runner's spec grammar, the CLI, and serve's ``/v1/simulate`` body.
+These tests sweep ``policy_names()`` through each surface so a policy
+added to the registry (as ONLINE was) cannot silently miss one:
+
+* ``make_policy`` constructs every name (with its required kwargs) and
+  rejects unknown kwargs with the *policy name* in the message;
+* unknown policy names are rejected with the full valid-name list;
+* ``run_experiment`` executes every name end-to-end;
+* the CLI ``run`` command accepts every name via ``--policy``;
+* serve's ``parse_simulate_spec`` validates every name in a request
+  body and rejects unknown ones with the valid-name list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import PolicyError
+from repro.core.experiment import run_experiment
+from repro.policies.registry import make_policy, policy_names
+from repro.serve.config import ServeConfig
+from repro.serve.service import BadRequestError, PlacementService
+
+#: required constructor kwargs per policy (beyond the defaults).
+REQUIRED_KWARGS = {
+    "ORACLE": {"page_accesses": np.asarray([5, 1, 3, 2])},
+}
+
+QUICK = dict(trace_accesses=20_000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    return PlacementService(ServeConfig(
+        cache_dir=tmp_path_factory.mktemp("roundtrip-cache"),
+        simulate_workers=1,
+    ))
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize("name", policy_names())
+    def test_every_name_constructs(self, name):
+        policy = make_policy(name, **REQUIRED_KWARGS.get(name, {}))
+        assert policy.name == name or name == "BWAWARE"
+
+    @pytest.mark.parametrize("name", policy_names())
+    def test_unknown_kwargs_name_the_policy(self, name):
+        with pytest.raises(PolicyError) as excinfo:
+            make_policy(name, definitely_not_a_knob=1)
+        message = str(excinfo.value)
+        assert name in message
+        assert "definitely_not_a_knob" in message
+
+    def test_unknown_name_lists_every_valid_name(self):
+        with pytest.raises(PolicyError) as excinfo:
+            make_policy("NOT-A-POLICY")
+        message = str(excinfo.value)
+        for name in policy_names():
+            assert name in message
+
+    def test_online_kwargs_flow_through(self):
+        policy = make_policy("ONLINE", epochs=8,
+                             budget_pages_per_epoch=64,
+                             watermarks=(0.5, 0.9), cost_scale=0.5)
+        assert policy.epochs == 8
+        assert policy.budget_pages_per_epoch == 64
+        assert policy.watermarks == (0.5, 0.9)
+        assert policy.cost_scale == 0.5
+
+
+class TestRunExperiment:
+    @pytest.mark.parametrize("name", policy_names())
+    def test_every_name_runs_end_to_end(self, name):
+        result = run_experiment("bfs", policy=name, **QUICK)
+        assert result.throughput > 0
+        assert result.policy == name
+
+
+class TestCli:
+    @pytest.mark.parametrize("name", policy_names())
+    def test_run_accepts_every_policy(self, name, capsys):
+        from repro.cli import main
+        assert main(["run", "--workload", "bfs", "--policy", name,
+                     "--accesses", "20000"]) == 0
+        assert "bandwidth" in capsys.readouterr().out
+
+    def test_compare_accepts_online_spec_via_policy_alias(self, capsys,
+                                                          tmp_path):
+        from repro.cli import main
+        assert main(["compare", "-w", "bfs",
+                     "--policy", "ONLINE@epochs=4", "BW-AWARE",
+                     "--accesses", "20000",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ONLINE@epochs=4" in out
+
+    def test_list_policies_includes_online(self, capsys):
+        from repro.cli import main
+        assert main(["list", "policies"]) == 0
+        assert "ONLINE" in capsys.readouterr().out.split()
+
+    def test_list_workloads_includes_scenarios(self, capsys):
+        from repro.cli import main
+        assert main(["list", "workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "phase_shift" in out and "sliding_window" in out
+
+
+class TestServeSpecParsing:
+    @pytest.mark.parametrize("name", policy_names())
+    def test_every_name_parses_in_a_simulate_body(self, service, name):
+        spec = service.parse_simulate_spec(
+            {"workload": "bfs", "policy": name}
+        )
+        assert spec.policy.startswith(name.partition("@")[0])
+
+    def test_online_spec_with_knobs_parses(self, service):
+        spec = service.parse_simulate_spec({
+            "workload": "phase_shift",
+            "policy": "ONLINE@cost=0.1,epochs=8,overhead=none",
+            "bo_capacity_fraction": 0.15,
+        })
+        assert spec.policy == "ONLINE@cost=0.1,epochs=8,overhead=none"
+
+    def test_unknown_policy_lists_every_valid_name(self, service):
+        with pytest.raises(BadRequestError) as excinfo:
+            service.parse_simulate_spec(
+                {"workload": "bfs", "policy": "NOT-A-POLICY"}
+            )
+        message = str(excinfo.value)
+        for name in policy_names():
+            assert name in message
+
+    def test_bad_online_tail_is_a_bad_request(self, service):
+        with pytest.raises(BadRequestError):
+            service.parse_simulate_spec(
+                {"workload": "bfs", "policy": "ONLINE@nope=1"}
+            )
