@@ -127,7 +127,9 @@ def _sweep_runner(args: argparse.Namespace):
     return configured(jobs=args.jobs, cache=cache,
                       runs_dir=args.runs_dir,
                       chunk_timeout_s=args.chunk_timeout,
-                      max_retries=args.max_retries)
+                      max_retries=args.max_retries,
+                      shm=getattr(args, "shm", None),
+                      pin_cores=getattr(args, "pin_cores", None))
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -241,6 +243,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         n_accesses=args.accesses,
         seed=args.seed,
         skip_cold=args.skip_cold,
+        skip_runner=args.skip_runner,
         progress=lambda message: print(f"  bench {message}",
                                        file=sys.stderr),
     )
@@ -303,6 +306,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout_s=args.drain_timeout,
         chunk_timeout_s=args.chunk_timeout,
         max_retries=args.max_retries,
+        use_shm=args.shm,
+        pin_cores=args.pin_cores,
     )
     serve_run(config)
     return 0
@@ -424,6 +429,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--max-retries", type=int, default=None,
                        help="retry budget per spec before the sweep "
                             "fails (default: $REPRO_MAX_RETRIES or 2)")
+        p.add_argument("--shm", dest="shm", action="store_true",
+                       default=None,
+                       help="force shared-memory trace shipping "
+                            "(default: $REPRO_SHM, or automatic when "
+                            "--jobs > 1)")
+        p.add_argument("--no-shm", dest="shm", action="store_false",
+                       help="disable shared-memory trace shipping "
+                            "(workers synthesize traces themselves)")
+        p.add_argument("--pin-cores", dest="pin_cores",
+                       action="store_true", default=None,
+                       help="pin each worker to its own core group "
+                            "via sched_setaffinity (default: "
+                            "$REPRO_PIN_CORES or off)")
 
     p_run = sub.add_parser("run", help="run one placement experiment")
     common(p_run)
@@ -483,6 +501,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="report path (default: BENCH_<rev>.json)")
     p_bench.add_argument("--skip-cold", action="store_true",
                          help="skip the fresh-interpreter cold run")
+    p_bench.add_argument("--skip-runner", action="store_true",
+                         help="skip the runner-overhead sweep bench")
     p_bench.add_argument("--check-against", default=None,
                          help="baseline BENCH_*.json to compare against")
     p_bench.add_argument("--max-regression", type=float, default=3.0,
@@ -541,6 +561,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-retries", type=int, default=None,
                          help="runner retry budget per spec "
                               "(default: $REPRO_MAX_RETRIES or 2)")
+    p_serve.add_argument("--shm", dest="shm", action="store_true",
+                         default=None,
+                         help="force shared-memory trace shipping for "
+                              "the daemon's runner (default: "
+                              "$REPRO_SHM, or automatic when "
+                              "--jobs > 1)")
+    p_serve.add_argument("--no-shm", dest="shm", action="store_false",
+                         help="disable shared-memory trace shipping")
+    p_serve.add_argument("--pin-cores", dest="pin_cores",
+                         action="store_true", default=None,
+                         help="pin runner workers to their own core "
+                              "groups (default: $REPRO_PIN_CORES or "
+                              "off)")
     trace_option(p_serve)
     p_serve.set_defaults(fn=cmd_serve)
 

@@ -73,6 +73,16 @@ class SweepError(RunnerError):
         self.causes = tuple(causes)
 
 
+class CacheEncodingError(RunnerError):
+    """A cache record contained a value JSON cannot represent exactly.
+
+    Raised instead of silently stringifying unknown types (the old
+    ``default=str`` behavior), which produced records that decoded to
+    *different* values than were stored — a wrong-result bug, the one
+    thing the cache is designed never to do.
+    """
+
+
 class UncacheableSpecError(RunnerError):
     """An experiment input cannot be canonicalized into a :class:`RunSpec`
     (e.g. a custom policy object with state the runner cannot serialize).

@@ -210,6 +210,98 @@ def _bench_engine(engine_name: str, name: str, n_accesses: int,
     )
 
 
+#: runner_overhead timings below this floor are reported as the floor:
+#: sub-half-millisecond per-chunk numbers on a shared box are scheduler
+#: noise, and gating a 3x regression ratio on noise causes flaky CI.
+OVERHEAD_FLOOR_MS = 0.5
+
+
+def _bench_runner_overhead(n_accesses: int, repeats: int,
+                           seed: int) -> BenchCase:
+    """Per-chunk orchestration overhead of the sweep runner.
+
+    Times a 12-point BW-AWARE ratio sweep (one shared ``bfs`` trace)
+    through the parallel runner twice — legacy pickle transport
+    (``shm=False``) vs the zero-copy substrate (``shm=True``) — then
+    subtracts the pure compute (every spec executed in-process with
+    all trace memos warm, identical work in both modes) and divides by
+    the chunk count.  What remains is exactly what the substrate
+    targets: submit/decode framing, result IPC, and per-worker trace
+    re-synthesis.
+
+    Fairness protocol: each timed repeat clears the parent trace memo,
+    then runs a small warm-up sweep (a *different* trace key) so all
+    workers are forked **before** the bench trace exists anywhere —
+    otherwise fork copy-on-write hands workers the parent's memo and
+    the legacy mode never pays the re-synthesis it pays in real
+    daemon-style use.  ``match`` asserts both modes returned results
+    bit-identical to a serial run.
+    """
+    from repro.runner import (
+        SweepRunner,
+        bw_ratio_policy,
+        encode_result,
+        execute_spec,
+        make_spec,
+    )
+    from repro.workloads.base import clear_trace_cache
+
+    # Pool forking + process scheduling make this the noisiest bench
+    # in the harness, and the legacy mode is bimodal: the executor's
+    # shared call queue lets one fast worker steal several chunks, so
+    # its best case pays fewer per-worker re-syntheses than its
+    # typical case.  A best-of minimum would compare legacy's lucky
+    # mode against shm's steady state — use the median of ≥5 samples
+    # for both modes instead.
+    repeats = max(repeats, 5)
+    jobs = 4
+    specs = [make_spec("bfs", bw_ratio_policy(co),
+                       trace_accesses=n_accesses, seed=seed)
+             for co in range(5, 65, 5)]
+    warmup = [make_spec("bfs", bw_ratio_policy(co),
+                        trace_accesses=max(2_000, n_accesses // 16),
+                        seed=seed + 1)
+              for co in (10, 20, 30, 40)]
+    n_chunks = min(jobs, len(specs))
+
+    golden = [encode_result(r)
+              for r in SweepRunner(jobs=1, cache=False).run(specs)]
+
+    def measure(shm: bool) -> tuple[float, list]:
+        samples, encoded = [], []
+        for _ in range(max(1, repeats)):
+            clear_trace_cache()
+            runner = SweepRunner(jobs=jobs, cache=False, shm=shm)
+            try:
+                runner.run(warmup)
+                t0 = time.perf_counter()
+                outcome = runner.run(specs)
+                samples.append(time.perf_counter() - t0)
+            finally:
+                runner.close()
+            encoded = [encode_result(r) for r in outcome]
+        return float(np.median(samples)) * 1e3, encoded
+
+    legacy_ms, legacy_enc = measure(shm=False)
+    shm_ms, shm_enc = measure(shm=True)
+
+    def pure_run() -> None:
+        for spec in specs:
+            execute_spec(spec)
+
+    clear_trace_cache()
+    pure_run()  # synthesize once; timed loops below hit warm memos
+    pure_ms = _best_of(pure_run, repeats)
+
+    old_ms = max((legacy_ms - pure_ms) / n_chunks, OVERHEAD_FLOOR_MS)
+    new_ms = max((shm_ms - pure_ms) / n_chunks, OVERHEAD_FLOOR_MS)
+    return BenchCase(
+        bench="runner_overhead", workload="bfs",
+        new_ms=new_ms, old_ms=old_ms, speedup=old_ms / new_ms,
+        match=bool(golden == legacy_enc == shm_enc),
+    )
+
+
 def _bench_cold_run(repeats: int) -> BenchCase:
     """End-to-end ``run_experiment`` in a fresh interpreter: every
     trace/result memo is cold, so trace synthesis, cache filtering,
@@ -239,7 +331,7 @@ def _bench_cold_run(repeats: int) -> BenchCase:
 def run_bench(quick: bool = False, repeats: Optional[int] = None,
               n_accesses: Optional[int] = None, seed: int = 0,
               workloads: Optional[tuple[str, ...]] = None,
-              skip_cold: bool = False,
+              skip_cold: bool = False, skip_runner: bool = False,
               progress: Optional[Callable[[str], None]] = None
               ) -> BenchReport:
     """Run the full harness and return the report."""
@@ -268,6 +360,10 @@ def run_bench(quick: bool = False, repeats: Optional[int] = None,
             report.cases.append(_bench_engine(engine_name, name,
                                               n_accesses, repeats,
                                               seed))
+    if not skip_runner:
+        note("runner_overhead bfs")
+        report.cases.append(_bench_runner_overhead(n_accesses, repeats,
+                                                   seed))
     if not skip_cold:
         note("cold_run bfs")
         report.cases.append(_bench_cold_run(repeats))
@@ -281,6 +377,11 @@ def run_bench(quick: bool = False, repeats: Optional[int] = None,
     cold = report.case("cold_run", "bfs")
     if cold is not None:
         report.summary["cold_run_ms"] = cold.new_ms
+    overhead = report.case("runner_overhead", "bfs")
+    if overhead is not None:
+        report.summary["runner_overhead_ms_per_chunk"] = overhead.new_ms
+        if overhead.speedup:
+            report.summary["runner_overhead_speedup"] = overhead.speedup
     report.summary["all_match"] = float(all(
         case.match for case in report.cases if case.match is not None
     ))

@@ -26,9 +26,16 @@ from repro.runner.cache import (
     decode_result,
     encode_result,
     result_digest,
+    strict_json_dumps,
 )
+from repro.runner.cores import CorePool
 from repro.runner.manifest import RunManifest, SpecRecord
 from repro.runner.salt import code_version_salt
+from repro.runner.shm import (
+    SharedTraceArena,
+    TraceHandle,
+    shm_available,
+)
 from repro.runner.spec import (
     RunSpec,
     bw_ratio_policy,
@@ -50,16 +57,20 @@ from repro.runner.sweep import (
     default_max_retries,
     execute_spec,
 )
+from repro.runner.wire import pack_chunk, unpack_chunk
 
 __all__ = [
     "CacheStats",
+    "CorePool",
     "RecoveryStats",
     "ResultCache",
     "RunManifest",
     "RunSpec",
+    "SharedTraceArena",
     "SpecRecord",
     "SweepOutcome",
     "SweepRunner",
+    "TraceHandle",
     "active",
     "bw_ratio_policy",
     "canonical_policy",
@@ -75,6 +86,10 @@ __all__ = [
     "encode_result",
     "execute_spec",
     "make_spec",
+    "pack_chunk",
     "parse_policy",
     "result_digest",
+    "shm_available",
+    "strict_json_dumps",
+    "unpack_chunk",
 ]

@@ -39,6 +39,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.core.atomicio import atomic_write_text
+from repro.core.errors import CacheEncodingError
 from repro.core.experiment import ExperimentResult
 from repro.gpu.trace import SimResult
 from repro.obs import trace as obs_trace
@@ -111,10 +112,45 @@ def decode_result(payload: dict) -> ExperimentResult:
     )
 
 
+def _reject_unknown(obj):
+    """``json.dumps`` default hook that refuses to guess.
+
+    The previous ``default=str`` silently stringified anything JSON
+    didn't know (a stray ``np.float64``, a ``Path``, a dataclass),
+    producing records whose decode no longer matched what was stored.
+    A record that cannot be represented exactly must fail loudly at
+    *write* time, where the bug is, not at some later read.
+    """
+    raise CacheEncodingError(
+        f"cache records must be pure JSON; cannot encode "
+        f"{type(obj).__name__}: {obj!r}")
+
+
+def strict_json_dumps(obj, *, allow_non_finite: bool = False,
+                      **kwargs) -> str:
+    """``json.dumps`` that raises :class:`CacheEncodingError` on any
+    non-JSON-native value instead of silently coercing it.
+
+    ``allow_non_finite=True`` permits nan/inf floats (emitted as
+    Python's ``Infinity``/``NaN`` literals, which ``json.loads`` reads
+    back exactly): canonical specs legitimately carry ``inf`` — an
+    uncapped zone ``link_bandwidth`` — so the full-record writer needs
+    it, while result payloads and digests stay strict.
+    """
+    kwargs.setdefault("allow_nan", allow_non_finite)
+    try:
+        return json.dumps(obj, default=_reject_unknown, **kwargs)
+    except ValueError as exc:
+        # allow_nan=False raises bare ValueError for nan/inf floats,
+        # which also cannot round-trip through strict JSON.
+        # (CacheEncodingError is not a ValueError; it passes through.)
+        raise CacheEncodingError(str(exc)) from exc
+
+
 def result_digest(payload: dict) -> str:
     """SHA-256 of a result payload's canonical JSON form."""
-    canonical = json.dumps(payload, sort_keys=True,
-                           separators=(",", ":"), default=str)
+    canonical = strict_json_dumps(payload, sort_keys=True,
+                                  separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
@@ -247,7 +283,7 @@ class ResultCache:
             "result": payload,
             "sha256": result_digest(payload),
         }
-        text = json.dumps(record, default=str)
+        text = strict_json_dumps(record, allow_non_finite=True)
         plan = self._plan()
         if plan is not None:
             action = plan.decide("cache.write", key=key)

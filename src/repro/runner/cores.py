@@ -1,0 +1,98 @@
+"""Explicit core allocation for sweep workers.
+
+``ProcessPoolExecutor`` leaves worker placement to the scheduler, so
+on busy boxes workers migrate between cores and trample each other's
+caches mid-chunk.  :class:`CorePool` carves the process's allowed CPU
+set into per-worker groups (after reserving a configurable *slack*
+set for the parent and the OS) and each worker pins itself with
+``os.sched_setaffinity`` as its first act — the benchmark-runner
+pattern, adapted to pool workers.
+
+Pinning is strictly best-effort: platforms without
+``sched_setaffinity`` (macOS), containers with a single allowed core,
+or a failed syscall all degrade to unpinned workers with identical
+results.  Enable with ``--pin-cores`` or ``REPRO_PIN_CORES=1``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+from repro.core.errors import RunnerError
+from repro.obs.log import log_event
+
+PIN_ENV = "REPRO_PIN_CORES"
+
+_TRUE = {"1", "true", "yes", "on"}
+_FALSE = {"0", "false", "no", "off"}
+
+
+def pin_setting() -> Optional[bool]:
+    """The ``REPRO_PIN_CORES`` tri-state: True/False/None (= off)."""
+    raw = os.environ.get(PIN_ENV, "").strip().lower()
+    if not raw:
+        return None
+    if raw in _TRUE:
+        return True
+    if raw in _FALSE:
+        return False
+    raise RunnerError(f"{PIN_ENV} must be boolean-ish, got {raw!r}")
+
+
+def pinning_available() -> bool:
+    return hasattr(os, "sched_setaffinity")
+
+
+class CorePool:
+    """Partition the allowed CPU set into per-worker affinity groups.
+
+    ``slack`` cores (lowest-numbered) are held back for the parent
+    process and OS housekeeping whenever enough cores exist; the rest
+    are dealt round-robin so ``n_workers`` > cores still yields a
+    valid (overlapping) assignment.  With one usable core everyone
+    shares it — pinning is then a no-op, by design.
+    """
+
+    def __init__(self, slack: int = 1,
+                 cores: Optional[Sequence[int]] = None) -> None:
+        if cores is None:
+            if hasattr(os, "sched_getaffinity"):
+                cores = sorted(os.sched_getaffinity(0))
+            else:  # pragma: no cover - non-Linux fallback
+                cores = list(range(os.cpu_count() or 1))
+        self.all_cores = tuple(cores)
+        if not self.all_cores:
+            raise RunnerError("CorePool needs at least one core")
+        # Only reserve slack when workers keep a majority of the cores;
+        # starving the workers to protect the parent inverts the point.
+        if slack > 0 and len(self.all_cores) > 2 * slack:
+            self.worker_cores = self.all_cores[slack:]
+        else:
+            self.worker_cores = self.all_cores
+
+    def assignments(self, n_workers: int) -> tuple[tuple[int, ...], ...]:
+        """One core group per worker index (round-robin dealt)."""
+        if n_workers <= 0:
+            raise RunnerError("n_workers must be positive")
+        groups: list[list[int]] = [[] for _ in range(n_workers)]
+        for i, core in enumerate(self.worker_cores):
+            groups[i % n_workers].append(core)
+        # More workers than cores: wrap so every worker gets a core.
+        for i in range(len(self.worker_cores), n_workers):
+            groups[i].append(
+                self.worker_cores[i % len(self.worker_cores)])
+        return tuple(tuple(g) for g in groups)
+
+
+def apply_affinity(cores: Sequence[int]) -> bool:
+    """Pin the calling process to ``cores``; False if unsupported."""
+    if not pinning_available() or not cores:
+        return False
+    try:
+        os.sched_setaffinity(0, set(cores))
+        return True
+    except OSError as exc:  # pragma: no cover - exotic cgroup setups
+        log_event("runner.pin_failed", level="warning",
+                  cores=list(cores), cause=str(exc))
+        return False

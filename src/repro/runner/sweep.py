@@ -80,9 +80,20 @@ from repro.runner.cache import (
     decode_result,
     encode_result,
 )
+from repro.runner.cores import CorePool, apply_affinity, pin_setting
 from repro.runner.manifest import RunManifest, SpecRecord
 from repro.runner.salt import code_version_salt
+from repro.runner.shm import (
+    SharedTraceArena,
+    TraceHandle,
+    attach_trace,
+    install_worker_handles,
+    publish_for_specs,
+    shm_available,
+    shm_setting,
+)
 from repro.runner.spec import RunSpec, parse_policy
+from repro.runner.wire import pack_chunk, unpack_chunk
 
 #: default on-disk locations, overridable from the environment.
 #: (cache resolution itself lives in :mod:`repro.core.cachedir` so the
@@ -162,6 +173,27 @@ def execute_spec(spec: RunSpec) -> ExperimentResult:
     )
 
 
+def _worker_init(handles: "Optional[dict[tuple, TraceHandle]]",
+                 assignments: "Optional[tuple[tuple[int, ...], ...]]",
+                 counter) -> None:
+    """Pool initializer: pin the worker, pre-attach shared traces.
+
+    ``counter`` is a lock-guarded ``multiprocessing.Value`` dealing
+    each worker a distinct index into the core-group table.  Both
+    halves are optional and best-effort — a worker that cannot pin or
+    attach still computes identical results.
+    """
+    if assignments:
+        with counter.get_lock():
+            index = counter.value
+            counter.value += 1
+        apply_affinity(assignments[index % len(assignments)])
+    if handles:
+        install_worker_handles(handles)
+        for handle in handles.values():
+            attach_trace(handle)  # warm the mapping; misses are fine
+
+
 def _run_chunk_body(specs: Sequence[RunSpec],
                     action: Optional[FaultAction]
                     ) -> list[tuple[dict, float]]:
@@ -178,26 +210,33 @@ def _run_chunk_body(specs: Sequence[RunSpec],
 
 def _execute_chunk(specs: Sequence[RunSpec],
                    action: Optional[FaultAction] = None,
-                   collect_spans: bool = False
-                   ) -> tuple[list[tuple[dict, float]], list[dict]]:
-    """Worker entry point: run specs, return (encoded result, seconds)
-    pairs plus any spans recorded while executing them.
+                   collect_spans: bool = False,
+                   handles: "Optional[dict[tuple, TraceHandle]]" = None
+                   ) -> tuple[bytes, list[dict]]:
+    """Worker entry point: run specs, return the chunk's results as one
+    :mod:`repro.runner.wire` frame plus any spans recorded meanwhile.
 
-    Results cross the process boundary in the cache's JSON encoding so
-    fresh and cached results are byte-for-byte the same representation.
+    Results cross the process boundary in the cache's JSON encoding
+    (framed by :func:`~repro.runner.wire.pack_chunk`) so fresh and
+    cached results are byte-for-byte the same representation.
     ``action`` is a fault decision shipped from the parent (crash /
     hang / transient error) — ``None`` outside chaos runs and tests.
-    ``collect_spans`` is set by a tracing parent submitting to a worker
-    pool: execution spans are buffered locally (pid/tid of this
-    process) and returned with the payload so the parent can merge
-    them into its timeline.  In-process callers leave it ``False`` and
-    record straight into the ambient tracer.
+    ``handles`` names the shared-memory segments holding this chunk's
+    traces; merging them (idempotent) before running covers workers
+    born after a pool rebuild and traces published after the pool's
+    initializer ran.  ``collect_spans`` is set by a tracing parent
+    submitting to a worker pool: execution spans are buffered locally
+    (pid/tid of this process) and returned with the payload so the
+    parent can merge them into its timeline.  In-process callers leave
+    it ``False`` and record straight into the ambient tracer.
     """
+    if handles:
+        install_worker_handles(handles)
     if collect_spans:
         with obs_trace.capture() as events:
             out = _run_chunk_body(specs, action)
-        return out, list(events)
-    return _run_chunk_body(specs, action), []
+        return pack_chunk(out), list(events)
+    return pack_chunk(_run_chunk_body(specs, action)), []
 
 
 def _chunk_slices(n: int, chunks: int) -> list[range]:
@@ -274,6 +313,18 @@ class SweepRunner:
     schedules the inter-retry sleeps; ``fault_plan`` overrides the
     process-wide injection plan (``None`` → ``REPRO_FAULTS``/installed
     plan via :func:`repro.resilience.faults.active_plan`).
+
+    Zero-copy substrate: ``shm`` (``None`` → ``REPRO_SHM``, else
+    automatic: on for parallel runs when the platform supports it)
+    publishes each unique workload trace into a shared-memory segment
+    once per sweep and ships segment names to workers instead of
+    re-synthesizing per process; ``pin_cores`` (``None`` →
+    ``REPRO_PIN_CORES``, default off) pins each worker to its own
+    core group.  Both are accelerations only — results are
+    bit-identical with them on, off, or unavailable.  The worker pool
+    persists across ``run()`` calls (warm workers keep their decoded
+    traces); call :meth:`close` to release the pool and unlink all
+    segments.
     """
 
     def __init__(self,
@@ -284,7 +335,9 @@ class SweepRunner:
                  chunk_timeout_s: Optional[float] = None,
                  max_retries: Optional[int] = None,
                  backoff: Optional[BackoffPolicy] = None,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 shm: Optional[bool] = None,
+                 pin_cores: Optional[bool] = None) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         if isinstance(cache, ResultCache):
             self.cache: Optional[ResultCache] = cache
@@ -310,9 +363,86 @@ class SweepRunner:
                             else max(0, int(max_retries)))
         self.backoff = backoff if backoff is not None else BackoffPolicy()
         self._fault_plan = fault_plan
+        #: tri-state policy: True/False forced, None = automatic
+        #: (parallel runs use shm when the platform supports it).
+        self.shm_policy = shm if shm is not None else shm_setting()
+        pin = pin_cores if pin_cores is not None else pin_setting()
+        self.pin_cores = bool(pin) if pin is not None else False
+        self._arena: Optional[SharedTraceArena] = None
+        self._handles: dict[tuple, TraceHandle] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
         #: injectable for tests; the only place the runner sleeps.
         self._sleep = time.sleep
         self.last_manifest: Optional[RunManifest] = None
+
+    # ------------------------------------------------------------------
+    # zero-copy substrate lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def shm_enabled(self) -> bool:
+        """Will this runner use shared-memory traces for fan-out?"""
+        if self.shm_policy is False:
+            return False
+        if not shm_available():
+            return False  # forced-on degrades silently to pickle
+        if self.shm_policy is True:
+            return True
+        return self.jobs > 1
+
+    def _ensure_arena(self) -> SharedTraceArena:
+        if self._arena is None:
+            self._arena = SharedTraceArena()
+        return self._arena
+
+    def _publish_traces(self, specs: Sequence[RunSpec],
+                        misses: Sequence[int]) -> None:
+        """Publish every trace the missed specs need, refresh handles."""
+        arena = self._ensure_arena()
+        self._handles.update(
+            publish_for_specs(arena, [specs[i] for i in misses]))
+        # Drop handles for segments the arena has since evicted, so a
+        # worker is never pointed at an unlinked segment needlessly.
+        live = arena.handles()
+        self._handles = {k: h for k, h in self._handles.items()
+                         if k in live}
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The persistent worker pool, built (or rebuilt) on demand."""
+        if self._pool is None:
+            import multiprocessing
+
+            assignments = None
+            if self.pin_cores:
+                try:
+                    assignments = CorePool().assignments(self.jobs)
+                except RunnerError:  # pragma: no cover - no cores
+                    assignments = None
+            counter = multiprocessing.Value("i", 0)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_worker_init,
+                initargs=(dict(self._handles) or None,
+                          assignments, counter),
+            )
+        return self._pool
+
+    def _teardown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        """Release the worker pool and unlink every shm segment.
+
+        Safe to call repeatedly; the runner rebuilds both lazily if
+        used again afterwards.
+        """
+        self._teardown_pool()
+        self._handles.clear()
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
 
     # ------------------------------------------------------------------
 
@@ -427,13 +557,14 @@ class SweepRunner:
     def _harvest(self, specs: Sequence[RunSpec], keys: Sequence[str],
                  block: Sequence[int], payload: tuple,
                  results: list, durations: list) -> None:
-        pairs, worker_events = payload
+        frame, worker_events = payload
         if worker_events:
             tracer = obs_trace.active()
             if tracer is not None:
                 tracer.absorb(worker_events)
         with obs_trace.span("runner.decode", cat="runner",
-                            n_specs=len(block)):
+                            n_specs=len(block), bytes=len(frame)):
+            pairs = unpack_chunk(frame)
             for index, (encoded, spent) in zip(block, pairs):
                 results[index] = decode_result(encoded)
                 durations[index] = spent
@@ -468,6 +599,8 @@ class SweepRunner:
                         recovery: RecoveryStats,
                         deadline: Optional[float] = None) -> None:
         if self.jobs > 1 and len(misses) > 1:
+            if self.shm_enabled:
+                self._publish_traces(specs, misses)
             self._execute_parallel(specs, keys, misses, results,
                                    durations, recovery, deadline)
         else:
@@ -491,8 +624,8 @@ class SweepRunner:
             for attempt in range(self.max_retries + 1):
                 try:
                     self._apply_inprocess_action(self._decide(label))
-                    pairs, _ = _execute_chunk((specs[index],))
-                    encoded, spent = pairs[0]
+                    frame, _ = _execute_chunk((specs[index],))
+                    encoded, spent = unpack_chunk(frame)[0]
                 except Exception as exc:  # noqa: BLE001 - retry boundary
                     recovery.chunk_errors += 1
                     last_cause = f"{type(exc).__name__}: {exc}"
@@ -533,16 +666,20 @@ class SweepRunner:
         ]
         attempts = {index: 0 for index in misses}
         failed: dict[int, str] = {}
-        pool: Optional[ProcessPoolExecutor] = None
         retry_round = 0
         try:
             while queue:
                 self._check_deadline(
                     deadline,
                     [specs[i].label() for blk in queue for i in blk])
-                if pool is None:
-                    pool = ProcessPoolExecutor(
-                        max_workers=min(self.jobs, len(queue)))
+                pool = self._ensure_pool()
+                # Handles ride along with every chunk (idempotent
+                # merge in the worker) so a pool rebuilt mid-sweep —
+                # whose initializer saw a stale snapshot — still
+                # learns every published segment.
+                handles = (dict(self._handles)
+                           if self.shm_enabled and self._handles
+                           else None)
                 wave, queue = queue, []
                 submitted: list[tuple[list[int], object]] = []
                 failed_blocks: list[tuple[list[int], str]] = []
@@ -558,7 +695,7 @@ class SweepRunner:
                             future = pool.submit(
                                 _execute_chunk,
                                 [specs[i] for i in block], action,
-                                tracing)
+                                tracing, handles)
                         except BrokenExecutor as exc:
                             recovery.worker_crashes += 1
                             pool_broken = True
@@ -626,8 +763,9 @@ class SweepRunner:
                 if pool_broken:
                     # A hung worker cannot be cancelled and a crashed
                     # pool cannot accept work: abandon and rebuild.
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    pool = None
+                    # The arena is untouched — workers never own
+                    # segments, so nothing leaks with the pool.
+                    self._teardown_pool()
                     recovery.pool_rebuilds += 1
                     obs_trace.instant("runner.pool_rebuild",
                                       cat="runner")
@@ -671,10 +809,14 @@ class SweepRunner:
                     if queue:
                         self._backoff_sleep(retry_round, recovery)
                         retry_round += 1
-        finally:
-            if pool is not None:
-                pool.shutdown(wait=False, cancel_futures=True)
+        except BaseException:
+            # A sweep aborting mid-flight (deadline, KeyboardInterrupt)
+            # must not leave orphaned work running: drop the pool.  On
+            # the success path it stays warm for the next run().
+            self._teardown_pool()
+            raise
         if failed:
+            self._teardown_pool()
             order = sorted(failed)
             labels = [specs[i].label() for i in order]
             raise SweepError(
@@ -698,8 +840,8 @@ class SweepRunner:
                   spec=label, cause=cause)
         try:
             self._apply_inprocess_action(self._decide(label))
-            pairs, _ = _execute_chunk((specs[index],))
-            encoded, spent = pairs[0]
+            frame, _ = _execute_chunk((specs[index],))
+            encoded, spent = unpack_chunk(frame)[0]
         except Exception as exc:  # noqa: BLE001 - terminal boundary
             failed[index] = (f"{type(exc).__name__}: {exc} "
                              f"(after: {cause})")
@@ -729,13 +871,24 @@ def configure(jobs: Optional[int] = None,
               runs_dir: Union[str, Path, None] = None,
               chunk_timeout_s: Optional[float] = None,
               max_retries: Optional[int] = None,
-              fault_plan: Optional[FaultPlan] = None) -> SweepRunner:
-    """Install (and return) a new process-wide runner."""
+              fault_plan: Optional[FaultPlan] = None,
+              shm: Optional[bool] = None,
+              pin_cores: Optional[bool] = None) -> SweepRunner:
+    """Install (and return) a new process-wide runner.
+
+    The displaced runner's pool and shm segments are released — it
+    stays usable (both rebuild lazily) but holds no resources while
+    inactive.
+    """
     global _ACTIVE
+    previous = _ACTIVE
     _ACTIVE = SweepRunner(jobs=jobs, cache=cache, runs_dir=runs_dir,
                           chunk_timeout_s=chunk_timeout_s,
                           max_retries=max_retries,
-                          fault_plan=fault_plan)
+                          fault_plan=fault_plan,
+                          shm=shm, pin_cores=pin_cores)
+    if previous is not None:
+        previous.close()
     return _ACTIVE
 
 
@@ -745,17 +898,26 @@ def configured(jobs: Optional[int] = None,
                runs_dir: Union[str, Path, None] = None,
                chunk_timeout_s: Optional[float] = None,
                max_retries: Optional[int] = None,
-               fault_plan: Optional[FaultPlan] = None
+               fault_plan: Optional[FaultPlan] = None,
+               shm: Optional[bool] = None,
+               pin_cores: Optional[bool] = None
                ) -> Iterator[SweepRunner]:
-    """Scope a runner configuration to a ``with`` block."""
+    """Scope a runner configuration to a ``with`` block.
+
+    The scoped runner's pool and shm segments are released when the
+    block exits, so a CLI invocation can never leak ``/dev/shm``
+    entries past its own lifetime.
+    """
     global _ACTIVE
     previous = _ACTIVE
     runner = SweepRunner(jobs=jobs, cache=cache, runs_dir=runs_dir,
                          chunk_timeout_s=chunk_timeout_s,
                          max_retries=max_retries,
-                         fault_plan=fault_plan)
+                         fault_plan=fault_plan,
+                         shm=shm, pin_cores=pin_cores)
     _ACTIVE = runner
     try:
         yield runner
     finally:
         _ACTIVE = previous
+        runner.close()

@@ -1,0 +1,71 @@
+"""Compact binary framing for chunk results.
+
+Workers historically returned chunks as a pickled
+``list[(encoded_result_dict, seconds)]`` — every dict pickled
+key-by-key, then re-walked by the parent's decode span.  This module
+frames the same information as one contiguous byte string:
+
+``RPW1`` magic, a ``<I`` result count, then per result a ``<dI``
+header (execution seconds, body length) followed by the result's
+strict compact JSON bytes.  Pickle now ships a single ``bytes``
+object per chunk, and decoding is a linear scan.
+
+The JSON bodies use :func:`repro.runner.cache.strict_json_dumps`, the
+same codec as the on-disk cache, so a wire round-trip is bit-identical
+to a cache round-trip — both paths produce the exact
+:class:`~repro.core.experiment.ExperimentResult` the worker computed
+(JSON float literals round-trip doubles exactly).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Sequence
+
+from repro.core.errors import RunnerError
+
+MAGIC = b"RPW1"
+_COUNT = struct.Struct("<I")
+_HEADER = struct.Struct("<dI")
+
+
+def pack_chunk(pairs: Sequence[tuple]) -> bytes:
+    """Frame ``[(encoded_result_dict, seconds), ...]`` as bytes."""
+    from repro.runner.cache import strict_json_dumps
+
+    parts = [MAGIC, _COUNT.pack(len(pairs))]
+    for encoded, seconds in pairs:
+        body = strict_json_dumps(
+            encoded, separators=(",", ":")).encode("utf-8")
+        parts.append(_HEADER.pack(float(seconds), len(body)))
+        parts.append(body)
+    return b"".join(parts)
+
+
+def unpack_chunk(payload: bytes) -> list[tuple[dict, float]]:
+    """Invert :func:`pack_chunk`; raises :class:`RunnerError` on a
+    malformed frame (truncation, bad magic, trailing garbage)."""
+    view = memoryview(payload)
+    if len(view) < len(MAGIC) + _COUNT.size or view[:4] != MAGIC:
+        raise RunnerError("malformed chunk frame: bad magic")
+    (count,) = _COUNT.unpack_from(view, len(MAGIC))
+    offset = len(MAGIC) + _COUNT.size
+    pairs: list[tuple[dict, float]] = []
+    for _ in range(count):
+        if offset + _HEADER.size > len(view):
+            raise RunnerError("malformed chunk frame: truncated header")
+        seconds, length = _HEADER.unpack_from(view, offset)
+        offset += _HEADER.size
+        if offset + length > len(view):
+            raise RunnerError("malformed chunk frame: truncated body")
+        try:
+            encoded = json.loads(bytes(view[offset:offset + length]))
+        except ValueError as exc:
+            raise RunnerError(
+                f"malformed chunk frame: bad body ({exc})") from exc
+        offset += length
+        pairs.append((encoded, seconds))
+    if offset != len(view):
+        raise RunnerError("malformed chunk frame: trailing bytes")
+    return pairs

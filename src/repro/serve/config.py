@@ -82,6 +82,14 @@ class ServeConfig:
     #: per-spec retry budget for the runner (None → 2, or
     #: $REPRO_MAX_RETRIES).
     max_retries: Optional[int] = None
+    #: shared-memory trace shipping for the runner (None → $REPRO_SHM,
+    #: else automatic when ``jobs`` > 1).  The daemon's runner owns one
+    #: arena for its whole lifetime, so warm workers reuse published
+    #: traces across requests.
+    use_shm: Optional[bool] = None
+    #: pin runner workers to their own core groups (None →
+    #: $REPRO_PIN_CORES, default off).
+    pin_cores: Optional[bool] = None
 
     #: placement micro-batch collection window and size cap.
     batch_window_ms: float = 2.0

@@ -155,6 +155,8 @@ class PlacementService:
                    else False),
             chunk_timeout_s=self.config.chunk_timeout_s,
             max_retries=self.config.max_retries,
+            shm=self.config.use_shm,
+            pin_cores=self.config.pin_cores,
         )
         self.breaker = CircuitBreaker(
             failure_threshold=self.config.breaker_threshold,
@@ -316,6 +318,9 @@ class PlacementService:
             self.m_drained.inc(len(done))
         await self._batcher.stop()
         self._executor.shutdown(wait=False, cancel_futures=True)
+        # Release the runner's worker pool and unlink its shm segments
+        # — the daemon exiting must leave /dev/shm exactly as found.
+        self.runner.close()
 
     @property
     def draining(self) -> bool:

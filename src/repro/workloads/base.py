@@ -328,11 +328,19 @@ class TraceWorkload(abc.ABC):
                    config: Optional[GpuConfig] = None,
                    n_epochs: int = 16) -> DramTrace:
         """Post-cache trace in footprint-page coordinates (memoized)."""
-        key = (self.name, dataset, n_accesses, seed, filtered,
-               repr(config) if config is not None else None, n_epochs)
+        key = trace_cache_key(self.name, dataset, n_accesses, seed,
+                              filtered=filtered,
+                              config_repr=(repr(config)
+                                           if config is not None else None),
+                              n_epochs=n_epochs)
         cached = _TRACE_CACHE.get(key)
         if cached is not None:
             return cached
+        if _TRACE_PROVIDER is not None:
+            provided = _TRACE_PROVIDER(key)
+            if provided is not None:
+                _TRACE_CACHE[key] = provided
+                return provided
 
         raw, raw_flags = self.raw_access_stream(dataset, n_accesses, seed)
         if filtered:
@@ -389,6 +397,39 @@ class TraceWorkload(abc.ABC):
 
 
 _TRACE_CACHE: dict[tuple, DramTrace] = {}
+
+#: optional hook consulted on a memo miss *before* synthesis.  Takes
+#: the memo key, returns a :class:`DramTrace` or ``None`` (= fall
+#: through to synthesis).  The runner's shared-memory substrate
+#: installs one in worker processes so a published trace is mapped,
+#: not recomputed; any provider MUST return traces bit-identical to
+#: synthesis for the same key.
+_TRACE_PROVIDER = None
+
+
+def trace_cache_key(name: str, dataset: str, n_accesses: int, seed: int,
+                    filtered: bool = True,
+                    config_repr: Optional[str] = None,
+                    n_epochs: int = 16) -> tuple:
+    """The memo key :meth:`TraceWorkload.dram_trace` uses for a call."""
+    return (name, dataset, n_accesses, seed, filtered, config_repr,
+            n_epochs)
+
+
+def trace_provider():
+    """The currently installed trace provider (or ``None``)."""
+    return _TRACE_PROVIDER
+
+
+def install_trace_provider(provider) -> None:
+    """Install ``provider`` as this process's trace source hook."""
+    global _TRACE_PROVIDER
+    _TRACE_PROVIDER = provider
+
+
+def uninstall_trace_provider() -> None:
+    global _TRACE_PROVIDER
+    _TRACE_PROVIDER = None
 
 
 def clear_trace_cache() -> None:

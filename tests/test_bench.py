@@ -22,8 +22,13 @@ N_RAW = 4_000
 
 @pytest.fixture(scope="module")
 def tiny_report():
+    # skip_runner: the runner-overhead case times whole multi-process
+    # sweeps (median of >=5 per mode) — exercised by the quick bench in
+    # CI and by tests/test_runner_shm.py, far too heavy for a unit
+    # fixture.
     return run_bench(quick=True, repeats=1, n_accesses=N_RAW,
-                     workloads=("bfs",), skip_cold=True)
+                     workloads=("bfs",), skip_cold=True,
+                     skip_runner=True)
 
 
 class TestRunBench:

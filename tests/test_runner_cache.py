@@ -156,6 +156,86 @@ class TestResultCodec:
         assert rebuilt.throughput == result.throughput
 
 
+class TestStrictEncoder:
+    """Regression: ``put`` once used ``json.dumps(..., default=str)``,
+    which silently stringified unknown types — the record decoded to
+    *different* values than were stored.  The strict encoder must raise
+    at write time instead."""
+
+    def test_rejects_numpy_types(self):
+        # np.float64 subclasses float and serializes exactly; np.int64
+        # and ndarrays do not and must be rejected, not stringified.
+        import numpy as np
+
+        from repro.core.errors import CacheEncodingError
+        from repro.runner import strict_json_dumps
+
+        with pytest.raises(CacheEncodingError):
+            strict_json_dumps({"x": np.int64(3)})
+        with pytest.raises(CacheEncodingError):
+            strict_json_dumps({"x": np.arange(3)})
+
+    def test_rejects_paths_and_sets(self, tmp_path):
+        from repro.core.errors import CacheEncodingError
+        from repro.runner import strict_json_dumps
+
+        with pytest.raises(CacheEncodingError):
+            strict_json_dumps({"p": tmp_path})
+        with pytest.raises(CacheEncodingError):
+            strict_json_dumps({"s": {1, 2}})
+
+    def test_rejects_non_finite_floats(self):
+        from repro.core.errors import CacheEncodingError
+        from repro.runner import strict_json_dumps
+
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(CacheEncodingError):
+                strict_json_dumps({"x": bad})
+
+    def test_put_raises_instead_of_stringifying(self, tmp_path):
+        """A poisoned record must fail the write, not poison the disk."""
+        import numpy as np
+
+        from repro.core.errors import CacheEncodingError
+
+        cache = ResultCache(tmp_path)
+        result = small_result()
+        poisoned = dataclasses.replace(
+            result, zone_page_counts=(np.int64(1), np.int64(2)))
+        spec = make_spec("bfs", "LOCAL", trace_accesses=ACCESSES)
+        key = spec.cache_key("s")
+        with pytest.raises(CacheEncodingError):
+            cache.put(key, spec.canonical(), poisoned)
+        assert cache.get(key) is None  # nothing half-written served
+        assert len(cache) == 0
+
+    def test_inf_link_bandwidth_spec_still_cacheable(self, tmp_path):
+        """Canonical specs legitimately carry ``inf`` (an uncapped zone
+        link); the record writer must keep round-tripping them through
+        Python's Infinity literal while result payloads stay strict."""
+        cache = ResultCache(tmp_path)
+        spec = make_spec("bfs", "LOCAL",
+                         topology=simulated_baseline(),
+                         trace_accesses=ACCESSES)
+        assert any(zone["link_bandwidth"] == float("inf")
+                   for zone in spec.canonical()["topology"]["zones"])
+        result = small_result()
+        key = spec.cache_key("s")
+        cache.put(key, spec.canonical(), result)
+        got = cache.get(key)
+        assert encode_result(got) == encode_result(result)
+
+    def test_valid_records_unchanged(self):
+        """The strict encoder must not perturb the canonical digest of
+        well-formed payloads (existing caches stay valid)."""
+        from repro.runner import result_digest
+
+        payload = encode_result(small_result())
+        assert result_digest(payload) == __import__("hashlib").sha256(
+            json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")).encode()).hexdigest()
+
+
 class TestResultCache:
     def test_get_put_round_trip(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -1,0 +1,189 @@
+"""Resilience semantics over the shared-memory substrate.
+
+PR 4's recovery machinery (timeouts, retries with chunk halving, pool
+abandon+rebuild, degraded serial fallback) must behave identically
+when traces travel through ``/dev/shm`` — and, critically, no segment
+may outlive the sweep no matter how the workers die.  Every test in
+this module runs inside a leak-audit fixture that snapshots the
+repro-owned ``/dev/shm`` entries before and asserts the set did not
+grow after.
+"""
+
+import pytest
+
+from repro.core.errors import SweepError
+from repro.resilience.faults import FaultPlan, FaultRule
+from repro.runner import SweepRunner, encode_result, make_spec
+from repro.runner.shm import list_repro_segments, shm_available
+from repro.workloads.base import clear_trace_cache
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="no multiprocessing.shared_memory")
+
+ACCESSES = 6_000
+
+#: long enough that a hung chunk is unambiguous next to the timeouts
+#: used below, short enough to keep the suite fast.
+HANG_S = 0.8
+
+
+def specs_for(workloads=("bfs", "lbm"), policies=("LOCAL", "BW-AWARE")):
+    return [
+        make_spec(workload, policy, trace_accesses=ACCESSES)
+        for workload in workloads
+        for policy in policies
+    ]
+
+
+def quiet(runner):
+    """Disable real inter-retry sleeps (determinism, speed)."""
+    runner._sleep = lambda _s: None
+    return runner
+
+
+def shm_runner(fault_plan=None, jobs=2, **kwargs):
+    kwargs.setdefault("chunk_timeout_s", 30.0)
+    return quiet(SweepRunner(jobs=jobs, cache=False, shm=True,
+                             fault_plan=fault_plan, **kwargs))
+
+
+@pytest.fixture
+def golden():
+    clear_trace_cache()
+    specs = specs_for()
+    return specs, [encode_result(r)
+                   for r in SweepRunner(jobs=1, cache=False).run(specs)]
+
+
+@pytest.fixture(autouse=True)
+def leak_audit():
+    """Assert no repro-owned /dev/shm entry survives any test here."""
+    before = list_repro_segments()
+    yield
+    leaked = list_repro_segments() - before
+    assert not leaked, f"leaked shm segments: {sorted(leaked)}"
+
+
+class TestCrashRecoveryOverShm:
+    def test_worker_crash_rebuild_bit_identical(self, golden):
+        specs, expected = golden
+        clear_trace_cache()
+        plan = FaultPlan([FaultRule("runner.chunk", "crash", times=1)])
+        runner = shm_runner(plan)
+        try:
+            outcome = runner.run(specs)
+        finally:
+            runner.close()
+        recovery = outcome.manifest.recovery
+        assert recovery["worker_crashes"] >= 1
+        assert recovery["pool_rebuilds"] >= 1
+        assert [encode_result(r) for r in outcome] == expected
+
+    def test_repeated_crashes_still_converge(self, golden):
+        # times=3 spreads the crashes over two waves (two per wave 1,
+        # one in wave 2), forcing a second pool rebuild.
+        specs, expected = golden
+        clear_trace_cache()
+        plan = FaultPlan([FaultRule("runner.chunk", "crash", times=3)])
+        runner = shm_runner(plan, max_retries=3)
+        try:
+            outcome = runner.run(specs)
+        finally:
+            runner.close()
+        assert outcome.manifest.recovery["pool_rebuilds"] >= 2
+        assert [encode_result(r) for r in outcome] == expected
+
+    def test_transient_error_halves_chunks(self, golden):
+        specs, expected = golden
+        clear_trace_cache()
+        plan = FaultPlan([FaultRule("runner.chunk", "error", times=1)])
+        runner = shm_runner(plan)
+        try:
+            outcome = runner.run(specs)
+        finally:
+            runner.close()
+        recovery = outcome.manifest.recovery
+        assert recovery["chunk_errors"] >= 1
+        assert recovery["retries"] >= 1
+        assert [encode_result(r) for r in outcome] == expected
+
+    def test_hung_chunk_times_out_and_recovers(self, golden):
+        specs, expected = golden
+        clear_trace_cache()
+        plan = FaultPlan([FaultRule("runner.chunk", "hang", times=1,
+                                    delay_s=HANG_S)])
+        runner = shm_runner(plan, chunk_timeout_s=0.2)
+        try:
+            outcome = runner.run(specs)
+        finally:
+            runner.close()
+        recovery = outcome.manifest.recovery
+        assert recovery["chunk_timeouts"] >= 1
+        assert recovery["pool_rebuilds"] >= 1
+        assert [encode_result(r) for r in outcome] == expected
+
+    def test_poisoned_spec_fails_sweep_without_leaking(self, golden):
+        """A spec that fails every retry and the degraded fallback
+        raises SweepError — and still leaves /dev/shm clean (the
+        autouse audit checks after close())."""
+        specs, _ = golden
+        clear_trace_cache()
+        label = specs[0].label()
+        plan = FaultPlan([FaultRule("runner.chunk", "error", times=99,
+                                    match=label)])
+        runner = shm_runner(plan, max_retries=1)
+        try:
+            with pytest.raises(SweepError) as err:
+                runner.run(specs)
+        finally:
+            runner.close()
+        assert label in err.value.failed_specs
+
+    def test_degraded_serial_fallback_over_shm(self, golden):
+        """Workers always fail; the in-process fallback completes the
+        sweep with identical results (it synthesizes locally — the
+        arena is an accelerator, not a dependency)."""
+        specs, expected = golden
+        clear_trace_cache()
+        # 3 crashes against max_retries=1: wave 1 burns two, the first
+        # wave-2 singleton burns the third and exhausts that spec's
+        # budget, so it completes via the degraded serial fallback.
+        plan = FaultPlan([FaultRule("runner.chunk", "crash", times=3)])
+        runner = shm_runner(plan, max_retries=1)
+        try:
+            outcome = runner.run(specs)
+        finally:
+            runner.close()
+        assert outcome.manifest.recovery["degraded_serial"] >= 1
+        assert [encode_result(r) for r in outcome] == expected
+
+
+class TestArenaSurvivesRebuild:
+    def test_segments_not_republished_after_crash(self, golden):
+        """A pool rebuild reuses the existing arena: the crash must
+        not force a re-publish (workers never own segments)."""
+        specs, _ = golden
+        clear_trace_cache()
+        plan = FaultPlan([FaultRule("runner.chunk", "crash", times=1)])
+        runner = shm_runner(plan)
+        try:
+            runner.run(specs)
+            assert runner._arena is not None
+            published_once = runner._arena.published
+            assert published_once == len(runner._arena)
+        finally:
+            runner.close()
+
+    def test_close_after_failed_sweep_unlinks(self):
+        clear_trace_cache()
+        specs = specs_for()
+        plan = FaultPlan([FaultRule("runner.chunk", "error", times=99,
+                                    match=specs[0].label())])
+        runner = shm_runner(plan, max_retries=0)
+        try:
+            with pytest.raises(SweepError):
+                runner.run(specs)
+            assert runner._arena is not None and len(runner._arena) > 0
+        finally:
+            runner.close()
+        # the autouse leak audit does the final /dev/shm assertion
