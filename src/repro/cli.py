@@ -291,6 +291,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServeConfig
     from repro.serve import run as serve_run
 
+    kwargs = {}
+    # None → the ServeConfig default (which reads the REPRO_SERVE_*
+    # environment knobs), so flags only override when given.
+    if args.shards is not None:
+        kwargs["shards"] = args.shards
+    if args.queue_limit is not None:
+        kwargs["admission_capacity"] = args.queue_limit
+    if args.high_watermark is not None:
+        kwargs["admission_high_watermark"] = args.high_watermark
+    if args.low_watermark is not None:
+        kwargs["admission_low_watermark"] = args.low_watermark
+    if args.shard_inflight is not None:
+        kwargs["proxy_inflight_per_shard"] = args.shard_inflight
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -308,8 +321,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         use_shm=args.shm,
         pin_cores=args.pin_cores,
+        **kwargs,
     )
-    serve_run(config)
+    if config.shards > 0:
+        from repro.serve.cluster import run_cluster
+
+        run_cluster(config)
+    else:
+        serve_run(config)
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.serve.config import default_serve_url
+    from repro.serve.loadtest import (
+        format_summary,
+        run_loadtest,
+        write_report,
+    )
+
+    report = run_loadtest(
+        args.url or default_serve_url(),
+        duration_s=args.duration,
+        placement_workers=args.placement_workers,
+        simulate_workers=args.simulate_workers,
+        distinct_specs=args.distinct,
+        workload=args.workload,
+        trace_accesses=args.accesses,
+        seed_base=args.seed_base,
+        timeout_s=args.timeout,
+    )
+    print(format_summary(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote report to {args.out}")
     return 0
 
 
@@ -569,6 +614,22 @@ def build_parser() -> argparse.ArgumentParser:
                               "--jobs > 1)")
     p_serve.add_argument("--no-shm", dest="shm", action="store_false",
                          help="disable shared-memory trace shipping")
+    p_serve.add_argument("--shards", type=int, default=None,
+                         help="worker-daemon shards behind a front "
+                              "router (0/unset = single daemon; "
+                              "$REPRO_SERVE_SHARDS)")
+    p_serve.add_argument("--queue-limit", type=int, default=None,
+                         help="router admission queue capacity "
+                              "($REPRO_SERVE_QUEUE_LIMIT)")
+    p_serve.add_argument("--high-watermark", type=int, default=None,
+                         help="queued depth that starts shedding cold "
+                              "work ($REPRO_SERVE_HIGH_WATERMARK)")
+    p_serve.add_argument("--low-watermark", type=int, default=None,
+                         help="queued depth that stops shedding again "
+                              "($REPRO_SERVE_LOW_WATERMARK)")
+    p_serve.add_argument("--shard-inflight", type=int, default=None,
+                         help="concurrent proxied requests per shard "
+                              "($REPRO_SERVE_SHARD_INFLIGHT)")
     p_serve.add_argument("--pin-cores", dest="pin_cores",
                          action="store_true", default=None,
                          help="pin runner workers to their own core "
@@ -632,6 +693,32 @@ def build_parser() -> argparse.ArgumentParser:
     r_prof.add_argument("--accesses", "-n", type=int, default=None)
     r_prof.add_argument("--seed", type=int, default=0)
     req_common(r_prof)
+
+    p_load = sub.add_parser(
+        "loadtest",
+        help="closed-loop load generator against a running daemon "
+             "or cluster (per-lane QPS/p50/p99 JSON report)")
+    p_load.add_argument("--url", default=None,
+                        help="target base URL (default "
+                             "$REPRO_SERVE_URL or the local daemon)")
+    p_load.add_argument("--duration", type=float, default=10.0,
+                        help="seconds to drive load for")
+    p_load.add_argument("--placement-workers", type=int, default=4,
+                        help="closed-loop placement worker threads")
+    p_load.add_argument("--simulate-workers", type=int, default=0,
+                        help="closed-loop simulate worker threads")
+    p_load.add_argument("--distinct", type=int, default=4,
+                        help="distinct simulate specs (seeds) cycled "
+                             "by the simulate workers")
+    p_load.add_argument("--workload", "-w", default="bfs")
+    p_load.add_argument("--accesses", "-n", type=int, default=20_000,
+                        help="trace accesses per simulate spec")
+    p_load.add_argument("--seed-base", type=int, default=1000)
+    p_load.add_argument("--timeout", type=float, default=60.0,
+                        help="per-request client timeout in seconds")
+    p_load.add_argument("--out", default=None,
+                        help="write the JSON report here")
+    p_load.set_defaults(fn=cmd_loadtest)
     return parser
 
 

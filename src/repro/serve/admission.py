@@ -1,0 +1,390 @@
+"""Admission control for the cluster router: lanes, watermarks, shedding.
+
+The single daemon's only overload answer is a flat 429 once its
+in-flight bound fills.  The router can do better because it sees *all*
+traffic before any shard does; this module is that front door.
+
+Three priority lanes, highest first:
+
+* ``placement`` — the paper's ``GetAllocation``; closed-form and cheap,
+  the path that must always answer;
+* ``warm`` — simulate/profile work whose job key has completed before
+  (a cache hit on the shard, typically milliseconds);
+* ``cold`` — simulate work never seen by this router: a real experiment
+  run, seconds of work, the first thing to sacrifice under pressure.
+
+Each shard exposes a bounded number of concurrent proxy slots; requests
+that cannot dispatch immediately wait in per-shard, per-lane FIFO
+queues.  Dispatch is strict priority (placement before warm before
+cold) and — so a flood of cold work can never occupy every slot —
+lanes below ``placement`` are capped at ``slots - placement_reserved``
+in-flight per shard.
+
+Overload policy, in order:
+
+* **watermarks** — when the total queued depth crosses ``high`` the
+  controller starts shedding *new cold work* immediately (429), and
+  keeps shedding until depth drains below ``low`` (hysteresis, so the
+  shed/accept decision cannot flap per request);
+* **eviction** — at the hard ``capacity``, an arriving higher-priority
+  request evicts the *oldest queued entry of the lowest lane below its
+  own* instead of being refused: the evicted waiter gets a retryable
+  429, the new work takes its queue space (placement displaces cold,
+  never the other way around);
+* **shed** — only when there is nothing lower-priority to evict does
+  the arriving request itself get the 429.
+
+Every 429 carries a ``Retry-After`` derived from the *observed drain
+rate* — completions per second over a sliding window — times the
+queue depth at or above the caller's priority, clamped to a sane
+range: a loaded-but-moving cluster says "come back in 2s", a stalled
+one says "come back in 30s", neither is a hardcoded constant.
+
+The controller is pure asyncio + an injectable clock; the unit suite
+(``tests/test_serve_admission.py``) drives it with a fake clock and no
+sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, Iterable, Optional
+
+from repro.core.errors import ServeError
+
+#: lane indices in priority order (lower value = higher priority).
+LANE_PLACEMENT = 0
+LANE_WARM = 1
+LANE_COLD = 2
+LANES = ("placement", "warm", "cold")
+LANE_INDEX = {name: i for i, name in enumerate(LANES)}
+
+
+class AdmissionShedError(ServeError):
+    """Work refused (or evicted) by admission control — 429, retryable.
+
+    ``evicted`` distinguishes "queued and then displaced by
+    higher-priority work" from "refused at the door"; both are
+    retryable and carry the drain-rate-derived ``Retry-After``.
+    """
+
+    def __init__(self, message: str, retry_after: float,
+                 evicted: bool = False) -> None:
+        super().__init__(message, status=429, retry_after=retry_after)
+        self.evicted = evicted
+
+
+class ShardUnavailableError(ServeError):
+    """The target shard is dead/absent — 503, retryable elsewhere."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message, status=503, retry_after=retry_after)
+
+
+class DrainRateEstimator:
+    """Completions/second over a sliding window of recent completions.
+
+    Feeds Retry-After: with fewer than 2 samples (a cold or stalled
+    service) :meth:`rate` returns ``None`` and callers fall back to
+    their pessimistic clamp.
+    """
+
+    def __init__(self, window: int = 64,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._times: Deque[float] = deque(maxlen=max(2, window))
+
+    def record(self) -> None:
+        self._times.append(self._clock())
+
+    def rate(self) -> Optional[float]:
+        if len(self._times) < 2:
+            return None
+        elapsed = self._times[-1] - self._times[0]
+        if elapsed <= 0:
+            return None
+        return (len(self._times) - 1) / elapsed
+
+
+class _Waiter:
+    __slots__ = ("future", "lane", "shard", "enqueued_at", "live")
+
+    def __init__(self, future: "asyncio.Future", lane: int, shard: str,
+                 enqueued_at: float) -> None:
+        self.future = future
+        self.lane = lane
+        self.shard = shard
+        self.enqueued_at = enqueued_at
+        #: still counted in queue depth (cleared once dispatched,
+        #: evicted, failed, or observed cancelled).
+        self.live = True
+
+
+class AdmissionController:
+    """Priority-lane admission over a set of shard proxy-slot pools."""
+
+    def __init__(self, shards: Iterable[str], *,
+                 slots_per_shard: int,
+                 capacity: int,
+                 high_watermark: int,
+                 low_watermark: int,
+                 placement_reserved: int = 1,
+                 retry_after_floor_s: float = 0.25,
+                 retry_after_cap_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if slots_per_shard < 1:
+            raise ValueError("slots_per_shard must be >= 1")
+        if not (0 < low_watermark <= high_watermark <= capacity):
+            raise ValueError(
+                "need 0 < low <= high <= capacity "
+                f"(got low={low_watermark} high={high_watermark} "
+                f"capacity={capacity})")
+        if not (0 <= placement_reserved < slots_per_shard):
+            raise ValueError(
+                "placement_reserved must be in [0, slots_per_shard)")
+        self.slots_per_shard = slots_per_shard
+        self.capacity = capacity
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.placement_reserved = placement_reserved
+        self.retry_after_floor_s = retry_after_floor_s
+        self.retry_after_cap_s = retry_after_cap_s
+        self._clock = clock
+        self.drain = DrainRateEstimator(clock=clock)
+        #: per shard, one FIFO per lane.
+        self._queues: Dict[str, list] = {}
+        #: per shard, in-flight count per lane.
+        self._inflight: Dict[str, list] = {}
+        self._queued_total = 0
+        self._shedding = False
+        #: observability hooks the router points at its counters.
+        self.on_shed: Optional[Callable[[str, bool], None]] = None
+        for shard in shards:
+            self.add_shard(shard)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def add_shard(self, shard: str) -> None:
+        if shard not in self._queues:
+            self._queues[shard] = [deque() for _ in LANES]
+            self._inflight[shard] = [0 for _ in LANES]
+
+    def fail_shard(self, shard: str, reason: str) -> int:
+        """Drop a dead shard: fail all its queued waiters retryably.
+
+        Returns the number of waiters failed.  In-flight proxied
+        requests are not touched here — their sockets fail on their
+        own and the router maps that to a retryable 503.
+        """
+        queues = self._queues.pop(shard, None)
+        self._inflight.pop(shard, None)
+        if queues is None:
+            return 0
+        failed = 0
+        for lane_queue in queues:
+            while lane_queue:
+                waiter = lane_queue.popleft()
+                if not waiter.live:
+                    continue
+                waiter.live = False
+                self._queued_total -= 1
+                if not waiter.future.done():
+                    waiter.future.set_exception(ShardUnavailableError(
+                        f"shard {shard} became unavailable "
+                        f"({reason}); retry"))
+                    failed += 1
+        self._update_shedding()
+        return failed
+
+    # ------------------------------------------------------------------
+    # depth accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def queued_total(self) -> int:
+        return self._queued_total
+
+    @property
+    def shedding(self) -> bool:
+        return self._shedding
+
+    def lane_depths(self) -> dict:
+        """``{lane_name: queued}`` across all shards (metrics)."""
+        depths = {name: 0 for name in LANES}
+        for queues in self._queues.values():
+            for lane, lane_queue in enumerate(queues):
+                depths[LANES[lane]] += sum(
+                    1 for w in lane_queue if w.live)
+        return depths
+
+    def inflight_total(self) -> int:
+        return sum(sum(counts) for counts in self._inflight.values())
+
+    def _update_shedding(self) -> None:
+        if self._queued_total >= self.high_watermark:
+            self._shedding = True
+        elif self._queued_total <= self.low_watermark:
+            self._shedding = False
+
+    # ------------------------------------------------------------------
+    # retry hints
+    # ------------------------------------------------------------------
+
+    def retry_after(self, lane: int) -> float:
+        """Seconds until queued work at ``lane``'s priority should
+        plausibly have drained, from the observed completion rate."""
+        ahead = 1 + sum(
+            1
+            for queues in self._queues.values()
+            for lane_idx in range(lane + 1)
+            for w in queues[lane_idx] if w.live
+        )
+        rate = self.drain.rate()
+        if rate is None or rate <= 0:
+            return self.retry_after_cap_s
+        return min(max(ahead / rate, self.retry_after_floor_s),
+                   self.retry_after_cap_s)
+
+    # ------------------------------------------------------------------
+    # admit / release
+    # ------------------------------------------------------------------
+
+    def _lane_limit(self, lane: int) -> int:
+        if lane == LANE_PLACEMENT:
+            return self.slots_per_shard
+        return self.slots_per_shard - self.placement_reserved
+
+    def _can_dispatch(self, shard: str, lane: int) -> bool:
+        counts = self._inflight[shard]
+        if sum(counts) >= self.slots_per_shard:
+            return False
+        if lane != LANE_PLACEMENT:
+            below = sum(counts[LANE_WARM:])
+            if below >= self._lane_limit(lane):
+                return False
+        return True
+
+    def _queues_empty_at_or_above(self, shard: str, lane: int) -> bool:
+        queues = self._queues[shard]
+        return all(
+            not any(w.live for w in queues[i]) for i in range(lane + 1)
+        )
+
+    def _shed(self, lane: int, message: str,
+              evicted: bool = False) -> AdmissionShedError:
+        if self.on_shed is not None:
+            self.on_shed(LANES[lane], evicted)
+        return AdmissionShedError(
+            message, retry_after=self.retry_after(lane), evicted=evicted)
+
+    def _find_victim(self, lane: int) -> Optional[_Waiter]:
+        """Oldest live waiter in the lowest-priority lane below
+        ``lane``, across all shards."""
+        for victim_lane in range(len(LANES) - 1, lane, -1):
+            oldest: Optional[_Waiter] = None
+            for queues in self._queues.values():
+                for waiter in queues[victim_lane]:
+                    if not waiter.live:
+                        continue
+                    if (oldest is None
+                            or waiter.enqueued_at < oldest.enqueued_at):
+                        oldest = waiter
+                    break  # deques are FIFO: first live one is oldest
+            if oldest is not None:
+                return oldest
+        return None
+
+    async def admit(self, lane: int, shard: str) -> None:
+        """Acquire a proxy slot on ``shard`` at ``lane`` priority.
+
+        Returns when the slot is held (pair with :meth:`release`);
+        raises :class:`AdmissionShedError` (429) when shed or evicted
+        and :class:`ShardUnavailableError` (503) when the shard is not
+        in the pool (died while the request was being routed).
+        """
+        if shard not in self._queues:
+            raise ShardUnavailableError(
+                f"shard {shard} is not available; retry")
+        # Fast path: a free slot and nobody of equal/higher priority
+        # already waiting for this shard.
+        if (self._can_dispatch(shard, lane)
+                and self._queues_empty_at_or_above(shard, lane)):
+            self._inflight[shard][lane] += 1
+            return
+        # Must queue.  Watermark hysteresis: while shedding, new cold
+        # work is refused at the door.
+        if self._shedding and lane == LANE_COLD:
+            raise self._shed(
+                lane,
+                f"queue depth {self._queued_total} over high watermark "
+                f"{self.high_watermark}; cold work shed")
+        if self._queued_total >= self.capacity:
+            victim = self._find_victim(lane)
+            if victim is None:
+                raise self._shed(
+                    lane,
+                    f"admission queue full ({self.capacity} queued)")
+            victim.live = False
+            self._queued_total -= 1
+            if not victim.future.done():
+                victim.future.set_exception(self._shed(
+                    victim.lane,
+                    f"evicted from the {LANES[victim.lane]} queue by "
+                    f"higher-priority {LANES[lane]} work",
+                    evicted=True))
+        future: asyncio.Future = (
+            asyncio.get_running_loop().create_future())
+        waiter = _Waiter(future, lane, shard, self._clock())
+        self._queues[shard][lane].append(waiter)
+        self._queued_total += 1
+        self._update_shedding()
+        try:
+            await future
+        except asyncio.CancelledError:
+            if waiter.live:
+                waiter.live = False
+                self._queued_total -= 1
+                self._update_shedding()
+            raise
+        # Dispatched: _dispatch already moved us to in-flight.
+
+    def release(self, shard: str, lane: int) -> None:
+        """Give back a slot; wakes the next highest-priority waiter."""
+        self.drain.record()
+        counts = self._inflight.get(shard)
+        if counts is None:  # shard was failed while we were in flight
+            return
+        if counts[lane] > 0:
+            counts[lane] -= 1
+        self._dispatch(shard)
+
+    def _dispatch(self, shard: str) -> None:
+        queues = self._queues.get(shard)
+        if queues is None:
+            return
+        progressed = True
+        while progressed:
+            progressed = False
+            for lane in range(len(LANES)):
+                if not self._can_dispatch(shard, lane):
+                    continue
+                lane_queue = queues[lane]
+                while lane_queue:
+                    waiter = lane_queue.popleft()
+                    if not waiter.live:
+                        continue
+                    waiter.live = False
+                    self._queued_total -= 1
+                    if waiter.future.done():  # cancelled under us
+                        continue
+                    self._inflight[shard][lane] += 1
+                    waiter.future.set_result(None)
+                    progressed = True
+                    break
+                if progressed:
+                    break
+        self._update_shedding()

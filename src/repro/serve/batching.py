@@ -55,6 +55,15 @@ class MicroBatcher:
         self._worker: Optional[asyncio.Task] = None
         #: filled in by the owner for observability; batch sizes seen.
         self.batch_sizes: list[int] = []
+        #: observability hook: called with the queue depth on every
+        #: enqueue and dequeue, so a gauge wired here is live rather
+        #: than sampled at scrape/flush time (it used to go stale
+        #: between placement batches).
+        self.on_depth_change: Optional[Callable[[int], None]] = None
+
+    def _depth_changed(self) -> None:
+        if self.on_depth_change is not None:
+            self.on_depth_change(self._queue.qsize())
 
     def start(self) -> None:
         if self._worker is None:
@@ -90,11 +99,13 @@ class MicroBatcher:
             )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._queue.put_nowait((item, future))
+        self._depth_changed()
         return await future
 
     async def _collect(self) -> list:
         """One batch: first item blocks, the rest race the window."""
         batch = [await self._queue.get()]
+        self._depth_changed()
         loop = asyncio.get_running_loop()
         deadline = loop.time() + self.window_s
         while len(batch) < self.max_batch:
@@ -103,11 +114,13 @@ class MicroBatcher:
                 while (len(batch) < self.max_batch
                        and not self._queue.empty()):
                     batch.append(self._queue.get_nowait())
+                self._depth_changed()
                 break
             try:
                 batch.append(await asyncio.wait_for(
                     self._queue.get(), remaining
                 ))
+                self._depth_changed()
             except asyncio.TimeoutError:
                 break
         return batch

@@ -1,0 +1,877 @@
+"""Scale-out serving: a front router over N worker-daemon shards.
+
+The single ``repro serve`` daemon is one asyncio process — one GIL
+between the service and "millions of users".  This module is the
+scale-out tier: ``repro serve --shards N`` boots
+
+* **N worker shards** — each a *complete, unmodified* daemon
+  (:class:`~repro.serve.http.ServeApp` in its own spawned process,
+  with its own breaker, drain, runner, caches, and tracing), bound to
+  a loopback port; and
+* **one router** (this process) — the only address clients see.  It
+  speaks the same wire protocol (``ServeClient`` needs no changes),
+  consistent-hash-routes every request on its *job key*, applies
+  :mod:`~repro.serve.admission` in front of the shards, health-checks
+  them, and respawns the dead.
+
+Job keys preserve the single-daemon's coalescing across the scale-out:
+``/v1/simulate`` routes on the canonical spec digest, so identical
+concurrent simulations still land on one shard and collapse into one
+runner job via its single-flight dedup; ``/v1/profile`` routes on the
+workload name so the per-shard profile LRU keeps its hit rate;
+``/v1/placement`` routes on the request's workload (if the client
+names one) or topology, keeping the firmware-table cache warm.
+
+Failure semantics: a shard that misses ``health_failures`` consecutive
+health checks (or whose process exits) is removed from the ring — its
+queued admissions fail with retryable 503s, its in-flight proxied
+requests surface as retryable 503s when their sockets die, and every
+*other* key keeps its shard (consistent hashing moves only the dead
+shard's keys).  The router then respawns the shard on a fresh port and
+splices it back into the ring under its stable name, so its keys
+return home.  ``X-Trace-Id`` propagates router → shard, so one traced
+request still yields one trace tree.
+
+The router itself does no simulation work — its event loop only
+parses, hashes, queues, and proxies — which is what keeps the
+admission decisions cheap enough to make on every request (the paper's
+bar for placement itself).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import atexit
+import json
+import hashlib
+import multiprocessing
+import signal
+import socket
+import sys
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Mapping, Optional
+
+from repro.core.errors import ServeError
+from repro.obs import trace as obs_trace
+from repro.obs.log import log_event
+from repro.serve.admission import (
+    LANE_COLD,
+    LANE_PLACEMENT,
+    LANE_WARM,
+    LANES,
+    AdmissionController,
+    AdmissionShedError,
+    ShardUnavailableError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.config import ROLE_ROUTER, ServeConfig
+from repro.serve.http import (
+    METRICS_CONTENT_TYPE,
+    _HttpRequest,
+    _HttpResponse,
+    read_http_request,
+    run as run_single,
+)
+from repro.serve.ring import HashRing
+from repro.serve.service import BadRequestError, parse_simulate_spec
+
+#: headers the router forwards verbatim to the shard.  The deadline
+#: header is NOT forwarded raw — the router always sends the budget
+#: *remaining* after queueing, so time spent in an admission lane
+#: counts against the request like time anywhere else.
+_FORWARD_HEADERS = ("content-type",)
+
+#: headers the router copies back from the shard's response.
+_RETURN_HEADERS = ("retry-after",)
+
+#: process handles spawned by any router in this process; killed at
+#: interpreter exit so a crashed router can never leak shard daemons.
+_LIVE_PROCS: "set[multiprocessing.process.BaseProcess]" = set()
+
+
+def _reap_stray_shards() -> None:  # pragma: no cover - exit path
+    for proc in list(_LIVE_PROCS):
+        if proc.is_alive():
+            proc.terminate()
+
+
+atexit.register(_reap_stray_shards)
+
+
+def _shard_main(config: ServeConfig) -> None:  # pragma: no cover
+    """Spawned-process entry: run one complete daemon as a shard."""
+    run_single(config, ready_message=False)
+
+
+def _free_port() -> int:
+    """Ask the OS for a currently-free loopback port."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def simulate_job_key(payload: Mapping[str, Any]) -> str:
+    """The routing key for a simulate payload: its canonical spec
+    digest (identical requests → identical key → same shard → the
+    shard's single-flight dedup and result cache both hit)."""
+    spec = parse_simulate_spec(payload)
+    blob = json.dumps(spec.canonical(), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def placement_job_key(payload: Mapping[str, Any]) -> str:
+    """Routing key for a placement payload.
+
+    Placement bodies carry no mandatory workload field, so the key is
+    the client-supplied ``workload`` when present (annotated runtimes
+    send one), else the topology label — the axis the shard's
+    firmware-table cache is keyed on.
+    """
+    workload = payload.get("workload")
+    if isinstance(workload, str) and workload:
+        return f"placement:{workload}"
+    topology = payload.get("topology")
+    if isinstance(topology, str) and topology:
+        return f"placement:topology:{topology}"
+    if isinstance(topology, Mapping):
+        return "placement:topology:custom"
+    return "placement:topology:baseline"
+
+
+class ShardHandle:
+    """One worker shard: stable name, current process, liveness."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.name = f"shard-{index}"
+        self.port: int = 0
+        self.proc: Optional[multiprocessing.process.BaseProcess] = None
+        self.generation = 0
+        self.up = False
+        self.failures = 0
+        self.respawning = False
+
+    def describe(self) -> dict:
+        return {
+            "index": self.index,
+            "name": self.name,
+            "port": self.port,
+            "pid": self.proc.pid if self.proc is not None else None,
+            "up": self.up,
+            "generation": self.generation,
+        }
+
+
+async def _raw_http(host: str, port: int, data: bytes,
+                    timeout: Optional[float]
+                    ) -> tuple[int, dict, bytes]:
+    """One request/response exchange against a Connection: close peer.
+
+    Returns ``(status, lowercase headers, body)``.
+    """
+
+    async def exchange() -> tuple[int, dict, bytes]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(data)
+            await writer.drain()
+            raw = await reader.read(-1)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+        head, sep, body = raw.partition(b"\r\n\r\n")
+        if not sep:
+            raise ConnectionError("truncated response from peer")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionError(f"bad status line {lines[0]!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = headers.get("content-length")
+        if length is not None and length.isdigit():
+            want = int(length)
+            if len(body) < want:
+                raise ConnectionError("truncated response body")
+            body = body[:want]
+        return status, headers, body
+
+    return await asyncio.wait_for(exchange(), timeout=timeout)
+
+
+class RouterApp:
+    """The front router: admission + consistent-hash proxy tier."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        if config.shards < 1:
+            raise ServeError("RouterApp needs shards >= 1")
+        self.config = config
+        self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
+        self.metrics = MetricsRegistry()
+        self.shards = [ShardHandle(i) for i in range(config.shards)]
+        self.ring = HashRing()
+        self.admission = AdmissionController(
+            [],
+            slots_per_shard=config.proxy_inflight_per_shard,
+            capacity=config.admission_capacity,
+            high_watermark=config.resolved_high_watermark(),
+            low_watermark=config.resolved_low_watermark(),
+            placement_reserved=config.placement_reserved_slots,
+        )
+        self.admission.on_shed = self._on_shed
+        #: job keys whose simulate completed (→ warm lane next time).
+        self._warm: OrderedDict[str, None] = OrderedDict()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set[asyncio.Task] = set()
+        self._health_task: Optional[asyncio.Task] = None
+        self._respawn_tasks: set[asyncio.Task] = set()
+        self._stopping = False
+        self._ctx = multiprocessing.get_context("spawn")
+
+        m = self.metrics
+        self.m_requests = m.counter(
+            "repro_router_requests_total",
+            "Router HTTP requests by endpoint and status code.")
+        self.m_latency = m.histogram(
+            "repro_router_request_seconds",
+            "Router end-to-end latency by admission lane.")
+        self.m_routed = m.counter(
+            "repro_router_routed_total",
+            "Requests dispatched to a shard, by shard and lane.")
+        self.m_shed = m.counter(
+            "repro_router_shed_total",
+            "Requests refused at the door by admission control, "
+            "by lane.")
+        self.m_evicted = m.counter(
+            "repro_router_evicted_total",
+            "Queued requests evicted by higher-priority work, by lane.")
+        self.m_lane_depth = m.gauge(
+            "repro_router_lane_depth",
+            "Queued requests awaiting a shard slot, by lane.")
+        self.m_inflight = m.gauge(
+            "repro_router_inflight",
+            "Requests currently proxied to shards.")
+        self.m_shard_up = m.gauge(
+            "repro_router_shard_up",
+            "1 while the shard answers health checks, else 0.")
+        self.m_respawns = m.counter(
+            "repro_router_shard_respawns_total",
+            "Dead shards respawned by the router, by shard.")
+        self.m_proxy_failures = m.counter(
+            "repro_router_proxy_failures_total",
+            "Proxied requests that failed mid-flight, by shard "
+            "(each one answered with a retryable 503).")
+        self.m_no_shards = m.counter(
+            "repro_router_no_live_shards_total",
+            "Requests refused because the ring was empty.")
+        self.m_warm_keys = m.gauge(
+            "repro_router_warm_keys",
+            "Completed job keys remembered for lane classification.")
+
+    # ------------------------------------------------------------------
+    # metric hooks
+    # ------------------------------------------------------------------
+
+    def _on_shed(self, lane_name: str, evicted: bool) -> None:
+        if evicted:
+            self.m_evicted.inc(lane=lane_name)
+        else:
+            self.m_shed.inc(lane=lane_name)
+
+    def _refresh_gauges(self) -> None:
+        for lane_name, depth in self.admission.lane_depths().items():
+            self.m_lane_depth.set(depth, lane=lane_name)
+        self.m_inflight.set(self.admission.inflight_total())
+        self.m_warm_keys.set(len(self._warm))
+        for shard in self.shards:
+            self.m_shard_up.set(1 if shard.up else 0, shard=shard.name)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def _spawn(self, shard: ShardHandle) -> None:
+        """Start (or restart) the worker process for ``shard``."""
+        shard.port = _free_port()
+        shard.generation += 1
+        config = self.config.shard_config(shard.index, shard.port)
+        proc = self._ctx.Process(
+            target=_shard_main, args=(config,),
+            name=f"repro-{shard.name}-gen{shard.generation}",
+        )
+        proc.start()
+        shard.proc = proc
+        _LIVE_PROCS.add(proc)
+
+    async def _wait_shard_ready(self, shard: ShardHandle,
+                                timeout_s: float = 60.0) -> bool:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline and not self._stopping:
+            if shard.proc is None or not shard.proc.is_alive():
+                return False
+            try:
+                status, _, _ = await _raw_http(
+                    "127.0.0.1", shard.port,
+                    b"GET /healthz HTTP/1.1\r\nHost: shard\r\n"
+                    b"Connection: close\r\n\r\n",
+                    timeout=self.config.health_timeout_s)
+                if status == 200:
+                    return True
+            except (OSError, asyncio.TimeoutError, ConnectionError):
+                pass
+            await asyncio.sleep(0.05)
+        return False
+
+    async def start(self) -> None:
+        for shard in self.shards:
+            self._spawn(shard)
+        ready = await asyncio.gather(
+            *(self._wait_shard_ready(shard) for shard in self.shards))
+        if not all(ready):
+            await self._teardown_shards()
+            bad = [s.name for s, ok in zip(self.shards, ready) if not ok]
+            raise ServeError(f"shards failed to start: {bad}")
+        for shard in self.shards:
+            shard.up = True
+            self.ring.add(shard.name)
+            self.admission.add_shard(shard.name)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self._health_task = asyncio.get_running_loop().create_task(
+            self._health_loop(), name="repro-router-health")
+
+    async def stop(self) -> None:
+        self._stopping = True
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        for task in list(self._respawn_tasks):
+            task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        pending = {t for t in self._connections if not t.done()}
+        if pending and self.config.drain_timeout_s > 0:
+            await asyncio.wait(pending,
+                               timeout=self.config.drain_timeout_s)
+        for shard in self.shards:
+            self.admission.fail_shard(shard.name, "router stopping")
+        await self._teardown_shards()
+
+    async def _teardown_shards(self) -> None:
+        """SIGTERM every shard (graceful drain), then join, then kill."""
+        procs = [s.proc for s in self.shards if s.proc is not None]
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        deadline = time.monotonic() + self.config.drain_timeout_s + 5.0
+        for proc in procs:
+            remaining = max(0.1, deadline - time.monotonic())
+            await asyncio.get_running_loop().run_in_executor(
+                None, proc.join, remaining)
+            if proc.is_alive():  # pragma: no cover - stuck shard
+                proc.kill()
+                await asyncio.get_running_loop().run_in_executor(
+                    None, proc.join, 5.0)
+            _LIVE_PROCS.discard(proc)
+
+    # ------------------------------------------------------------------
+    # health checking / respawn
+    # ------------------------------------------------------------------
+
+    async def _health_loop(self) -> None:
+        while not self._stopping:
+            await asyncio.sleep(self.config.health_interval_s)
+            await asyncio.gather(
+                *(self._check_shard(s) for s in self.shards
+                  if not s.respawning))
+
+    async def _check_shard(self, shard: ShardHandle) -> None:
+        alive = shard.proc is not None and shard.proc.is_alive()
+        healthy = False
+        if alive:
+            try:
+                status, _, _ = await _raw_http(
+                    "127.0.0.1", shard.port,
+                    b"GET /healthz HTTP/1.1\r\nHost: shard\r\n"
+                    b"Connection: close\r\n\r\n",
+                    timeout=self.config.health_timeout_s)
+                healthy = status == 200
+            except (OSError, asyncio.TimeoutError, ConnectionError):
+                healthy = False
+        if healthy:
+            shard.failures = 0
+            if not shard.up:  # pragma: no cover - transient flap
+                shard.up = True
+                self.ring.add(shard.name)
+                self.admission.add_shard(shard.name)
+            return
+        shard.failures += 1
+        if not alive or shard.failures >= self.config.health_failures:
+            self._mark_down(
+                shard,
+                "process exited" if not alive
+                else f"{shard.failures} failed health checks")
+
+    def _mark_down(self, shard: ShardHandle, reason: str) -> None:
+        if shard.respawning:
+            return
+        shard.up = False
+        shard.respawning = True
+        self.ring.remove(shard.name)
+        failed = self.admission.fail_shard(shard.name, reason)
+        self.m_shard_up.set(0, shard=shard.name)
+        log_event("router.shard_down", shard=shard.name,
+                  reason=reason, failed_waiters=failed,
+                  message=f"{shard.name} down ({reason}); "
+                          f"failed {failed} queued request(s), "
+                          "respawning", stream=sys.stderr)
+        task = asyncio.get_running_loop().create_task(
+            self._respawn(shard), name=f"respawn-{shard.name}")
+        self._respawn_tasks.add(task)
+        task.add_done_callback(self._respawn_tasks.discard)
+
+    async def _respawn(self, shard: ShardHandle) -> None:
+        try:
+            while not self._stopping:
+                old = shard.proc
+                if old is not None:
+                    if old.is_alive():
+                        old.kill()
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, old.join, 10.0)
+                    _LIVE_PROCS.discard(old)
+                self._spawn(shard)
+                if await self._wait_shard_ready(shard):
+                    shard.up = True
+                    shard.failures = 0
+                    self.ring.add(shard.name)
+                    self.admission.add_shard(shard.name)
+                    self.m_respawns.inc(shard=shard.name)
+                    self.m_shard_up.set(1, shard=shard.name)
+                    log_event("router.shard_up", shard=shard.name,
+                              port=shard.port,
+                              generation=shard.generation,
+                              message=f"{shard.name} respawned on port "
+                                      f"{shard.port} (generation "
+                                      f"{shard.generation})",
+                              stream=sys.stderr)
+                    return
+                await asyncio.sleep(0.5)  # spawn failed; try again
+        finally:
+            shard.respawning = False
+
+    # ------------------------------------------------------------------
+    # protocol plumbing (same shapes as ServeApp)
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            try:
+                request = await read_http_request(
+                    reader, self.config.max_body_bytes)
+            except ServeError as exc:
+                writer.write(_HttpResponse.json(
+                    {"error": str(exc)},
+                    status=exc.status or 400).encode())
+                await writer.drain()
+                return
+            except asyncio.IncompleteReadError:
+                return
+            if request is None:
+                return
+            response = await self._respond(request)
+            writer.write(response.encode())
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _respond(self, request: _HttpRequest) -> _HttpResponse:
+        trace_id = request.headers.get(obs_trace.TRACE_ID_HEADER.lower())
+        if trace_id is None and obs_trace.enabled():
+            trace_id = obs_trace.new_trace_id()
+        if trace_id is None:
+            return await self._dispatch(request)
+        token = obs_trace.set_trace_id(trace_id)
+        try:
+            with obs_trace.lane():
+                with obs_trace.span("router.request", cat="router",
+                                    method=request.method,
+                                    path=request.path) as span:
+                    response = await self._dispatch(request)
+                    span.annotate(status=response.status)
+        finally:
+            obs_trace.reset_trace_id(token)
+        response.headers.setdefault(obs_trace.TRACE_ID_HEADER, trace_id)
+        return response
+
+    def _route(self, request: _HttpRequest):
+        path, method = request.path, request.method
+        if path == "/healthz" and method == "GET":
+            return "healthz", "local"
+        if path == "/metrics" and method == "GET":
+            return "metrics", "local"
+        if path == "/v1/placement" and method == "POST":
+            return "placement", "proxy"
+        if path == "/v1/simulate" and method == "POST":
+            return "simulate", "proxy"
+        if path.startswith("/v1/profile/") and method == "GET":
+            return "profile", "proxy"
+        known = {"/healthz", "/metrics", "/v1/placement", "/v1/simulate"}
+        if path in known or path.startswith("/v1/profile/"):
+            return "other", None  # right path, wrong method
+        return "other", False  # unknown path
+
+    async def _dispatch(self, request: _HttpRequest) -> _HttpResponse:
+        endpoint, kind = self._route(request)
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        timeout = self.config.request_timeout_s
+        hint = request.timeout_hint()
+        if hint is not None:
+            timeout = min(timeout, hint)
+        request.deadline = time.monotonic() + timeout
+        lane_name = "none"
+        if kind is None:
+            response = _HttpResponse.json(
+                {"error": f"method {request.method} not allowed "
+                          f"for {request.path}"}, status=405)
+        elif kind is False:
+            response = _HttpResponse.json(
+                {"error": f"no route {request.path}"}, status=404)
+        elif kind == "local":
+            if endpoint == "healthz":
+                response = _HttpResponse.json(self.health())
+            else:
+                self._refresh_gauges()
+                response = _HttpResponse(
+                    200, self.metrics.render().encode("utf-8"),
+                    content_type=METRICS_CONTENT_TYPE)
+        else:
+            try:
+                lane, key = self._classify(endpoint, request)
+                lane_name = LANES[lane]
+                response = await asyncio.wait_for(
+                    self._proxy_endpoint(endpoint, lane, key, request),
+                    timeout=timeout)
+            except asyncio.TimeoutError:
+                response = _HttpResponse.json(
+                    {"error": f"request timed out after {timeout}s"},
+                    status=504)
+            except ServeError as exc:
+                headers = {}
+                if exc.retry_after is not None:
+                    headers["Retry-After"] = (
+                        f"{max(exc.retry_after, 0.0):g}")
+                response = _HttpResponse.json(
+                    {"error": str(exc)}, status=exc.status or 400,
+                    headers=headers)
+            except Exception as exc:  # noqa: BLE001 - daemon boundary
+                response = _HttpResponse.json(
+                    {"error": f"internal error: "
+                              f"{type(exc).__name__}: {exc}"},
+                    status=500)
+        self.m_requests.inc(endpoint=endpoint,
+                            status=str(response.status))
+        self.m_latency.observe(loop.time() - started, lane=lane_name)
+        return response
+
+    # ------------------------------------------------------------------
+    # routing + admission + proxy
+    # ------------------------------------------------------------------
+
+    def _classify(self, endpoint: str,
+                  request: _HttpRequest) -> tuple[int, str]:
+        """(lane, job key) for a proxied request.
+
+        Lane order is the admission priority: placement always
+        answers; simulate work whose key completed before is warm
+        (a cache hit on its shard); never-seen simulate work is cold
+        and first to shed.
+        """
+        if endpoint == "placement":
+            return LANE_PLACEMENT, placement_job_key(request.json())
+        if endpoint == "profile":
+            workload = request.path[len("/v1/profile/"):]
+            if not workload or "/" in workload:
+                raise ServeError(f"bad profile path {request.path!r}",
+                                 status=404)
+            return LANE_WARM, f"profile:{workload}"
+        try:
+            key = simulate_job_key(request.json())
+        except BadRequestError:
+            # Invalid payloads never reach a shard: answer the same
+            # 400 the shard's own (shared) validator would produce.
+            raise
+        lane = LANE_WARM if key in self._warm else LANE_COLD
+        return lane, key
+
+    def _mark_warm(self, key: str) -> None:
+        self._warm[key] = None
+        self._warm.move_to_end(key)
+        while len(self._warm) > self.config.warm_keys_size:
+            self._warm.popitem(last=False)
+
+    async def _proxy_endpoint(self, endpoint: str, lane: int, key: str,
+                              request: _HttpRequest) -> _HttpResponse:
+        shard_name = self.ring.node_for(key)
+        if shard_name is None:
+            self.m_no_shards.inc()
+            raise ShardUnavailableError(
+                "no live shards", retry_after=self.config.retry_after_s)
+        await self.admission.admit(lane, shard_name)
+        # From here the slot is held: release exactly once, even if
+        # the proxy leg fails or the caller's deadline cancels us.
+        try:
+            self.m_routed.inc(shard=shard_name, lane=LANES[lane])
+            response = await self._proxy(shard_name, request)
+        finally:
+            self.admission.release(shard_name, lane)
+        if endpoint == "simulate" and response.status == 200:
+            self._mark_warm(key)
+        return response
+
+    def _shard_by_name(self, name: str) -> Optional[ShardHandle]:
+        for shard in self.shards:
+            if shard.name == name:
+                return shard
+        return None
+
+    async def _proxy(self, shard_name: str,
+                     request: _HttpRequest) -> _HttpResponse:
+        shard = self._shard_by_name(shard_name)
+        if shard is None or not shard.up:
+            raise ShardUnavailableError(
+                f"shard {shard_name} is not available; retry",
+                retry_after=self.config.retry_after_s)
+        remaining = None
+        if request.deadline is not None:
+            remaining = request.deadline - time.monotonic()
+            if remaining <= 0:
+                raise asyncio.TimeoutError()
+        lines = [f"{request.method} {request.target} HTTP/1.1",
+                 f"Host: 127.0.0.1:{shard.port}",
+                 "Connection: close",
+                 f"Content-Length: {len(request.body)}"]
+        for header in _FORWARD_HEADERS:
+            value = request.headers.get(header)
+            if value is not None:
+                lines.append(f"{header}: {value}")
+        if remaining is not None:
+            # Shards enforce the remaining budget themselves, so an
+            # abandoned proxied request stops consuming shard workers.
+            lines.append(f"x-request-timeout: {remaining:.3f}")
+        trace_id = (request.headers.get(
+            obs_trace.TRACE_ID_HEADER.lower())
+            or obs_trace.current_trace_id())
+        if trace_id is not None:
+            lines.append(f"{obs_trace.TRACE_ID_HEADER}: {trace_id}")
+        data = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        data += request.body
+        try:
+            status, headers, body = await _raw_http(
+                "127.0.0.1", shard.port, data, timeout=remaining)
+        except asyncio.TimeoutError:
+            raise
+        except (OSError, ConnectionError, asyncio.IncompleteReadError):
+            # The shard died (or was killed) with our request in
+            # flight.  The work is retryable by contract — shards are
+            # deterministic and results are cached — so answer a
+            # retryable 503 and let the health loop confirm the death.
+            self.m_proxy_failures.inc(shard=shard_name)
+            shard.failures += 1
+            raise ShardUnavailableError(
+                f"shard {shard_name} failed mid-request; retry",
+                retry_after=self.config.retry_after_s)
+        out = _HttpResponse(
+            status, body,
+            content_type=headers.get("content-type",
+                                     "application/json"))
+        for header in _RETURN_HEADERS:
+            if header in headers:
+                out.headers["Retry-After"] = headers[header]
+        if obs_trace.TRACE_ID_HEADER.lower() in headers:
+            out.headers[obs_trace.TRACE_ID_HEADER] = headers[
+                obs_trace.TRACE_ID_HEADER.lower()]
+        return out
+
+    # ------------------------------------------------------------------
+    # /healthz
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        live = sum(1 for s in self.shards if s.up)
+        return {
+            "status": "ok" if live == len(self.shards) else (
+                "degraded" if live else "down"),
+            "role": ROLE_ROUTER,
+            "uptime_s": round(
+                time.monotonic() - self._started_monotonic, 3),
+            "shard_count": len(self.shards),
+            "live_shards": live,
+            "shards": [s.describe() for s in self.shards],
+            "ring_nodes": sorted(self.ring.nodes),
+            "queued": self.admission.queued_total,
+            "shedding": self.admission.shedding,
+            "admission": {
+                "capacity": self.admission.capacity,
+                "high_watermark": self.admission.high_watermark,
+                "low_watermark": self.admission.low_watermark,
+                "slots_per_shard": self.admission.slots_per_shard,
+            },
+        }
+
+
+def run_cluster(config: ServeConfig,
+                ready_message: bool = True) -> None:
+    """Blocking entry point for ``repro serve --shards N``.
+
+    SIGTERM/SIGINT drain the router (in-flight proxied requests get
+    ``drain_timeout_s`` to finish), then SIGTERM the shards, which run
+    their own graceful drains before exiting.
+    """
+    app = RouterApp(config)
+
+    async def main() -> None:
+        await app.start()
+        stop_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        handled = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop_requested.set)
+                handled.append(signum)
+            except (NotImplementedError, RuntimeError):
+                pass
+        if ready_message:
+            ports = [s.port for s in app.shards]
+            log_event(
+                "router.listening",
+                message=(f"repro.serve router on {app.base_url} "
+                         f"({len(app.shards)} shards on ports "
+                         f"{ports})"),
+                url=app.base_url, shards=len(app.shards),
+                stream=sys.stdout)
+        try:
+            await stop_requested.wait()
+            if ready_message:
+                log_event("router.draining",
+                          message="router draining...",
+                          stream=sys.stdout)
+        finally:
+            await app.stop()
+            for signum in handled:
+                loop.remove_signal_handler(signum)
+        if ready_message:
+            log_event("router.stopped",
+                      message="router and shards stopped cleanly",
+                      stream=sys.stdout)
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - non-Unix fallback
+        pass
+
+
+class BackgroundCluster:
+    """A router + shards on a dedicated event-loop thread (tests).
+
+    Mirrors :class:`~repro.serve.http.BackgroundServer`::
+
+        with BackgroundCluster(ServeConfig(port=0, shards=2)) as c:
+            client = ServeClient(c.base_url)
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.app = RouterApp(config)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def base_url(self) -> str:
+        return self.app.base_url
+
+    def shard_url(self, index: int) -> str:
+        return f"http://127.0.0.1:{self.app.shards[index].port}"
+
+    def start(self) -> "BackgroundCluster":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="repro-router", daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=120)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._ready.is_set():
+            raise ServeError("cluster failed to start within 120s")
+        return self
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                await self.app.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self._loop = asyncio.get_running_loop()
+            self._stop_event = asyncio.Event()
+            self._ready.set()
+            await self._stop_event.wait()
+            await self.app.stop()
+
+        asyncio.run(main())
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=120)
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "BackgroundCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

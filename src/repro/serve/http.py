@@ -64,12 +64,15 @@ METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class _HttpRequest:
-    __slots__ = ("method", "path", "query", "headers", "body",
+    __slots__ = ("method", "target", "path", "query", "headers", "body",
                  "deadline")
 
     def __init__(self, method: str, target: str,
                  headers: Mapping[str, str], body: bytes) -> None:
         self.method = method
+        #: raw request target, kept verbatim so the cluster router can
+        #: re-emit the request to a shard without re-encoding.
+        self.target = target
         split = urlsplit(target)
         self.path = unquote(split.path)
         self.query = {k: v[-1] for k, v in parse_qs(split.query).items()}
@@ -133,6 +136,42 @@ class _HttpResponse:
         return head + self.body
 
 
+async def read_http_request(reader: asyncio.StreamReader,
+                            max_body_bytes: int
+                            ) -> Optional[_HttpRequest]:
+    """Parse one HTTP/1.1 request off ``reader`` (shared with the
+    cluster router, which speaks the same protocol in front of the
+    shards).  Returns ``None`` on a clean EOF before a request line."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise ServeError("malformed request line", status=400)
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise ServeError("bad Content-Length", status=400)
+    if length > max_body_bytes:
+        raise ServeError(
+            f"body exceeds {max_body_bytes} bytes",
+            status=413,
+        )
+    body = await reader.readexactly(length) if length else b""
+    return _HttpRequest(method.upper(), target, headers, body)
+
+
 class ServeApp:
     """The daemon: a :class:`PlacementService` behind an asyncio server."""
 
@@ -192,34 +231,8 @@ class ServeApp:
 
     async def _read_request(self, reader: asyncio.StreamReader
                             ) -> Optional[_HttpRequest]:
-        try:
-            request_line = await reader.readline()
-        except (ConnectionError, asyncio.LimitOverrunError):
-            return None
-        if not request_line:
-            return None
-        parts = request_line.decode("latin-1").strip().split()
-        if len(parts) != 3:
-            raise ServeError("malformed request line", status=400)
-        method, target, _version = parts
-        headers: dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        try:
-            length = int(headers.get("content-length", "0") or "0")
-        except ValueError:
-            raise ServeError("bad Content-Length", status=400)
-        if length > self.config.max_body_bytes:
-            raise ServeError(
-                f"body exceeds {self.config.max_body_bytes} bytes",
-                status=413,
-            )
-        body = await reader.readexactly(length) if length else b""
-        return _HttpRequest(method.upper(), target, headers, body)
+        return await read_http_request(reader,
+                                       self.config.max_body_bytes)
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:

@@ -1,0 +1,126 @@
+"""Consistent-hash ring for routing jobs to daemon shards.
+
+The cluster router places every request on a shard by *job key* — the
+canonical spec digest for ``/v1/simulate``, the workload name for
+``/v1/profile`` — so that the per-shard single-flight dedup and the
+in-memory caches (profiles, firmware tables, warm runner workers) keep
+their locality after scale-out: identical work always lands on the same
+live shard.
+
+Classic Karger-style construction: each node is hashed onto the ring at
+``replicas`` virtual points (sha256 of ``"{node}#{i}"``), a key maps to
+the first virtual point clockwise from its own hash.  Properties the
+test suite (``tests/test_serve_ring.py``) pins down:
+
+* deterministic — same key, same node set, same answer, across
+  processes (no PYTHONHASHSEED dependence: sha256, not ``hash()``);
+* balanced — with the default 128 replicas, keys spread across N nodes
+  within a small factor of the fair share;
+* minimal disruption — removing a node only remaps the keys that were
+  on it (everything else is untouched, which is what preserves cache
+  locality through shard death), and adding a node back restores the
+  exact previous mapping.
+
+Nodes are opaque strings (the router uses stable shard names like
+``"shard-0"``, *not* ports, so a respawned shard reclaims its keys).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Optional, Sequence
+
+#: default virtual points per node; 128 keeps the max/fair-share spread
+#: under ~1.4x for small clusters while the ring stays tiny.
+DEFAULT_REPLICAS = 128
+
+
+def _hash64(data: str) -> int:
+    """First 8 bytes of sha256 as an unsigned int (ring coordinate)."""
+    digest = hashlib.sha256(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over named nodes.
+
+    Mutation (``add``/``remove``) is O(replicas · log ring); lookup is
+    one hash plus a binary search.  The ring may be empty, in which
+    case :meth:`node_for` returns ``None`` — the router treats that as
+    "no live shards" (503, retryable).
+    """
+
+    def __init__(self, nodes: Iterable[str] = (),
+                 replicas: int = DEFAULT_REPLICAS) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._nodes: set[str] = set()
+        self._points: list[int] = []       # sorted ring coordinates
+        self._owners: list[str] = []       # node owning each point
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset:
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        """Add ``node``; idempotent."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for i in range(self.replicas):
+            point = _hash64(f"{node}#{i}")
+            idx = bisect.bisect_left(self._points, point)
+            # sha256 collisions between distinct vnode labels are not a
+            # practical concern; ties resolve by insertion order.
+            self._points.insert(idx, point)
+            self._owners.insert(idx, node)
+
+    def remove(self, node: str) -> None:
+        """Remove ``node``; idempotent."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep_points: list[int] = []
+        keep_owners: list[str] = []
+        for point, owner in zip(self._points, self._owners):
+            if owner != node:
+                keep_points.append(point)
+                keep_owners.append(owner)
+        self._points = keep_points
+        self._owners = keep_owners
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def node_for(self, key: str) -> Optional[str]:
+        """The live node owning ``key`` (``None`` on an empty ring)."""
+        if not self._points:
+            return None
+        idx = bisect.bisect_right(self._points, _hash64(key))
+        if idx == len(self._points):  # wrap past the top of the ring
+            idx = 0
+        return self._owners[idx]
+
+    def distribution(self, keys: Sequence[str]) -> dict:
+        """``{node: count}`` over ``keys`` (diagnostics and tests)."""
+        counts: dict[str, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            node = self.node_for(key)
+            if node is not None:
+                counts[node] += 1
+        return counts

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import asyncio
 import contextvars
+import os
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -134,6 +135,73 @@ def _int_field(payload: Mapping[str, Any], key: str, default: Any = None,
     return value
 
 
+def parse_simulate_spec(payload: Mapping[str, Any]) -> RunSpec:
+    """Validate a ``/v1/simulate`` payload into a canonical RunSpec.
+
+    Module-level (no service state) so the cluster router can derive
+    the routing job key from *exactly* the canonicalization the shard
+    will use — same validation, same error text, without owning a
+    runner.
+    """
+    workload = _require(payload, "workload")
+    policy = payload.get("policy", "BW-AWARE")
+    if not isinstance(workload, str) or not isinstance(policy, str):
+        raise BadRequestError("'workload' and 'policy' must be strings")
+    try:
+        get_workload(workload)
+    except WorkloadError as exc:
+        raise BadRequestError(str(exc))
+    base = policy.upper().partition("@")[0]
+    if base not in policy_names():
+        raise BadRequestError(
+            f"unknown policy {policy!r}; known: {policy_names()}"
+        )
+    topology_name = payload.get("topology")
+    topology = None
+    if topology_name is not None:
+        if not isinstance(topology_name, str):
+            raise BadRequestError(
+                "/v1/simulate 'topology' must be a registered name"
+            )
+        try:
+            topology = topology_by_name(topology_name)
+        except ReproError as exc:
+            raise BadRequestError(str(exc))
+    capacity = payload.get("bo_capacity_fraction")
+    if capacity is not None:
+        try:
+            capacity = float(capacity)
+        except (TypeError, ValueError):
+            raise BadRequestError(
+                "'bo_capacity_fraction' must be a number"
+            )
+        if capacity <= 0:
+            raise BadRequestError(
+                "'bo_capacity_fraction' must be positive"
+            )
+    engine = payload.get("engine", "throughput")
+    if engine not in ("throughput", "detailed", "banked"):
+        raise BadRequestError(f"unknown engine {engine!r}")
+    dataset = payload.get("dataset", "default")
+    training = payload.get("training_dataset")
+    if training is not None and not isinstance(training, str):
+        raise BadRequestError("'training_dataset' must be a string")
+    try:
+        return make_spec(
+            workload, policy,
+            dataset=str(dataset),
+            topology=topology,
+            bo_capacity_fraction=capacity,
+            trace_accesses=_int_field(payload, "trace_accesses",
+                                      minimum=1),
+            seed=_int_field(payload, "seed", default=0) or 0,
+            training_dataset=training,
+            engine=engine,
+        )
+    except ReproError as exc:
+        raise BadRequestError(str(exc))
+
+
 class PlacementService:
     """All daemon behaviour that is independent of the wire protocol."""
 
@@ -176,6 +244,11 @@ class PlacementService:
             max_batch=self.config.max_batch_size,
             max_queue=self.config.max_placement_queue,
         )
+        # Live depth: the gauge tracks every enqueue/dequeue instead of
+        # being sampled only when a placement request completes, which
+        # left /metrics stale between batches and blind to bursts.
+        self._batcher.on_depth_change = (
+            lambda depth: self.m_queue_depth.set(depth))
         self._profiles: OrderedDict[tuple, dict] = OrderedDict()
         self._tables_cache: dict[str, FirmwareTables] = {}
 
@@ -334,6 +407,12 @@ class PlacementService:
         cache_dir = self.config.resolved_cache_dir()
         return {
             "status": "ok",
+            # Role-aware: load balancers (and the cluster-smoke CI job)
+            # gate on who is answering — the front router, one worker
+            # shard, or a classic single daemon.
+            "role": self.config.role,
+            "shard_index": self.config.shard_index,
+            "pid": os.getpid(),
             "uptime_s": round(
                 time.monotonic() - self._started_monotonic, 3),
             "workloads": len(workload_names()),
@@ -454,63 +533,7 @@ class PlacementService:
 
     def parse_simulate_spec(self, payload: Mapping[str, Any]) -> RunSpec:
         """Validate a simulate payload into a canonical RunSpec."""
-        workload = _require(payload, "workload")
-        policy = payload.get("policy", "BW-AWARE")
-        if not isinstance(workload, str) or not isinstance(policy, str):
-            raise BadRequestError("'workload' and 'policy' must be strings")
-        try:
-            get_workload(workload)
-        except WorkloadError as exc:
-            raise BadRequestError(str(exc))
-        base = policy.upper().partition("@")[0]
-        if base not in policy_names():
-            raise BadRequestError(
-                f"unknown policy {policy!r}; known: {policy_names()}"
-            )
-        topology_name = payload.get("topology")
-        topology = None
-        if topology_name is not None:
-            if not isinstance(topology_name, str):
-                raise BadRequestError(
-                    "/v1/simulate 'topology' must be a registered name"
-                )
-            try:
-                topology = topology_by_name(topology_name)
-            except ReproError as exc:
-                raise BadRequestError(str(exc))
-        capacity = payload.get("bo_capacity_fraction")
-        if capacity is not None:
-            try:
-                capacity = float(capacity)
-            except (TypeError, ValueError):
-                raise BadRequestError(
-                    "'bo_capacity_fraction' must be a number"
-                )
-            if capacity <= 0:
-                raise BadRequestError(
-                    "'bo_capacity_fraction' must be positive"
-                )
-        engine = payload.get("engine", "throughput")
-        if engine not in ("throughput", "detailed", "banked"):
-            raise BadRequestError(f"unknown engine {engine!r}")
-        dataset = payload.get("dataset", "default")
-        training = payload.get("training_dataset")
-        if training is not None and not isinstance(training, str):
-            raise BadRequestError("'training_dataset' must be a string")
-        try:
-            return make_spec(
-                workload, policy,
-                dataset=str(dataset),
-                topology=topology,
-                bo_capacity_fraction=capacity,
-                trace_accesses=_int_field(payload, "trace_accesses",
-                                          minimum=1),
-                seed=_int_field(payload, "seed", default=0) or 0,
-                training_dataset=training,
-                engine=engine,
-            )
-        except ReproError as exc:
-            raise BadRequestError(str(exc))
+        return parse_simulate_spec(payload)
 
     def _run_spec_job(self, spec: RunSpec,
                       deadline: Optional[float] = None) -> dict:

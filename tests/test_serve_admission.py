@@ -1,0 +1,349 @@
+"""Unit tests for the router's admission controller (fake clock, no IO).
+
+Covers the full overload policy laid out in ``repro.serve.admission``:
+strict-priority dispatch, placement-reserved slots, watermark
+hysteresis shedding of cold work, eviction of the oldest lower-priority
+waiter at hard capacity, drain-rate-derived Retry-After, and
+shard-death failing queued waiters retryably.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.admission import (
+    LANE_COLD,
+    LANE_PLACEMENT,
+    LANE_WARM,
+    AdmissionController,
+    AdmissionShedError,
+    DrainRateEstimator,
+    ShardUnavailableError,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def controller(shards=("s0",), *, slots=2, capacity=8,
+               high=6, low=3, reserved=1, clock=None):
+    return AdmissionController(
+        shards, slots_per_shard=slots, capacity=capacity,
+        high_watermark=high, low_watermark=low,
+        placement_reserved=reserved, clock=clock or FakeClock())
+
+
+async def settle():
+    """Let pending callbacks/futures run."""
+    for _ in range(3):
+        await asyncio.sleep(0)
+
+
+# ---------------------------------------------------------------------------
+# construction / basics
+# ---------------------------------------------------------------------------
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        controller(slots=0)
+    with pytest.raises(ValueError):
+        controller(high=2, low=5)          # low > high
+    with pytest.raises(ValueError):
+        controller(capacity=4, high=9)     # high > capacity
+    with pytest.raises(ValueError):
+        controller(slots=2, reserved=2)    # reserved must leave a slot
+
+
+def test_fast_path_admit_release():
+    async def scenario():
+        ctl = controller()
+        await ctl.admit(LANE_PLACEMENT, "s0")
+        assert ctl.inflight_total() == 1
+        assert ctl.queued_total == 0
+        ctl.release("s0", LANE_PLACEMENT)
+        assert ctl.inflight_total() == 0
+
+    asyncio.run(scenario())
+
+
+def test_unknown_shard_is_unavailable():
+    async def scenario():
+        ctl = controller()
+        with pytest.raises(ShardUnavailableError) as err:
+            await ctl.admit(LANE_PLACEMENT, "ghost")
+        assert err.value.status == 503
+
+    asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# strict-priority dispatch + reserved slots
+# ---------------------------------------------------------------------------
+
+
+def test_priority_dispatch_order():
+    """With all slots busy, a release wakes placement before warm
+    before cold, regardless of arrival order."""
+
+    async def scenario():
+        ctl = controller(slots=2, reserved=0)
+        await ctl.admit(LANE_WARM, "s0")
+        await ctl.admit(LANE_WARM, "s0")   # slots full
+        cold = asyncio.ensure_future(ctl.admit(LANE_COLD, "s0"))
+        warm = asyncio.ensure_future(ctl.admit(LANE_WARM, "s0"))
+        placement = asyncio.ensure_future(
+            ctl.admit(LANE_PLACEMENT, "s0"))
+        await settle()
+        assert ctl.queued_total == 3
+
+        order = []
+        for expected, fut in (("placement", placement),
+                              ("warm", warm), ("cold", cold)):
+            ctl.release("s0", LANE_WARM if order else LANE_WARM)
+            await settle()
+            assert fut.done() and fut.exception() is None, expected
+            order.append(expected)
+            # give the slot back so the next release frees capacity
+        assert order == ["placement", "warm", "cold"]
+
+    asyncio.run(scenario())
+
+
+def test_placement_reserved_slot():
+    """Non-placement lanes are capped at slots - reserved, so a cold
+    flood can never occupy the last slot: placement always has a
+    fast path."""
+
+    async def scenario():
+        ctl = controller(slots=2, reserved=1)
+        await ctl.admit(LANE_COLD, "s0")   # takes the 1 shared slot
+        second = asyncio.ensure_future(ctl.admit(LANE_COLD, "s0"))
+        await settle()
+        assert not second.done()           # capped: queued, not running
+        assert ctl.inflight_total() == 1
+        # placement sails through on the reserved slot
+        await ctl.admit(LANE_PLACEMENT, "s0")
+        assert ctl.inflight_total() == 2
+        ctl.release("s0", LANE_PLACEMENT)
+        await settle()
+        assert not second.done()           # still only 1 cold slot
+        ctl.release("s0", LANE_COLD)
+        await settle()
+        assert second.done() and second.exception() is None
+
+    asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# watermark hysteresis
+# ---------------------------------------------------------------------------
+
+
+def test_watermark_hysteresis_sheds_cold():
+    async def scenario():
+        ctl = controller(slots=2, reserved=1, capacity=8, high=3, low=1)
+        sheds = []
+        ctl.on_shed = lambda lane, evicted: sheds.append((lane, evicted))
+        await ctl.admit(LANE_COLD, "s0")   # occupy the shared slot
+        queued = [asyncio.ensure_future(ctl.admit(LANE_COLD, "s0"))
+                  for _ in range(3)]
+        await settle()
+        assert ctl.queued_total == 3
+        assert ctl.shedding                # crossed high watermark
+        # new cold work is refused at the door while shedding
+        with pytest.raises(AdmissionShedError) as err:
+            await ctl.admit(LANE_COLD, "s0")
+        assert err.value.status == 429 and not err.value.evicted
+        assert sheds == [("cold", False)]
+        # warm/placement still queue normally during cold shedding
+        warm = asyncio.ensure_future(ctl.admit(LANE_WARM, "s0"))
+        await settle()
+        assert ctl.queued_total == 4
+        # drain: hysteresis holds shedding until depth <= low
+        ctl.release("s0", LANE_COLD)       # wakes warm (priority)
+        await settle()
+        assert warm.done()
+        assert ctl.queued_total == 3 and ctl.shedding
+        ctl.release("s0", LANE_WARM)
+        await settle()
+        assert ctl.queued_total == 2 and ctl.shedding  # still > low
+        ctl.release("s0", LANE_COLD)
+        await settle()
+        assert ctl.queued_total == 1 and not ctl.shedding  # <= low
+        for fut in queued:
+            if not fut.done():
+                fut.cancel()
+        await settle()
+
+    asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# eviction at capacity
+# ---------------------------------------------------------------------------
+
+
+def test_placement_evicts_oldest_cold_at_capacity():
+    async def scenario():
+        clock = FakeClock()
+        ctl = controller(slots=2, reserved=0, capacity=2,
+                         high=2, low=1, clock=clock)
+        await ctl.admit(LANE_COLD, "s0")
+        await ctl.admit(LANE_COLD, "s0")   # slots full
+        oldest = asyncio.ensure_future(ctl.admit(LANE_COLD, "s0"))
+        await settle()
+        clock.advance(1.0)
+        newer = asyncio.ensure_future(ctl.admit(LANE_COLD, "s0"))
+        await settle()
+        assert ctl.queued_total == 2       # at hard capacity
+        # arriving placement evicts the *oldest* cold waiter
+        placement = asyncio.ensure_future(
+            ctl.admit(LANE_PLACEMENT, "s0"))
+        await settle()
+        assert oldest.done()
+        exc = oldest.exception()
+        assert isinstance(exc, AdmissionShedError) and exc.evicted
+        assert not newer.done()            # younger cold survives
+        assert not placement.done()        # queued in cold's place
+        assert ctl.queued_total == 2
+        # and the placement waiter dispatches first on release
+        ctl.release("s0", LANE_COLD)
+        await settle()
+        assert placement.done() and placement.exception() is None
+        newer.cancel()
+        await settle()
+
+    asyncio.run(scenario())
+
+
+def test_cold_at_capacity_with_no_victim_is_shed():
+    async def scenario():
+        ctl = controller(slots=2, reserved=0, capacity=2, high=2, low=1)
+        await ctl.admit(LANE_PLACEMENT, "s0")
+        await ctl.admit(LANE_PLACEMENT, "s0")
+        queued = [asyncio.ensure_future(ctl.admit(LANE_PLACEMENT, "s0"))
+                  for _ in range(2)]
+        await settle()
+        # only placement queued: an arriving placement has nothing
+        # lower-priority to evict -> it is the one shed.
+        with pytest.raises(AdmissionShedError) as err:
+            await ctl.admit(LANE_PLACEMENT, "s0")
+        assert not err.value.evicted
+        for fut in queued:
+            fut.cancel()
+        await settle()
+
+    asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Retry-After from the observed drain rate
+# ---------------------------------------------------------------------------
+
+
+def test_drain_rate_estimator():
+    clock = FakeClock()
+    est = DrainRateEstimator(window=8, clock=clock)
+    assert est.rate() is None              # no samples
+    est.record()
+    assert est.rate() is None              # one sample
+    for _ in range(4):
+        clock.advance(0.5)
+        est.record()                       # 2 completions/sec
+    assert est.rate() == pytest.approx(2.0)
+
+
+def test_retry_after_tracks_queue_and_rate():
+    async def scenario():
+        clock = FakeClock()
+        ctl = controller(slots=2, reserved=0, capacity=8,
+                         high=6, low=2, clock=clock)
+        # no drain observed yet: pessimistic cap
+        assert ctl.retry_after(LANE_COLD) == ctl.retry_after_cap_s
+        # observe a steady 2/sec drain
+        for _ in range(5):
+            clock.advance(0.5)
+            ctl.drain.record()
+        # empty queues: 1 request ahead at 2/sec = 0.5s
+        assert ctl.retry_after(LANE_COLD) == pytest.approx(0.5)
+        # queue 3 cold waiters -> 4 ahead at 2/sec = 2s
+        await ctl.admit(LANE_COLD, "s0")
+        await ctl.admit(LANE_COLD, "s0")
+        queued = [asyncio.ensure_future(ctl.admit(LANE_COLD, "s0"))
+                  for _ in range(3)]
+        await settle()
+        assert ctl.retry_after(LANE_COLD) == pytest.approx(2.0)
+        # placement counts only depth at-or-above its own priority
+        assert ctl.retry_after(LANE_PLACEMENT) == pytest.approx(0.5)
+        for fut in queued:
+            fut.cancel()
+        await settle()
+
+    asyncio.run(scenario())
+
+
+def test_retry_after_clamped_to_floor():
+    clock = FakeClock()
+    ctl = controller(clock=clock)
+    for _ in range(10):
+        clock.advance(0.001)               # 1000/sec drain
+        ctl.drain.record()
+    assert ctl.retry_after(LANE_COLD) == ctl.retry_after_floor_s
+
+
+# ---------------------------------------------------------------------------
+# shard death
+# ---------------------------------------------------------------------------
+
+
+def test_fail_shard_fails_queued_waiters():
+    async def scenario():
+        ctl = controller(shards=("s0", "s1"), slots=2, reserved=0)
+        await ctl.admit(LANE_COLD, "s0")
+        await ctl.admit(LANE_COLD, "s0")
+        stranded = asyncio.ensure_future(ctl.admit(LANE_COLD, "s0"))
+        other = asyncio.ensure_future(ctl.admit(LANE_COLD, "s1"))
+        await settle()
+        failed = ctl.fail_shard("s0", "health check failed")
+        await settle()
+        assert failed == 1
+        exc = stranded.exception()
+        assert isinstance(exc, ShardUnavailableError)
+        assert exc.status == 503
+        # the other shard is untouched
+        assert other.done() and other.exception() is None
+        # a released in-flight slot for the dead shard is a no-op
+        ctl.release("s0", LANE_COLD)
+        # re-adding (respawn) starts clean
+        ctl.add_shard("s0")
+        await ctl.admit(LANE_PLACEMENT, "s0")
+        assert ctl.queued_total == 0
+
+    asyncio.run(scenario())
+
+
+def test_cancelled_waiter_leaves_no_residue():
+    async def scenario():
+        ctl = controller(slots=1, reserved=0)
+        await ctl.admit(LANE_COLD, "s0")
+        waiting = asyncio.ensure_future(ctl.admit(LANE_COLD, "s0"))
+        await settle()
+        assert ctl.queued_total == 1
+        waiting.cancel()
+        await settle()
+        assert ctl.queued_total == 0
+        assert ctl.lane_depths() == {
+            "placement": 0, "warm": 0, "cold": 0}
+
+    asyncio.run(scenario())

@@ -236,6 +236,28 @@ class TestMicroBatcher:
 
         asyncio.run(scenario())
 
+    def test_depth_change_fires_on_enqueue_and_dequeue(self):
+        """``on_depth_change`` tracks the live queue depth at every
+        enqueue and dequeue, not just at batch flush boundaries —
+        this is what keeps the ``repro_serve_queue_depth`` gauge
+        truthful between flushes."""
+        depths = []
+
+        async def scenario():
+            batcher = MicroBatcher(lambda items: list(items),
+                                   window_s=0.01, max_batch=64)
+            batcher.on_depth_change = depths.append
+            batcher.start()
+            await asyncio.gather(*(batcher.submit(i) for i in range(4)))
+            await batcher.stop()
+
+        asyncio.run(scenario())
+        # every submit reported a growing depth...
+        assert depths[:4] == [1, 2, 3, 4]
+        # ...and the collector reported the drain back down to empty.
+        assert depths[-1] == 0
+        assert min(depths) == 0 and max(depths) == 4
+
 
 class TestSingleFlight:
     def test_concurrent_callers_share_one_execution(self):
