@@ -66,8 +66,45 @@ def _experiment_names() -> list[str]:
     return sorted(experiments.__all__)
 
 
+def _trace_registry(cache_dir: Optional[str]):
+    """The trace registry the ingest/mix verbs operate on.
+
+    ``--cache-dir`` relocates it (and becomes the session default so
+    ``trace:``/``mix:`` workload resolution finds the same traces);
+    otherwise $REPRO_TRACE_DIR or ``<cache-root>/traces``.
+    """
+    from repro.core.cachedir import cache_root
+    from repro.ingest import TraceRegistry, default_root, set_default_root
+    from repro.ingest.registry import TRACES_DIRNAME
+
+    if cache_dir:
+        root = cache_root(cache_dir) / TRACES_DIRNAME
+        set_default_root(root)
+        return TraceRegistry(root)
+    return TraceRegistry(default_root())
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     kind = args.kind
+    if kind == "traces":
+        registry = _trace_registry(getattr(args, "cache_dir", None))
+        names = registry.names()
+        for name in names:
+            record = registry.record(name)
+            if record is None:
+                continue
+            print(f"{record.canonical:32s} [{record.fmt:4s}] "
+                  f"{record.n_accesses} accesses, "
+                  f"{record.footprint_pages} pages, "
+                  f"{format_bytes(record.source_bytes)}")
+        if not names:
+            print("no ingested traces "
+                  "(add one with `repro ingest <file>`)")
+        quarantined = registry.quarantined_count()
+        if quarantined:
+            print(f"{quarantined} quarantined reject(s) under "
+                  f"{registry.quarantine_dir()}")
+        return 0
     if kind == "workloads":
         for name in workload_names():
             workload = get_workload(name)
@@ -287,6 +324,85 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.core.errors import IngestError
+    from repro.ingest import DEFAULT_LIMITS
+
+    if args.name is not None and len(args.files) != 1:
+        raise SystemExit("--name requires exactly one input file")
+    registry = _trace_registry(args.cache_dir)
+    overrides = {}
+    if args.max_bytes is not None:
+        overrides["max_bytes"] = args.max_bytes
+    if args.max_lines is not None:
+        overrides["max_lines"] = args.max_lines
+    if args.max_pages is not None:
+        overrides["max_pages"] = args.max_pages
+    if args.deadline is not None:
+        overrides["deadline_s"] = args.deadline
+    try:
+        limits = dataclasses.replace(DEFAULT_LIMITS, **overrides)
+    except ConfigError as exc:
+        raise SystemExit(str(exc))
+    rejected = 0
+    for path in args.files:
+        try:
+            record = registry.admit(Path(path), name=args.name,
+                                    fmt=args.format, limits=limits)
+        except (IngestError, OSError) as exc:
+            rejected += 1
+            print(f"REJECTED {path}: {exc}", file=sys.stderr)
+        else:
+            print(f"admitted {record.canonical}  "
+                  f"[{record.fmt}] {record.n_accesses} accesses, "
+                  f"{record.footprint_pages} pages, "
+                  f"{format_bytes(record.source_bytes)}")
+    if rejected:
+        print(f"{rejected} of {len(args.files)} input(s) rejected; "
+              f"see {registry.quarantine_dir()}", file=sys.stderr)
+    return 1 if rejected else 0
+
+
+def cmd_mix(args: argparse.Namespace) -> int:
+    from repro.ingest import run_mix
+
+    registry = _trace_registry(args.cache_dir)
+    topology = _topology(args.topology)
+    try:
+        with _sweep_runner(args) as runner:
+            outcome = run_mix(
+                args.members, args.policies, runner,
+                registry=registry,
+                topology=topology,
+                bo_capacity_fraction=args.capacity,
+                seed=args.seed,
+            )
+            for member in outcome.members:
+                if member.ok:
+                    print(f"member {member.canonical}: ok "
+                          f"({member.accesses} accesses)")
+                else:
+                    reason = (member.error or {}).get("reason",
+                                                      "unknown failure")
+                    print(f"member {member.name}: FAILED — {reason}",
+                          file=sys.stderr)
+            if outcome.workload_name is None:
+                print("no members survived admission; nothing to run",
+                      file=sys.stderr)
+                return 1
+            print(f"swept {outcome.workload_name}")
+            for policy, result in zip(args.policies, outcome.results):
+                print(f"{policy:18s} {result.time_ns / 1e6:8.3f} ms  "
+                      f"{result.sim.achieved_bandwidth / 1e9:6.1f} GB/s")
+            if outcome.manifest is not None:
+                print(outcome.manifest.summary())
+    except ConfigError as exc:
+        raise SystemExit(str(exc))
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServeConfig
     from repro.serve import run as serve_run
@@ -425,7 +541,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("list", help="enumerate library entities")
     p_list.add_argument("kind", choices=("workloads", "policies",
-                                         "experiments", "topologies"))
+                                         "experiments", "topologies",
+                                         "traces"))
+    p_list.add_argument("--cache-dir", default=None,
+                        help="cache root whose trace registry to list "
+                             f"(default: {describe_default()})")
     p_list.set_defaults(fn=cmd_list)
 
     def common(p: argparse.ArgumentParser,
@@ -564,6 +684,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.add_argument("--out", "-o", required=True)
     p_trace.set_defaults(fn=cmd_trace)
+
+    p_ing = sub.add_parser(
+        "ingest",
+        help="validate and register external DRAMSim2 trace files "
+             "(k6/mase); rejects are quarantined, exit 1 if any",
+    )
+    p_ing.add_argument("files", nargs="+", metavar="FILE",
+                       help="trace file(s): '<address> <command> "
+                            "<cycle>' lines")
+    p_ing.add_argument("--name", default=None,
+                       help="registry name (single file only; default: "
+                            "sanitized file stem)")
+    p_ing.add_argument("--format", choices=("k6", "mase"), default=None,
+                       help="trace dialect (default: inferred from the "
+                            "k6*/mase* filename prefix)")
+    p_ing.add_argument("--cache-dir", default=None,
+                       help="cache root holding the trace registry "
+                            f"(default: {describe_default()})")
+    p_ing.add_argument("--max-bytes", type=int, default=None,
+                       help="reject inputs larger than this many bytes")
+    p_ing.add_argument("--max-lines", type=int, default=None,
+                       help="reject inputs with more lines than this")
+    p_ing.add_argument("--max-pages", type=int, default=None,
+                       help="reject traces touching more distinct "
+                            "pages than this")
+    p_ing.add_argument("--deadline", type=float, default=None,
+                       help="wall-clock parse budget in seconds")
+    p_ing.set_defaults(fn=cmd_ingest)
+
+    p_mix = sub.add_parser(
+        "mix",
+        help="co-schedule 2-4 ingested traces as one cycle-interleaved "
+             "workload with per-member fault isolation",
+    )
+    p_mix.add_argument("members", nargs="+", metavar="TRACE",
+                       help="ingested trace names (with or without the "
+                            "'trace:' prefix / '#<sha>' fragment)")
+    p_mix.add_argument("--policies", "--policy", "-p", nargs="+",
+                       default=["LOCAL", "INTERLEAVE", "BW-AWARE"])
+    p_mix.add_argument("--topology", "-t", default="baseline",
+                       choices=sorted(TOPOLOGIES))
+    p_mix.add_argument("--capacity", "-c", type=float, default=None,
+                       help="BO capacity as a fraction of the footprint")
+    p_mix.add_argument("--seed", type=int, default=0)
+    runner_options(p_mix)
+    p_mix.set_defaults(fn=cmd_mix)
 
     from repro.serve.config import DEFAULT_HOST, DEFAULT_PORT
 

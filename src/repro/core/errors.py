@@ -50,6 +50,42 @@ class WorkloadError(ReproError):
     was invalid for the given workload."""
 
 
+class IngestError(WorkloadError):
+    """An external trace file failed validation or exceeded a cap.
+
+    Raised by :mod:`repro.ingest` for every rejection of untrusted
+    input — malformed lines, unknown commands, resource-cap overruns,
+    registry checksum mismatches.  Carries a line-precise location so
+    error reports (CLI, HTTP 422 bodies, quarantine records) can point
+    at the offending byte: ``file`` is the source label, ``line`` and
+    ``column`` are 1-based (0 = not line-specific), ``reason`` the
+    human-readable diagnosis.
+    """
+
+    def __init__(self, reason: str, file: str = "<bytes>",
+                 line: int = 0, column: int = 0) -> None:
+        location = file
+        if line > 0:
+            location += f":{line}"
+            if column > 0:
+                location += f":{column}"
+        super().__init__(f"{location}: {reason}")
+        self.reason = reason
+        self.file = file
+        self.line = line
+        self.column = column
+
+    def to_dict(self) -> dict:
+        """JSON-able structure for HTTP error bodies and quarantine
+        records."""
+        return {
+            "reason": self.reason,
+            "file": self.file,
+            "line": self.line,
+            "column": self.column,
+        }
+
+
 class RunnerError(ReproError):
     """The sweep runner was misconfigured or a worker failed."""
 

@@ -1,0 +1,420 @@
+"""Checksummed trace registry with quarantine for rejected uploads.
+
+Successfully parsed traces are admitted under ``<root>/<name>/`` as an
+``.npz`` payload plus a ``meta.json`` record carrying two digests: the
+SHA-256 of the raw source bytes (salted into every cache key derived
+from the trace) and the SHA-256 of the stored arrays (verified on every
+load, so silent on-disk corruption surfaces as a typed
+:class:`~repro.core.errors.IngestError` instead of wrong results).
+
+Rejected inputs are quarantined — a bounded directory of
+``<stamp>.trace`` snippets with ``.reason.json`` sidecars, oldest
+evicted first — mirroring the result cache's quarantine conventions so
+operators find all poison in one familiar place.
+
+A module-level default root lets fork-based sweep workers inherit the
+registry the parent configured (``set_default_root``); standalone use
+falls back to ``$REPRO_TRACE_DIR`` or ``<cache root>/traces``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Optional, Union
+
+import numpy as np
+
+from repro.core.atomicio import atomic_write_json
+from repro.core.cachedir import cache_root
+from repro.core.errors import IngestError
+from repro.obs import trace as obs_trace
+from repro.obs.log import log_event
+
+from .parser import (DEFAULT_LIMITS, IngestLimits, ParsedTrace,
+                     detect_format, parse_stream)
+
+TRACES_DIRNAME = "traces"
+QUARANTINE_DIRNAME = "quarantine"
+DEFAULT_MAX_QUARANTINED = 16
+#: at most this many bytes of a rejected input are preserved for
+#: post-mortem — enough to see the offending line, never the whole
+#: hostile payload.
+QUARANTINE_SNIPPET_BYTES = 64 * 1024
+
+#: environment override for the default registry root (workers on
+#: spawn-based platforms pick the root up from here).
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9_.\-]{0,63}$")
+
+_PAYLOAD_FILE = "trace.npz"
+_META_FILE = "meta.json"
+
+_DEFAULT_ROOT: Optional[Path] = None
+
+
+def sanitize_name(name: str) -> str:
+    """Validate a registry name; path traversal is structurally
+    impossible for anything this accepts."""
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise IngestError(
+            f"invalid trace name {name!r}: must match "
+            "[a-z0-9][a-z0-9_.-]{0,63} (lowercase, no slashes)",
+            file=str(name)[:80] or "<empty>")
+    if ".." in name:
+        raise IngestError(f"invalid trace name {name!r}",
+                          file=name[:80])
+    return name
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """Admission metadata for one registered trace."""
+
+    name: str
+    fmt: str
+    #: SHA-256 of the raw source bytes.
+    sha256: str
+    #: SHA-256 of the stored arrays (corruption check on load).
+    payload_sha256: str
+    n_accesses: int
+    n_writes: int
+    footprint_pages: int
+    source_bytes: int
+    source_lines: int
+    created: float
+
+    @property
+    def short_sha(self) -> str:
+        return self.sha256[:12]
+
+    @property
+    def canonical(self) -> str:
+        """Workload name carrying the content digest, e.g.
+        ``trace:stream#1a2b3c4d5e6f`` — the digest salts every cache
+        key derived from this trace."""
+        return f"trace:{self.name}#{self.short_sha}"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "fmt": self.fmt,
+            "sha256": self.sha256,
+            "payload_sha256": self.payload_sha256,
+            "n_accesses": self.n_accesses,
+            "n_writes": self.n_writes,
+            "footprint_pages": self.footprint_pages,
+            "source_bytes": self.source_bytes,
+            "source_lines": self.source_lines,
+            "created": self.created,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceRecord":
+        try:
+            return cls(
+                name=str(payload["name"]),
+                fmt=str(payload["fmt"]),
+                sha256=str(payload["sha256"]),
+                payload_sha256=str(payload["payload_sha256"]),
+                n_accesses=int(payload["n_accesses"]),
+                n_writes=int(payload["n_writes"]),
+                footprint_pages=int(payload["footprint_pages"]),
+                source_bytes=int(payload["source_bytes"]),
+                source_lines=int(payload["source_lines"]),
+                created=float(payload["created"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IngestError(f"corrupt trace record: {exc}",
+                              file=str(payload.get("name", "<meta>")))
+
+
+def _payload_digest(pages: np.ndarray, flags: np.ndarray,
+                    cycles: np.ndarray) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(np.ascontiguousarray(pages, dtype=np.int64).tobytes())
+    hasher.update(np.ascontiguousarray(flags,
+                                       dtype=np.uint8).tobytes())
+    hasher.update(np.ascontiguousarray(cycles,
+                                       dtype=np.int64).tobytes())
+    return hasher.hexdigest()
+
+
+class TraceRegistry:
+    """Content-addressed store of admitted traces under one root."""
+
+    def __init__(self, root: Union[str, Path],
+                 max_quarantined: int = DEFAULT_MAX_QUARANTINED) -> None:
+        self.root = Path(root)
+        self.max_quarantined = max(1, int(max_quarantined))
+
+    # -- admission -----------------------------------------------------
+
+    def admit(self, source: Union[bytes, Path, str, BinaryIO],
+              name: Optional[str] = None, fmt: Optional[str] = None,
+              limits: IngestLimits = DEFAULT_LIMITS) -> TraceRecord:
+        """Parse-validate *source* and admit it under *name*.
+
+        Rejections are quarantined (bounded, oldest-evicted) and the
+        :class:`IngestError` re-raised so callers report the precise
+        line/column.  Re-admitting an existing name overwrites it —
+        that is the warm re-ingest path for a fixed file.
+        """
+        label, stream, snippet_fn = self._open_source(source, name)
+        if name is None:
+            name = _derive_name(label)
+        name = sanitize_name(name)
+        try:
+            resolved_fmt = detect_format(label, fmt)
+            with obs_trace.span("ingest.parse", cat="ingest",
+                                trace=name, fmt=resolved_fmt):
+                parsed = parse_stream(stream, resolved_fmt, name=label,
+                                      limits=limits)
+        except IngestError as err:
+            self._quarantine(label, snippet_fn(), err)
+            raise
+        finally:
+            stream.close()
+        with obs_trace.span("ingest.admit", cat="ingest", trace=name,
+                            accesses=parsed.n_accesses):
+            record = self._store(name, parsed)
+        log_event("ingest.admitted", name=name, fmt=record.fmt,
+                  sha256=record.short_sha, accesses=record.n_accesses,
+                  footprint_pages=record.footprint_pages)
+        return record
+
+    def _open_source(self, source, name):
+        """Normalize *source* → (label, binary stream, snippet thunk).
+
+        The snippet thunk re-reads at most
+        :data:`QUARANTINE_SNIPPET_BYTES` for the quarantine record and
+        must work even after a parse failure partway through the
+        stream.
+        """
+        if isinstance(source, (bytes, bytearray)):
+            data = bytes(source)
+            label = name or "<bytes>"
+            return (label, io.BytesIO(data),
+                    lambda: data[:QUARANTINE_SNIPPET_BYTES])
+        if isinstance(source, (str, Path)):
+            path = Path(source)
+            try:
+                handle = path.open("rb")
+            except OSError as exc:
+                raise IngestError(f"cannot open trace file: {exc}",
+                                  file=str(path))
+
+            def snippet() -> bytes:
+                try:
+                    with path.open("rb") as again:
+                        return again.read(QUARANTINE_SNIPPET_BYTES)
+                except OSError:
+                    return b""
+
+            return (path.name, handle, snippet)
+        # file-like (spooled upload): assume seekable
+        stream = source
+
+        def snippet() -> bytes:
+            try:
+                stream.seek(0)
+                return stream.read(QUARANTINE_SNIPPET_BYTES)
+            except (OSError, ValueError):
+                return b""
+
+        label = name or getattr(stream, "name", None) or "<stream>"
+        return (str(label), stream, snippet)
+
+    def _store(self, name: str, parsed: ParsedTrace) -> TraceRecord:
+        entry = self.root / name
+        entry.mkdir(parents=True, exist_ok=True)
+        flags = parsed.is_write.astype(np.uint8)
+        payload_sha = _payload_digest(parsed.page_indices, flags,
+                                      parsed.cycles)
+        record = TraceRecord(
+            name=name,
+            fmt=parsed.fmt,
+            sha256=parsed.sha256,
+            payload_sha256=payload_sha,
+            n_accesses=parsed.n_accesses,
+            n_writes=int(np.count_nonzero(flags)),
+            footprint_pages=parsed.footprint_pages,
+            source_bytes=parsed.source_bytes,
+            source_lines=parsed.source_lines,
+            created=time.time(),
+        )
+        payload_path = entry / _PAYLOAD_FILE
+        tmp = payload_path.with_name(
+            payload_path.name + f".tmp.{os.getpid()}")
+        try:
+            with tmp.open("wb") as handle:
+                np.savez(handle, page_indices=parsed.page_indices,
+                         is_write=flags, cycles=parsed.cycles)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, payload_path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        atomic_write_json(entry / _META_FILE, record.to_dict(),
+                          indent=2)
+        return record
+
+    # -- quarantine ----------------------------------------------------
+
+    def quarantine_dir(self) -> Path:
+        return self.root / QUARANTINE_DIRNAME
+
+    def _quarantine(self, label: str, snippet: bytes,
+                    err: IngestError) -> None:
+        qdir = self.quarantine_dir()
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            stamp = f"{time.time():.6f}-{os.getpid()}"
+            (qdir / f"{stamp}.trace").write_bytes(
+                snippet[:QUARANTINE_SNIPPET_BYTES])
+            atomic_write_json(qdir / f"{stamp}.reason.json", {
+                "source": label,
+                "error": err.to_dict(),
+            }, indent=2)
+            self._bound_quarantine(qdir)
+        except OSError:
+            pass  # quarantine is best-effort; the rejection still stands
+        log_event("ingest.quarantined", level="warning", source=label,
+                  reason=err.reason, line=err.line, column=err.column)
+
+    def _bound_quarantine(self, qdir: Path) -> None:
+        entries = sorted(qdir.glob("*.trace"),
+                         key=lambda p: p.stat().st_mtime)
+        while len(entries) > self.max_quarantined:
+            victim = entries.pop(0)
+            victim.unlink(missing_ok=True)
+            victim.with_name(victim.name.replace(
+                ".trace", ".reason.json")).unlink(missing_ok=True)
+
+    def quarantined_count(self) -> int:
+        try:
+            return len(list(self.quarantine_dir().glob("*.trace")))
+        except OSError:
+            return 0
+
+    # -- retrieval -----------------------------------------------------
+
+    def names(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name for entry in self.root.iterdir()
+            if entry.is_dir() and entry.name != QUARANTINE_DIRNAME
+            and (entry / _META_FILE).is_file())
+
+    def record(self, name: str) -> Optional[TraceRecord]:
+        """Metadata only — cheap enough for name canonicalization on
+        every :func:`~repro.runner.spec.make_spec` call."""
+        name = sanitize_name(name)
+        meta_path = self.root / name / _META_FILE
+        try:
+            payload = json.loads(meta_path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise IngestError(f"corrupt trace record: {exc}",
+                              file=str(meta_path))
+        return TraceRecord.from_dict(payload)
+
+    def load(self, name: str):
+        """Load arrays for *name*, verifying the payload checksum.
+
+        Returns ``(record, page_indices, is_write, cycles)``.  A
+        mismatch or unreadable payload moves the entry to quarantine
+        and raises — a corrupt registry entry must never flow into a
+        simulation as wrong data.
+        """
+        record = self.record(name)
+        if record is None:
+            raise IngestError(f"no ingested trace named {name!r}",
+                              file=name)
+        payload_path = self.root / name / _PAYLOAD_FILE
+        try:
+            with np.load(payload_path) as payload:
+                pages = np.asarray(payload["page_indices"],
+                                   dtype=np.int64)
+                flags = np.asarray(payload["is_write"], dtype=np.uint8)
+                cycles = np.asarray(payload["cycles"], dtype=np.int64)
+        except (OSError, KeyError, ValueError) as exc:
+            self._evict_corrupt(name, f"unreadable payload: {exc}")
+            raise IngestError(
+                f"registry payload unreadable for {name!r}: {exc}",
+                file=str(payload_path))
+        if _payload_digest(pages, flags, cycles) != record.payload_sha256:
+            self._evict_corrupt(name, "payload checksum mismatch")
+            raise IngestError(
+                f"registry checksum mismatch for {name!r}: stored "
+                "arrays do not match the admitted digest",
+                file=str(payload_path))
+        return record, pages, flags.astype(bool), cycles
+
+    def _evict_corrupt(self, name: str, reason: str) -> None:
+        entry = self.root / name
+        qdir = self.quarantine_dir()
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            stamp = f"{time.time():.6f}-{os.getpid()}"
+            for fname in (_PAYLOAD_FILE, _META_FILE):
+                src = entry / fname
+                if src.is_file():
+                    os.replace(src, qdir / f"{stamp}.{name}.{fname}")
+            entry.rmdir()
+        except OSError:
+            pass
+        log_event("ingest.registry_corrupt", level="error", name=name,
+                  reason=reason)
+
+
+def _derive_name(label: str) -> str:
+    """Default registry name from a filename: stem, lowercased, with
+    unsupported characters collapsed to underscores."""
+    stem = Path(label).stem.lower() or "trace"
+    cleaned = re.sub(r"[^a-z0-9_.\-]", "_", stem)[:64]
+    if not re.match(r"^[a-z0-9]", cleaned):
+        cleaned = "t" + cleaned[:63]
+    return cleaned
+
+
+# -- module default root ----------------------------------------------
+
+
+def default_root() -> Path:
+    """Resolution order: :func:`set_default_root` > ``$REPRO_TRACE_DIR``
+    > ``<cache root>/traces``."""
+    if _DEFAULT_ROOT is not None:
+        return _DEFAULT_ROOT
+    env = os.environ.get(TRACE_DIR_ENV)
+    if env:
+        return Path(env)
+    return cache_root(None) / TRACES_DIRNAME
+
+
+def set_default_root(root: Union[str, Path, None]) -> None:
+    """Install the process-wide default registry root.
+
+    Fork-based sweep workers inherit this global, so traces resolved in
+    the parent resolve identically in workers.  (Spawn platforms fall
+    back to ``$REPRO_TRACE_DIR`` / the cache root.)
+    """
+    global _DEFAULT_ROOT
+    _DEFAULT_ROOT = Path(root) if root is not None else None
+    # resolver memos key on the root; a changed root must not serve
+    # workloads from the previous one
+    from . import workload as _workload
+    _workload.clear_resolver_cache()
+
+
+def default_registry() -> TraceRegistry:
+    return TraceRegistry(default_root())

@@ -235,9 +235,18 @@ def make_spec(workload: Union[str, TraceWorkload],
     """Canonicalize experiment inputs into a :class:`RunSpec`.
 
     Raises :class:`UncacheableSpecError` when ``policy`` is an object
-    the runner cannot serialize.
+    the runner cannot serialize, and :class:`WorkloadError` (with the
+    unified unknown-workload message) when a workload *name* does not
+    resolve.  String names pass through the registry so ingested
+    traces canonicalize to their checksum-carrying form
+    (``trace:<name>#<sha12>``) — the digest salts the cache key.
     """
-    name = workload.name if isinstance(workload, TraceWorkload) else workload
+    if isinstance(workload, TraceWorkload):
+        name = workload.name
+    else:
+        from repro.workloads.suite import get_workload
+
+        name = get_workload(workload).name
     return RunSpec(
         workload=name.lower(),
         policy=canonical_policy(policy),

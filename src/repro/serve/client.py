@@ -126,6 +126,10 @@ class ServeClient:
     def _json(self, method: str, path: str,
               payload: Optional[Mapping[str, Any]] = None) -> dict:
         status, headers, body = self._request(method, path, payload)
+        return self._decode(status, headers, body)
+
+    def _decode(self, status: int, headers: Mapping[str, str],
+                body: bytes) -> dict:
         try:
             decoded = json.loads(body.decode("utf-8")) if body else {}
         except (UnicodeDecodeError, json.JSONDecodeError):
@@ -234,6 +238,44 @@ class ServeClient:
                 self._sleep(delay)
                 slept_s += delay
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def upload_trace(self, name: str,
+                     data: Optional[bytes] = None,
+                     path: Optional[str] = None,
+                     fmt: Optional[str] = None) -> dict:
+        """``POST /v1/traces`` — upload one DRAMSim2 trace.
+
+        Pass raw ``data`` bytes or a local file ``path``; ``fmt`` is
+        ``"k6"`` or ``"mase"`` (inferred from the registry name's
+        prefix when omitted).  On success the response carries the
+        checksum-carrying workload name (``trace:<name>#<sha12>``) to
+        use with :meth:`simulate`.  Rejections raise
+        :class:`ServeError` with status 422 and the structured
+        ``ingest_error`` in ``payload``.
+        """
+        if (data is None) == (path is None):
+            raise ServeError(
+                "pass exactly one of data= or path= to upload_trace",
+                status=0)
+        if path is not None:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        query = f"name={name}"
+        if fmt is not None:
+            query += f"&format={fmt}"
+        headers = {"Accept": "application/json",
+                   "Content-Type": "application/octet-stream"}
+        request = urllib.request.Request(
+            self.base_url + f"/v1/traces?{query}", data=data,
+            headers=headers, method="POST",
+        )
+        status, resp_headers, body = self._send(
+            request, "POST", "/v1/traces")
+        return self._decode(status, resp_headers, body)
+
+    def traces(self) -> dict:
+        """``GET /v1/traces`` — registered external traces."""
+        return self._json("GET", "/v1/traces")
 
     def profile(self, workload: str, dataset: str = "default",
                 accesses: Optional[int] = None, seed: int = 0) -> dict:

@@ -71,6 +71,7 @@ from repro.serve.http import (
     METRICS_CONTENT_TYPE,
     _HttpRequest,
     _HttpResponse,
+    drain_rejected_body,
     read_http_request,
     run as run_single,
 )
@@ -496,15 +497,21 @@ class RouterApp:
         if task is not None:
             self._connections.add(task)
             task.add_done_callback(self._connections.discard)
+        request = None
         try:
             try:
                 request = await read_http_request(
-                    reader, self.config.max_body_bytes)
+                    reader, self.config.max_body_bytes,
+                    idle_timeout_s=self.config.header_read_timeout_s)
             except ServeError as exc:
+                body = dict(exc.payload)
+                body["error"] = str(exc)
                 writer.write(_HttpResponse.json(
-                    {"error": str(exc)},
-                    status=exc.status or 400).encode())
+                    body, status=exc.status or 400).encode())
                 await writer.drain()
+                if exc.status == 413:
+                    await drain_rejected_body(
+                        reader, self.config.header_read_timeout_s)
                 return
             except asyncio.IncompleteReadError:
                 return
@@ -516,6 +523,8 @@ class RouterApp:
         except (ConnectionError, BrokenPipeError):  # pragma: no cover
             pass
         finally:
+            if request is not None:
+                request.close()
             writer.close()
             try:
                 await writer.wait_closed()
@@ -551,9 +560,12 @@ class RouterApp:
             return "placement", "proxy"
         if path == "/v1/simulate" and method == "POST":
             return "simulate", "proxy"
+        if path == "/v1/traces" and method in ("POST", "GET"):
+            return "traces", "proxy"
         if path.startswith("/v1/profile/") and method == "GET":
             return "profile", "proxy"
-        known = {"/healthz", "/metrics", "/v1/placement", "/v1/simulate"}
+        known = {"/healthz", "/metrics", "/v1/placement", "/v1/simulate",
+                 "/v1/traces"}
         if path in known or path.startswith("/v1/profile/"):
             return "other", None  # right path, wrong method
         return "other", False  # unknown path
@@ -599,8 +611,10 @@ class RouterApp:
                 if exc.retry_after is not None:
                     headers["Retry-After"] = (
                         f"{max(exc.retry_after, 0.0):g}")
+                body = dict(exc.payload)
+                body["error"] = str(exc)
                 response = _HttpResponse.json(
-                    {"error": str(exc)}, status=exc.status or 400,
+                    body, status=exc.status or 400,
                     headers=headers)
             except Exception as exc:  # noqa: BLE001 - daemon boundary
                 response = _HttpResponse.json(
@@ -633,6 +647,14 @@ class RouterApp:
                 raise ServeError(f"bad profile path {request.path!r}",
                                  status=404)
             return LANE_WARM, f"profile:{workload}"
+        if endpoint == "traces":
+            if request.method == "GET":
+                return LANE_WARM, "traces:list"
+            # uploads are admission-controlled as cold work: a flood of
+            # trace uploads must never starve placement or warm
+            # simulate traffic.
+            name = request.query.get("name", "")
+            return LANE_COLD, f"trace:{name or '<unnamed>'}"
         try:
             key = simulate_job_key(request.json())
         except BadRequestError:
@@ -685,10 +707,11 @@ class RouterApp:
             remaining = request.deadline - time.monotonic()
             if remaining <= 0:
                 raise asyncio.TimeoutError()
+        body = request.body_bytes()
         lines = [f"{request.method} {request.target} HTTP/1.1",
                  f"Host: 127.0.0.1:{shard.port}",
                  "Connection: close",
-                 f"Content-Length: {len(request.body)}"]
+                 f"Content-Length: {len(body)}"]
         for header in _FORWARD_HEADERS:
             value = request.headers.get(header)
             if value is not None:
@@ -703,7 +726,7 @@ class RouterApp:
         if trace_id is not None:
             lines.append(f"{obs_trace.TRACE_ID_HEADER}: {trace_id}")
         data = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
-        data += request.body
+        data += body
         try:
             status, headers, body = await _raw_http(
                 "127.0.0.1", shard.port, data, timeout=remaining)

@@ -131,6 +131,11 @@ class ServeConfig:
     #: ceiling on request body size (bytes); 413 beyond it.
     max_body_bytes: int = 4 * 1024 * 1024
 
+    #: slowloris guard: every read while receiving a request (request
+    #: line, header line, body chunk) must deliver bytes within this
+    #: window or the daemon answers 408 and closes the connection.
+    header_read_timeout_s: float = 15.0
+
     # -- cluster scale-out (repro.serve.cluster) -----------------------
 
     #: worker-daemon shards behind a front router; 0 = classic single
@@ -195,6 +200,8 @@ class ServeConfig:
         if (self.chunk_timeout_s is not None
                 and self.chunk_timeout_s <= 0):
             raise ConfigError("chunk_timeout_s must be positive")
+        if self.header_read_timeout_s <= 0:
+            raise ConfigError("header_read_timeout_s must be positive")
         if self.shards < 0:
             raise ConfigError("shards must be >= 0")
         if self.role not in (ROLE_SINGLE, ROLE_ROUTER, ROLE_SHARD):

@@ -38,6 +38,7 @@ import asyncio
 import json
 import signal
 import sys
+import tempfile
 import threading
 import time
 from typing import Any, Mapping, Optional
@@ -51,7 +52,8 @@ from repro.serve.service import PlacementService
 
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 422: "Unprocessable Content",
     429: "Too Many Requests", 500: "Internal Server Error",
     503: "Service Unavailable", 504: "Gateway Timeout",
 }
@@ -65,7 +67,7 @@ METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 class _HttpRequest:
     __slots__ = ("method", "target", "path", "query", "headers", "body",
-                 "deadline")
+                 "body_file", "deadline")
 
     def __init__(self, method: str, target: str,
                  headers: Mapping[str, str], body: bytes) -> None:
@@ -78,8 +80,29 @@ class _HttpRequest:
         self.query = {k: v[-1] for k, v in parse_qs(split.query).items()}
         self.headers = headers
         self.body = body
+        #: spooled temp file holding the body of a trace upload (large
+        #: octet-stream bodies never land in one bytes object); ``body``
+        #: is empty when this is set.
+        self.body_file = None
         #: absolute time.monotonic() budget, set by the router.
         self.deadline: Optional[float] = None
+
+    def body_bytes(self) -> bytes:
+        """The full body regardless of spooling (proxy re-emission)."""
+        if self.body_file is not None:
+            self.body_file.seek(0)
+            data = self.body_file.read()
+            self.body_file.seek(0)
+            return data
+        return self.body
+
+    def close(self) -> None:
+        if self.body_file is not None:
+            try:
+                self.body_file.close()
+            except OSError:  # pragma: no cover - tempfile cleanup
+                pass
+            self.body_file = None
 
     def timeout_hint(self) -> Optional[float]:
         """The client's X-Request-Timeout, if present and sane."""
@@ -136,14 +159,77 @@ class _HttpResponse:
         return head + self.body
 
 
+#: spooled upload bodies overflow from memory to disk above this size.
+_SPOOL_MEMORY_BYTES = 1024 * 1024
+#: chunk size for spooled body reads.
+_SPOOL_CHUNK_BYTES = 64 * 1024
+#: most bytes discarded while draining an oversized (413) body so the
+#: client can finish sending and actually read the rejection.
+_DRAIN_DISCARD_BYTES = 64 * 1024 * 1024
+
+
+async def drain_rejected_body(reader: asyncio.StreamReader,
+                              idle_timeout_s: Optional[float]) -> None:
+    """Discard an in-flight request body after a 413.
+
+    Closing immediately races the client's send: it sees a reset
+    before it ever reads the rejection.  Reading and discarding (never
+    buffering) until EOF — bounded in bytes and per-read idle time —
+    lets well-behaved clients observe the 413 while a hostile sender
+    still cannot make the daemon allocate or wait unboundedly.
+    """
+    discarded = 0
+    while discarded < _DRAIN_DISCARD_BYTES:
+        try:
+            coro = reader.read(_SPOOL_CHUNK_BYTES)
+            if idle_timeout_s is not None:
+                chunk = await asyncio.wait_for(coro,
+                                               timeout=idle_timeout_s)
+            else:
+                chunk = await coro
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            return
+        if not chunk:
+            return
+        discarded += len(chunk)
+
+
+def _spooled_path(method: str, target: str) -> bool:
+    """Trace uploads stream to a spooled temp file instead of one
+    bytes object — their bodies are raw octet-stream payloads bounded
+    only by ``max_body_bytes``."""
+    return (method.upper() == "POST"
+            and urlsplit(target).path == "/v1/traces")
+
+
 async def read_http_request(reader: asyncio.StreamReader,
-                            max_body_bytes: int
+                            max_body_bytes: int,
+                            idle_timeout_s: Optional[float] = None
                             ) -> Optional[_HttpRequest]:
     """Parse one HTTP/1.1 request off ``reader`` (shared with the
     cluster router, which speaks the same protocol in front of the
-    shards).  Returns ``None`` on a clean EOF before a request line."""
+    shards).  Returns ``None`` on a clean EOF before a request line.
+
+    ``idle_timeout_s`` is the slowloris guard: every read — request
+    line, each header line, each body chunk — must deliver bytes
+    within that window or the request fails with a 408
+    :class:`ServeError`.  A client that opens a connection and stalls
+    can therefore never hold a connection slot past the deadline.
+    """
+
+    async def guarded(awaitable):
+        if idle_timeout_s is None:
+            return await awaitable
+        try:
+            return await asyncio.wait_for(awaitable,
+                                          timeout=idle_timeout_s)
+        except asyncio.TimeoutError:
+            raise ServeError(
+                f"client idle for more than {idle_timeout_s:g}s "
+                "while sending the request", status=408)
+
     try:
-        request_line = await reader.readline()
+        request_line = await guarded(reader.readline())
     except (ConnectionError, asyncio.LimitOverrunError):
         return None
     if not request_line:
@@ -154,7 +240,7 @@ async def read_http_request(reader: asyncio.StreamReader,
     method, target, _version = parts
     headers: dict[str, str] = {}
     while True:
-        line = await reader.readline()
+        line = await guarded(reader.readline())
         if line in (b"\r\n", b"\n", b""):
             break
         name, _, value = line.decode("latin-1").partition(":")
@@ -168,7 +254,26 @@ async def read_http_request(reader: asyncio.StreamReader,
             f"body exceeds {max_body_bytes} bytes",
             status=413,
         )
-    body = await reader.readexactly(length) if length else b""
+    if length and _spooled_path(method, target):
+        spool = tempfile.SpooledTemporaryFile(
+            max_size=_SPOOL_MEMORY_BYTES)
+        try:
+            remaining = length
+            while remaining:
+                chunk = await guarded(reader.read(
+                    min(_SPOOL_CHUNK_BYTES, remaining)))
+                if not chunk:
+                    raise asyncio.IncompleteReadError(b"", remaining)
+                spool.write(chunk)
+                remaining -= len(chunk)
+        except BaseException:
+            spool.close()
+            raise
+        spool.seek(0)
+        request = _HttpRequest(method.upper(), target, headers, b"")
+        request.body_file = spool
+        return request
+    body = await guarded(reader.readexactly(length)) if length else b""
     return _HttpRequest(method.upper(), target, headers, body)
 
 
@@ -231,8 +336,9 @@ class ServeApp:
 
     async def _read_request(self, reader: asyncio.StreamReader
                             ) -> Optional[_HttpRequest]:
-        return await read_http_request(reader,
-                                       self.config.max_body_bytes)
+        return await read_http_request(
+            reader, self.config.max_body_bytes,
+            idle_timeout_s=self.config.header_read_timeout_s)
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
@@ -240,15 +346,21 @@ class ServeApp:
         if task is not None:
             self._connections.add(task)
             task.add_done_callback(self._connections.discard)
+        request = None
         try:
             try:
                 request = await self._read_request(reader)
             except ServeError as exc:
+                body = dict(exc.payload)
+                body["error"] = str(exc)
                 response = _HttpResponse.json(
-                    {"error": str(exc)}, status=exc.status or 400
+                    body, status=exc.status or 400
                 )
                 writer.write(response.encode())
                 await writer.drain()
+                if exc.status == 413:
+                    await drain_rejected_body(
+                        reader, self.config.header_read_timeout_s)
                 return
             except asyncio.IncompleteReadError:
                 return
@@ -260,6 +372,8 @@ class ServeApp:
         except (ConnectionError, BrokenPipeError):  # pragma: no cover
             pass
         finally:
+            if request is not None:
+                request.close()
             writer.close()
             try:
                 await writer.wait_closed()
@@ -281,9 +395,14 @@ class ServeApp:
             return "placement", lambda: self._post_placement(request)
         if path == "/v1/simulate" and method == "POST":
             return "simulate", lambda: self._post_simulate(request)
+        if path == "/v1/traces" and method == "POST":
+            return "traces", lambda: self._post_traces(request)
+        if path == "/v1/traces" and method == "GET":
+            return "traces", lambda: self._get_traces()
         if path.startswith("/v1/profile/") and method == "GET":
             return "profile", lambda: self._get_profile(request)
-        known = {"/healthz", "/metrics", "/v1/placement", "/v1/simulate"}
+        known = {"/healthz", "/metrics", "/v1/placement", "/v1/simulate",
+                 "/v1/traces"}
         if path in known or path.startswith("/v1/profile/"):
             return "other", None  # right path, wrong method
         return "other", False  # unknown path
@@ -348,8 +467,10 @@ class ServeApp:
                     headers["Retry-After"] = (
                         f"{max(exc.retry_after, 0.0):g}"
                     )
+                body = dict(exc.payload)
+                body["error"] = str(exc)
                 response = _HttpResponse.json(
-                    {"error": str(exc)}, status=exc.status or 400,
+                    body, status=exc.status or 400,
                     headers=headers,
                 )
             except Exception as exc:  # noqa: BLE001 - daemon boundary
@@ -386,6 +507,20 @@ class ServeApp:
         result = await self.service.simulate(
             request.json(), deadline=request.deadline)
         return _HttpResponse.json(result)
+
+    async def _post_traces(self, request: _HttpRequest
+                           ) -> _HttpResponse:
+        result = await self.service.ingest_trace(
+            request.query.get("name"),
+            request.query.get("format"),
+            request.body_file if request.body_file is not None
+            else request.body,
+            deadline=request.deadline,
+        )
+        return _HttpResponse.json(result)
+
+    async def _get_traces(self) -> _HttpResponse:
+        return _HttpResponse.json(self.service.list_traces())
 
     async def _get_profile(self, request: _HttpRequest) -> _HttpResponse:
         workload = request.path[len("/v1/profile/"):]

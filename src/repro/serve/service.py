@@ -48,11 +48,14 @@ from dataclasses import dataclass
 from typing import Any, Mapping, Optional, Sequence
 
 from repro.core.errors import (
+    IngestError,
     ReproError,
     ServeError,
     SweepError,
     WorkloadError,
 )
+from repro.ingest import IngestLimits, TraceRegistry, set_default_root
+from repro.ingest.registry import TRACES_DIRNAME
 from repro.resilience.breaker import BREAKER_STATE_VALUES, CircuitBreaker
 from repro.resilience.faults import (
     FaultPlan,
@@ -226,6 +229,17 @@ class PlacementService:
             shm=self.config.use_shm,
             pin_cores=self.config.pin_cores,
         )
+        # External-trace registry lives under the same cache root the
+        # result cache uses; no cache root (use_cache=False) means no
+        # trace ingestion (503 on /v1/traces).  The module default root
+        # is installed so fork-based sweep workers and make_spec both
+        # resolve trace:/mix: names against this daemon's registry.
+        if cache_dir is not None:
+            self.trace_registry: Optional[TraceRegistry] = TraceRegistry(
+                cache_dir / TRACES_DIRNAME)
+            set_default_root(self.trace_registry.root)
+        else:
+            self.trace_registry = None
         self.breaker = CircuitBreaker(
             failure_threshold=self.config.breaker_threshold,
             reset_timeout_s=self.config.breaker_reset_s,
@@ -335,6 +349,24 @@ class PlacementService:
             "repro_serve_cache_quarantined_total",
             "Corrupt cache records quarantined by this daemon's "
             "runner (counted as misses, never served).")
+        self.m_ingest_requests = m.counter(
+            "repro_serve_ingest_requests_total",
+            "Trace uploads received on /v1/traces.")
+        self.m_ingest_admitted = m.counter(
+            "repro_serve_ingest_admitted_total",
+            "Trace uploads validated and admitted to the registry.")
+        self.m_ingest_rejected = m.counter(
+            "repro_serve_ingest_rejected_total",
+            "Trace uploads rejected with 422 (quarantined).")
+        self.m_ingest_bytes = m.counter(
+            "repro_serve_ingest_bytes_total",
+            "Raw bytes of admitted trace uploads.")
+        self.m_ingest_quarantined = m.gauge(
+            "repro_serve_ingest_quarantined",
+            "Rejected trace files currently held in quarantine.")
+        self.m_traces = m.gauge(
+            "repro_serve_traces",
+            "External traces currently registered.")
         self.m_draining = m.gauge(
             "repro_serve_draining",
             "1 while the daemon is draining for shutdown.")
@@ -423,6 +455,8 @@ class PlacementService:
             "max_pending_jobs": self.config.max_pending_jobs,
             "breaker": self.breaker.state,
             "draining": self._draining,
+            "traces": (len(self.trace_registry.names())
+                       if self.trace_registry is not None else 0),
         }
 
     # ------------------------------------------------------------------
@@ -671,6 +705,91 @@ class PlacementService:
             "cache_key": key,
             "deduplicated": joined,
             **report,
+        }
+
+    # ------------------------------------------------------------------
+    # /v1/traces
+    # ------------------------------------------------------------------
+
+    async def ingest_trace(self, name: Optional[str],
+                           fmt: Optional[str], body: Any,
+                           deadline: Optional[float] = None) -> dict:
+        """Validate and admit one uploaded trace (``POST /v1/traces``).
+
+        ``body`` is raw bytes or the spooled temp file the HTTP layer
+        streamed the upload into.  Client errors (no registry name, an
+        unresolvable format) answer 400; content rejections — malformed
+        lines, cap overruns — answer 422 with the structured
+        ``ingest_error`` body and leave the input in quarantine.
+        """
+        self.m_ingest_requests.inc()
+        if self.trace_registry is None:
+            raise ServiceUnavailableError(
+                "trace ingestion needs a cache root; this daemon runs "
+                "with caching disabled",
+                retry_after=self.config.retry_after_s)
+        if self._draining:
+            raise ServiceUnavailableError(
+                "daemon is draining for shutdown",
+                retry_after=self.config.retry_after_s)
+        if not name:
+            raise BadRequestError(
+                "query parameter 'name' is required "
+                "(POST /v1/traces?name=<name>&format=k6|mase)")
+        from repro.ingest import detect_format
+        try:
+            resolved_fmt = detect_format(name, fmt or None)
+        except IngestError as exc:
+            raise BadRequestError(str(exc))
+        budget = 30.0
+        if deadline is not None:
+            budget = max(0.1, min(budget, deadline - time.monotonic()))
+        limits = IngestLimits(max_bytes=self.config.max_body_bytes,
+                              deadline_s=budget)
+        registry = self.trace_registry
+        loop = asyncio.get_running_loop()
+        ctx = contextvars.copy_context()
+        try:
+            with obs_trace.span("serve.ingest", cat="serve",
+                                trace=name, fmt=resolved_fmt):
+                record = await loop.run_in_executor(
+                    self._executor,
+                    lambda: ctx.run(registry.admit, body, name=name,
+                                    fmt=resolved_fmt, limits=limits),
+                )
+        except IngestError as err:
+            self.m_ingest_rejected.inc()
+            self.m_ingest_quarantined.set(registry.quarantined_count())
+            raise ServeError(
+                str(err), status=422,
+                payload={"ingest_error": err.to_dict()})
+        self.m_ingest_admitted.inc()
+        self.m_ingest_bytes.inc(record.source_bytes)
+        self.m_traces.set(len(registry.names()))
+        return {
+            "trace": record.to_dict(),
+            # the checksum-carrying name to pass as /v1/simulate
+            # 'workload' (also valid inside mix: specs).
+            "workload": record.canonical,
+        }
+
+    def list_traces(self) -> dict:
+        """Registered external traces (``GET /v1/traces``)."""
+        if self.trace_registry is None:
+            return {"traces": [], "quarantined": 0}
+        records = []
+        for trace_name in self.trace_registry.names():
+            try:
+                record = self.trace_registry.record(trace_name)
+            except IngestError:
+                continue  # corrupt meta: listed nowhere, load() evicts
+            if record is not None:
+                payload = record.to_dict()
+                payload["workload"] = record.canonical
+                records.append(payload)
+        return {
+            "traces": records,
+            "quarantined": self.trace_registry.quarantined_count(),
         }
 
     # ------------------------------------------------------------------

@@ -333,14 +333,9 @@ class TraceWorkload(abc.ABC):
                               config_repr=(repr(config)
                                            if config is not None else None),
                               n_epochs=n_epochs)
-        cached = _TRACE_CACHE.get(key)
+        cached = lookup_trace(key)
         if cached is not None:
             return cached
-        if _TRACE_PROVIDER is not None:
-            provided = _TRACE_PROVIDER(key)
-            if provided is not None:
-                _TRACE_CACHE[key] = provided
-                return provided
 
         raw, raw_flags = self.raw_access_stream(dataset, n_accesses, seed)
         if filtered:
@@ -366,7 +361,7 @@ class TraceWorkload(abc.ABC):
             is_write=(raw_flags[miss_positions]
                       if raw_flags is not None else None),
         )
-        _TRACE_CACHE[key] = trace
+        store_trace(key, trace)
         return trace
 
     # ------------------------------------------------------------------
@@ -414,6 +409,30 @@ def trace_cache_key(name: str, dataset: str, n_accesses: int, seed: int,
     """The memo key :meth:`TraceWorkload.dram_trace` uses for a call."""
     return (name, dataset, n_accesses, seed, filtered, config_repr,
             n_epochs)
+
+
+def lookup_trace(key: tuple) -> Optional[DramTrace]:
+    """Memoized trace for *key*: local memo first, then the installed
+    provider (shm arena in sweep workers), else ``None``.
+
+    Any workload whose traces should flow through the shm arena and
+    result cache (including :mod:`repro.ingest` adapters) consults this
+    before synthesizing, and publishes via :func:`store_trace` after.
+    """
+    cached = _TRACE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    if _TRACE_PROVIDER is not None:
+        provided = _TRACE_PROVIDER(key)
+        if provided is not None:
+            _TRACE_CACHE[key] = provided
+            return provided
+    return None
+
+
+def store_trace(key: tuple, trace: DramTrace) -> None:
+    """Publish a synthesized trace into the local memo."""
+    _TRACE_CACHE[key] = trace
 
 
 def trace_provider():

@@ -96,17 +96,54 @@ def scenario_names() -> tuple[str, ...]:
 
 
 def get_workload(name: str) -> TraceWorkload:
-    """Look up a benchmark or scenario model by name."""
+    """Look up a benchmark, scenario, or ingested-trace model by name.
+
+    ``trace:<name>[#sha12]`` and ``mix:<a>+<b>...`` names resolve
+    against the :mod:`repro.ingest` trace registry; everything else
+    resolves against the benchmark and scenario registries.
+    """
     key = name.lower()
+    if key.startswith(("trace:", "mix:")):
+        # deferred import: repro.ingest depends on workloads.base
+        from repro.ingest import resolve_workload
+        return resolve_workload(key)
     found = _REGISTRY.get(key)
     if found is None:
         found = _SCENARIOS.get(key)
     if found is None:
-        raise WorkloadError(
-            f"unknown workload {name!r}; known: "
-            f"{sorted(_REGISTRY) + sorted(_SCENARIOS)}"
-        )
+        raise WorkloadError(unknown_workload_message(name))
     return found
+
+
+def ingested_workload_names() -> tuple[str, ...]:
+    """Canonical names of registered external traces (best effort:
+    empty when no registry is reachable)."""
+    try:
+        from repro.ingest import default_registry
+        registry = default_registry()
+        records = (registry.record(n) for n in registry.names())
+        return tuple(r.canonical for r in records if r is not None)
+    except Exception:
+        return ()
+
+
+def unknown_workload_message(name: str) -> str:
+    """The one unknown-workload message every entry point (CLI, serve,
+    runner) reports, listing all three name families."""
+    parts = [
+        f"unknown workload {name!r}",
+        f"benchmarks: {', '.join(workload_names())}",
+        f"scenarios: {', '.join(scenario_names())}",
+    ]
+    ingested = ingested_workload_names()
+    if ingested:
+        parts.append(f"ingested traces: {', '.join(ingested)}")
+    else:
+        parts.append("ingested traces: none (add with 'repro ingest')")
+    parts.append(
+        "external traces run as trace:<name> and 2-4 registered "
+        "traces co-schedule as mix:<a>+<b>")
+    return "; ".join(parts)
 
 
 def all_workloads() -> tuple[TraceWorkload, ...]:

@@ -1,0 +1,140 @@
+"""Trace upload over HTTP: ``POST /v1/traces`` and the slowloris guard.
+
+Every request crosses a real socket (BackgroundServer + ServeClient),
+so these exercise the spooled body reader, the 413/422 semantics with
+structured bodies, registry-backed simulation of uploaded traces, the
+ingest metrics, and the idle-read (slowloris) deadline.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import pytest
+
+from repro.core.errors import ServeError
+from repro.serve import BackgroundServer, ServeClient, ServeConfig
+
+GOOD_K6 = (b"0x1000 P_MEM_RD 0\n"
+           b"0x2000 P_MEM_WR 4\n"
+           b"0x1040 P_FETCH 9\n"
+           b"0x3000 P_MEM_RD 15\n")
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    config = ServeConfig(
+        port=0,
+        cache_dir=tmp_path_factory.mktemp("ingest-cache"),
+        max_body_bytes=64 * 1024,
+        header_read_timeout_s=0.4,
+        retry_after_s=0.05,
+    )
+    with BackgroundServer(config) as background:
+        yield background
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    client = ServeClient(server.base_url)
+    client.wait_until_ready()
+    return client
+
+
+class TestUpload:
+    def test_upload_then_simulate(self, client):
+        result = client.upload_trace("k6_http", data=GOOD_K6)
+        workload = result["workload"]
+        assert workload.startswith("trace:k6_http#")
+        assert result["trace"]["n_accesses"] == 4
+
+        listed = client.traces()
+        assert any(t["workload"] == workload
+                   for t in listed["traces"])
+
+        report = client.simulate(workload=workload, policy="BW-AWARE")
+        assert report["result"]["workload"] == workload.lower()
+
+    def test_corrupt_upload_422_with_location(self, client):
+        with pytest.raises(ServeError) as err:
+            client.upload_trace("k6_broken",
+                                data=b"0x1000 NOPE 0\n")
+        assert err.value.status == 422
+        detail = err.value.payload["ingest_error"]
+        assert detail["line"] == 1
+        assert detail["column"] == 8
+        assert "NOPE" in detail["reason"]
+
+    def test_oversized_upload_413(self, client):
+        big = b"0x1000 P_MEM_RD 1\n" * 8_000  # > 64 KiB cap
+        with pytest.raises(ServeError) as err:
+            client.upload_trace("k6_big", data=big)
+        assert err.value.status == 413
+
+    def test_missing_name_400(self, server):
+        client = ServeClient(server.base_url)
+        with pytest.raises(ServeError) as err:
+            client._json("POST", "/v1/traces")
+        assert err.value.status == 400
+        assert "name" in str(err.value)
+
+    def test_unknown_trace_workload_400_lists_traces(self, client):
+        with pytest.raises(ServeError) as err:
+            client.simulate(workload="trace:never_uploaded")
+        assert err.value.status == 400
+        assert "benchmarks:" in str(err.value)
+
+    def test_ingest_metrics_exported(self, client):
+        text = client.metrics_text()
+        assert "repro_serve_ingest_requests_total" in text
+        assert "repro_serve_ingest_admitted_total" in text
+        assert "repro_serve_ingest_rejected_total" in text
+        assert "repro_serve_traces" in text
+        metrics = client.metrics()
+        assert metrics["repro_serve_ingest_rejected_total"] >= 1
+        assert metrics["repro_serve_ingest_admitted_total"] >= 1
+
+    def test_health_reports_trace_count(self, client):
+        assert client.health()["traces"] >= 1
+
+
+class TestNoCacheDaemon:
+    def test_upload_503_without_cache_root(self, tmp_path):
+        config = ServeConfig(port=0, use_cache=False,
+                             retry_after_s=0.05)
+        with BackgroundServer(config) as background:
+            client = ServeClient(background.base_url)
+            client.wait_until_ready()
+            with pytest.raises(ServeError) as err:
+                client.upload_trace("k6_x", data=GOOD_K6)
+            assert err.value.status == 503
+
+
+class TestSlowloris:
+    def _connect(self, server):
+        host, port = server.base_url.split("//")[1].rsplit(":", 1)
+        return socket.create_connection((host, int(port)), timeout=5)
+
+    def test_stalled_header_client_gets_408(self, server):
+        with self._connect(server) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: x\r\n")
+            # ... and stall: never finish the header block.
+            start = time.monotonic()
+            response = sock.recv(4096)
+            elapsed = time.monotonic() - start
+        assert b"408" in response.split(b"\r\n")[0]
+        # the guard fired on the idle deadline, not a longer timeout
+        assert elapsed < 5.0
+
+    def test_stalled_body_client_gets_408(self, server):
+        with self._connect(server) as sock:
+            sock.sendall(b"POST /v1/traces?name=k6_stall HTTP/1.1\r\n"
+                         b"Host: x\r\n"
+                         b"Content-Length: 1000\r\n\r\n"
+                         b"0x1000 P_ME")  # stall mid-body
+            response = sock.recv(4096)
+        assert b"408" in response.split(b"\r\n")[0]
+
+    def test_prompt_client_unaffected(self, client):
+        assert client.health()["status"] in ("ok", "draining")
