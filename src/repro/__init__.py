@@ -77,6 +77,14 @@ _API = {
     # extension topologies
     "three_pool_topology": "repro.memory.topology",
     "link_limited_baseline": "repro.memory.topology",
+    "chiplet_topology": "repro.memory.topology",
+    "topology_by_name": "repro.memory.topology",
+    "DistanceMatrix": "repro.memory.distance",
+    # closed-loop ratio tuning
+    "RatioController": "repro.tuning",
+    "autotune": "repro.tuning",
+    "AutotuneReport": "repro.tuning",
+    "TunedProfileStore": "repro.tuning",
     # migration (Section 5.5 extension)
     "MigrationSimulator": "repro.migration.engine",
     "EpochMigrationPolicy": "repro.migration.policy",

@@ -31,7 +31,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core.cachedir import describe_default
-from repro.core.errors import ConfigError, ServeError
+from repro.core.errors import ConfigError, ReproError, ServeError
 from repro.obs import trace as obs_trace
 from repro.core.experiment import compare_policies, run_experiment
 from repro.core.metrics import normalize
@@ -167,6 +167,46 @@ def _sweep_runner(args: argparse.Namespace):
                       max_retries=args.max_retries,
                       shm=getattr(args, "shm", None),
                       pin_cores=getattr(args, "pin_cores", None))
+
+
+def cmd_autotune(args: argparse.Namespace) -> int:
+    from repro.tuning import RatioController, TunedProfileStore, autotune
+
+    topology = _topology(args.topology)
+    controller = RatioController()
+    try:
+        report = autotune(
+            args.workload, topology,
+            dataset=args.dataset,
+            engine=args.engine,
+            n_accesses=args.accesses,
+            seed=args.seed,
+            epochs=args.epochs,
+            controller=controller,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+
+    def fmt(fractions) -> str:
+        return "[" + ", ".join(f"{f:.3f}" for f in fractions) + "]"
+
+    print(f"{report.workload}/{report.dataset} on {report.topology} "
+          f"({report.engine}, {report.epochs} epochs)")
+    print(f"static fractions : {fmt(report.static_fractions)} "
+          f"-> {report.static_time_ns / 1e6:.3f} ms")
+    print(f"tuned fractions  : {fmt(report.tuned_fractions)} "
+          f"-> {report.tuned_time_ns / 1e6:.3f} ms")
+    print(f"closed-form SBIT : {fmt(report.closed_form_fractions)}")
+    print(f"speedup over static: {report.speedup:.3f}x   "
+          f"gap to closed form: {report.closed_form_gap:.4f}")
+    if not args.no_save:
+        store = TunedProfileStore(args.cache_dir)
+        key = store.profile_key(
+            report.workload, report.dataset, topology, report.engine,
+            report.seed, report.epochs, report.n_accesses, controller)
+        path = store.store(key, report)
+        print(f"profile saved: {path}")
+    return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -615,6 +655,29 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("throughput", "detailed", "banked"))
     trace_option(p_run)
     p_run.set_defaults(fn=cmd_run)
+
+    p_tune = sub.add_parser(
+        "autotune",
+        help="close the loop: tune the interleave ratio from observed "
+             "per-pool bandwidth counters",
+    )
+    p_tune.add_argument("--workload", "-w", required=True)
+    p_tune.add_argument("--dataset", "-d", default="default")
+    p_tune.add_argument("--topology", "-t", default="baseline",
+                        choices=sorted(TOPOLOGIES))
+    p_tune.add_argument("--engine", default="throughput",
+                        choices=("throughput", "detailed", "banked"))
+    p_tune.add_argument("--epochs", type=int, default=16,
+                        help="controller epochs (>= 2)")
+    p_tune.add_argument("--accesses", "-n", type=int, default=60_000,
+                        help="raw trace length")
+    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument("--cache-dir", default=None,
+                        help="profile store root (default: "
+                             f"{describe_default()})")
+    p_tune.add_argument("--no-save", action="store_true",
+                        help="don't persist the tuned profile")
+    p_tune.set_defaults(fn=cmd_autotune)
 
     p_cmp = sub.add_parser("compare", help="compare policies")
     common(p_cmp, multi_workload=True)

@@ -216,9 +216,14 @@ def _simulate_online(online, system: SystemTopology,
     from repro.migration.policy import EpochMigrationPolicy
 
     bo_zone = system.gpu_local_zone
+    # Largest non-BO pool; among equals, the one nearest the GPU by the
+    # distance matrix (matters on chiplet systems where several remote
+    # HBM stacks tie on capacity).
+    distances = system.distances
     co_zone = max(
         (zone for zone in system.zones if zone.zone_id != bo_zone),
-        key=lambda zone: zone.capacity_bytes,
+        key=lambda zone: (zone.capacity_bytes,
+                          -distances.hops(bo_zone, zone.zone_id)),
     ).zone_id
     mig_policy = EpochMigrationPolicy(
         bo_zone=bo_zone,

@@ -8,6 +8,7 @@ exhibit can be regenerated with e.g.::
 """
 
 from repro.experiments import (
+    ext_chiplet,
     ext_cpu_contention,
     ext_energy,
     ext_granularity,
@@ -42,6 +43,7 @@ __all__ = [
     "fig10_annotated",
     "fig11_datasets",
     "tab01_config",
+    "ext_chiplet",
     "ext_cpu_contention",
     "ext_energy",
     "ext_granularity",

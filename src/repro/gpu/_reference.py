@@ -146,12 +146,13 @@ def reference_detailed_run(config: GpuConfig, trace: DramTrace,
     channel_free = [np.zeros(zone.channels) for zone in topology]
     channel_busy = [np.zeros(zone.channels) for zone in topology]
     channel_cursor = [0] * n_zones
+    usable_bw = topology.gpu_usable_bandwidths()
     service_ns = [
         trace.bytes_per_access
-        / (zone.usable_bandwidth / zone.channels) * 1e9
+        / (usable_bw[zone.zone_id] / zone.channels) * 1e9
         for zone in topology
     ]
-    latency_ns = [zone.latency_ns(config.clock_ghz) for zone in topology]
+    latency_ns = list(topology.gpu_latencies_ns(config.clock_ghz))
 
     access_zones = zone_map[trace.page_indices].astype(np.int64)
     write_factors = np.array([
@@ -231,9 +232,10 @@ def reference_banked_run(config: GpuConfig, trace: DramTrace,
         [BankState(banks_per_channel) for _ in range(zone.channels)]
         for zone in topology
     ]
+    usable_bw = topology.gpu_usable_bandwidths()
     burst_ns = [
         trace.bytes_per_access
-        / (zone.usable_bandwidth / zone.channels) * 1e9
+        / (usable_bw[zone.zone_id] / zone.channels) * 1e9
         for zone in topology
     ]
     miss_extra_ns = [
@@ -242,7 +244,7 @@ def reference_banked_run(config: GpuConfig, trace: DramTrace,
         * zone.technology.timings.cycle_ns / bank_overlap
         for zone in topology
     ]
-    latency_ns = [zone.latency_ns(config.clock_ghz) for zone in topology]
+    latency_ns = list(topology.gpu_latencies_ns(config.clock_ghz))
 
     access_zones = zone_map[trace.page_indices].astype(np.int64)
     write_factors = np.array([

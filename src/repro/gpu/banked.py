@@ -157,10 +157,12 @@ class BankedEngine:
             self.config.max_warps_outstanding,
         )))
 
-        # Data-transfer occupancy of one line at channel peak rate.
+        # Data-transfer occupancy of one line at channel peak rate,
+        # using the GPU-viewpoint bandwidth from the distance matrix.
+        usable_bw = topology.gpu_usable_bandwidths()
         burst_ns = np.array([
             trace.bytes_per_access
-            / (zone.usable_bandwidth / zone.channels) * 1e9
+            / (usable_bw[zone.zone_id] / zone.channels) * 1e9
             for zone in topology
         ])
         # Row-miss command overhead from the zone's DRAM timings,
@@ -171,9 +173,9 @@ class BankedEngine:
             * zone.technology.timings.cycle_ns / self.bank_overlap
             for zone in topology
         ])
-        latency_ns = np.array([
-            zone.latency_ns(self.config.clock_ghz) for zone in topology
-        ])
+        latency_ns = np.array(
+            topology.gpu_latencies_ns(self.config.clock_ghz)
+        )
 
         access_zones = zone_map[trace.page_indices].astype(np.int64)
         write_factors = np.array([

@@ -78,14 +78,17 @@ class DetailedEngine:
         ))
         window = max(window, 1)
 
+        # Per-zone cost from the GPU's viewpoint via the distance
+        # matrix; equals the per-zone scalars on legacy topologies.
+        usable_bw = topology.gpu_usable_bandwidths()
         service_ns = np.array([
             trace.bytes_per_access
-            / (zone.usable_bandwidth / zone.channels) * 1e9
+            / (usable_bw[zone.zone_id] / zone.channels) * 1e9
             for zone in topology
         ])
-        latency_ns = np.array([
-            zone.latency_ns(self.config.clock_ghz) for zone in topology
-        ])
+        latency_ns = np.array(
+            topology.gpu_latencies_ns(self.config.clock_ghz)
+        )
 
         access_zones = zone_map[trace.page_indices].astype(np.int64)
         write_factors = np.array([

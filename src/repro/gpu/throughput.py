@@ -96,10 +96,11 @@ class ThroughputEngine:
             minlength=trace.n_epochs * n_zones,
         ).reshape(trace.n_epochs, n_zones)
 
-        bandwidths = np.array([zone.usable_bandwidth for zone in topology])
-        latencies = np.array([
-            zone.latency_ns(self.config.clock_ghz) for zone in topology
-        ])
+        # Per-zone cost as seen from the GPU: pairwise distance-matrix
+        # latency/bandwidth (equal to the per-zone scalars on legacy
+        # topologies, per-pair on chiplet systems).
+        bandwidths = np.array(topology.gpu_usable_bandwidths())
+        latencies = np.array(topology.gpu_latencies_ns(self.config.clock_ghz))
         line = float(trace.bytes_per_access)
 
         # Bandwidth bound per epoch: parallel pool service (Section 3.1).

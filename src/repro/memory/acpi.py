@@ -145,25 +145,51 @@ def enumerate_tables(topology: SystemTopology,
     n = len(zones)
     local = topology.gpu_local_zone
     distances = []
-    for i in range(n):
-        row = []
-        for j in range(n):
-            if i == j:
-                row.append(SLIT_LOCAL_DISTANCE)
-            else:
-                # Distance between i and j approximated from each zone's
-                # GPU-relative latency; symmetric by construction.
-                lat_i = zones[i].latency_ns(clock_ghz)
-                lat_j = zones[j].latency_ns(clock_ghz)
-                lat_local = zones[local].latency_ns(clock_ghz)
-                ratio = max(lat_i, lat_j) / lat_local
-                row.append(max(SLIT_LOCAL_DISTANCE + 1,
-                               round(SLIT_LOCAL_DISTANCE * ratio)))
-        distances.append(tuple(row))
+    if topology.distance is not None:
+        # An explicit distance matrix IS the fabric description: seed
+        # SLIT from pairwise access latencies (device latency of the
+        # target plus the i→j hop), normalized to the local zone's own
+        # access like BIOS vendors do.  May be directed — SLIT allows
+        # asymmetric matrices and so do real fabrics.
+        lat_local = topology.access_latency_ns(local, clock_ghz,
+                                               from_zone=local)
+        for i in range(n):
+            row = []
+            for j in range(n):
+                if i == j:
+                    row.append(SLIT_LOCAL_DISTANCE)
+                else:
+                    lat_ij = topology.access_latency_ns(
+                        j, clock_ghz, from_zone=i)
+                    ratio = lat_ij / lat_local
+                    row.append(max(SLIT_LOCAL_DISTANCE + 1,
+                                   round(SLIT_LOCAL_DISTANCE * ratio)))
+            distances.append(tuple(row))
+    else:
+        for i in range(n):
+            row = []
+            for j in range(n):
+                if i == j:
+                    row.append(SLIT_LOCAL_DISTANCE)
+                else:
+                    # Distance between i and j approximated from each
+                    # zone's GPU-relative latency; symmetric by
+                    # construction.
+                    lat_i = zones[i].latency_ns(clock_ghz)
+                    lat_j = zones[j].latency_ns(clock_ghz)
+                    lat_local = zones[local].latency_ns(clock_ghz)
+                    ratio = max(lat_i, lat_j) / lat_local
+                    row.append(max(SLIT_LOCAL_DISTANCE + 1,
+                                   round(SLIT_LOCAL_DISTANCE * ratio)))
+            distances.append(tuple(row))
     slit = Slit(tuple(distances))
 
     # SBIT reports the bandwidth *usable from the GPU*: the device pool
-    # capped by its interconnect link.  Reporting raw pool bandwidth for
-    # a PCIe-limited zone would make BW-AWARE oversubscribe the link.
-    sbit = Sbit(tuple(to_gbps(zone.usable_bandwidth) for zone in zones))
+    # capped by its interconnect link — for matrix topologies, by the
+    # GPU-local zone's pairwise path.  Reporting raw pool bandwidth for
+    # a link-limited zone would make BW-AWARE oversubscribe the link.
+    sbit = Sbit(tuple(
+        to_gbps(topology.usable_bandwidth_from(zone.zone_id))
+        for zone in zones
+    ))
     return FirmwareTables(srat=srat, slit=slit, sbit=sbit)

@@ -1,0 +1,167 @@
+"""Inter-zone distance matrices for N-pool topologies.
+
+The paper's Table 1 models remote memory with a single scalar: every
+access to the CO pool pays a fixed 100-cycle interconnect hop.  That is
+exact for two pools seen from the GPU, but it cannot describe a
+multi-chiplet package where each chiplet has *local* HBM, *remote*
+chiplet HBM one cross-link away, and far CPU DDR behind the package
+interconnect — three different hop costs (and two different link
+bandwidths) from the same observer.
+
+:class:`DistanceMatrix` carries the full pairwise description:
+``hop_cycles[i][j]`` is the extra GPU-core cycles an access from zone
+*i*'s attach point to zone *j*'s memory pays, and (optionally)
+``link_gbps[i][j]`` caps the bandwidth of the *i*→*j* path.  Matrices
+may be symmetric or explicitly directed — nothing in the model requires
+``d[i][j] == d[j][i]`` (asymmetric fabrics exist).
+
+:meth:`DistanceMatrix.from_zones` derives the degenerate matrix the
+legacy scalar model implies: every observer pays the *destination*
+zone's ``hop_cycles`` (and its ``link_bandwidth``), no matter where the
+access originates.  This is exactly what the engines computed before
+the matrix existed, which is what makes the refactor bit-identical on
+every pre-existing topology — the golden equivalence suite holds the
+two forms to byte equality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.errors import ConfigError
+
+
+def _validate_square(rows: Sequence[Sequence[float]], what: str) -> int:
+    n = len(rows)
+    if n == 0:
+        raise ConfigError(f"{what} matrix must cover at least one zone")
+    for row in rows:
+        if len(row) != n:
+            raise ConfigError(
+                f"{what} matrix must be square, got a {len(row)}-wide "
+                f"row in a {n}-zone matrix"
+            )
+    return n
+
+
+@dataclass(frozen=True)
+class DistanceMatrix:
+    """Pairwise interconnect description between NUMA zones.
+
+    ``hop_cycles[i][j]``: extra GPU-core cycles for zone *i* reaching
+    zone *j*'s memory.  The diagonal is the cost of a zone reaching its
+    *own* pool — normally 0, but the legacy scalar model allows a
+    nonzero self-hop (the Figure 2a interconnect sweep bumps the local
+    zone's ``hop_cycles``), so the matrix does too.
+
+    ``link_gbps[i][j]``: bandwidth of the *i*→*j* path in GB/s;
+    ``None`` (or ``inf`` entries) reproduces the paper's unconstrained
+    coherent fabric.
+    """
+
+    hop_cycles: tuple[tuple[float, ...], ...]
+    link_gbps: Optional[tuple[tuple[float, ...], ...]] = None
+
+    def __post_init__(self) -> None:
+        hops = tuple(tuple(float(h) for h in row) for row in self.hop_cycles)
+        n = _validate_square(hops, "hop_cycles")
+        for row in hops:
+            for hop in row:
+                if not hop >= 0:  # catches NaN too
+                    raise ConfigError(
+                        f"hop cycles must be >= 0, got {hop}"
+                    )
+        object.__setattr__(self, "hop_cycles", hops)
+        if self.link_gbps is not None:
+            links = tuple(
+                tuple(float(b) for b in row) for row in self.link_gbps
+            )
+            if _validate_square(links, "link_gbps") != n:
+                raise ConfigError(
+                    "link_gbps matrix must match hop_cycles in size"
+                )
+            for row in links:
+                for link in row:
+                    if not link > 0:  # catches NaN too
+                        raise ConfigError(
+                            f"link bandwidth must be positive, got {link}"
+                        )
+            object.__setattr__(self, "link_gbps", links)
+
+    @property
+    def n_zones(self) -> int:
+        return len(self.hop_cycles)
+
+    def hops(self, from_zone: int, to_zone: int) -> float:
+        """Hop cycles for ``from_zone`` reaching ``to_zone``."""
+        self._check(from_zone, to_zone)
+        return self.hop_cycles[from_zone][to_zone]
+
+    def link_bandwidth(self, from_zone: int, to_zone: int) -> float:
+        """Bandwidth of the path ``from_zone`` → ``to_zone``, bytes/s."""
+        self._check(from_zone, to_zone)
+        if self.link_gbps is None:
+            return math.inf
+        gbps_value = self.link_gbps[from_zone][to_zone]
+        if math.isinf(gbps_value):
+            return math.inf
+        return gbps_value * 1e9
+
+    def is_symmetric(self) -> bool:
+        """True when both matrices are symmetric (undirected fabric)."""
+        n = self.n_zones
+        for i in range(n):
+            for j in range(i + 1, n):
+                if self.hop_cycles[i][j] != self.hop_cycles[j][i]:
+                    return False
+                if self.link_gbps is not None and (
+                        self.link_gbps[i][j] != self.link_gbps[j][i]):
+                    return False
+        return True
+
+    def _check(self, from_zone: int, to_zone: int) -> None:
+        n = self.n_zones
+        if not (0 <= from_zone < n and 0 <= to_zone < n):
+            raise ConfigError(
+                f"zone pair ({from_zone}, {to_zone}) outside the "
+                f"{n}-zone distance matrix"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-able form for spec canonicalization and manifests."""
+        payload: dict = {
+            "hop_cycles": [list(row) for row in self.hop_cycles],
+        }
+        if self.link_gbps is not None:
+            payload["link_gbps"] = [
+                ["inf" if math.isinf(b) else b for b in row]
+                for row in self.link_gbps
+            ]
+        return payload
+
+    @classmethod
+    def from_zones(cls, zones) -> "DistanceMatrix":
+        """The matrix the legacy per-zone scalars imply.
+
+        Every observer pays the destination zone's ``hop_cycles`` and
+        ``link_bandwidth`` — including the diagonal, because the legacy
+        model charges a zone's own hop on local accesses too (the
+        Figure 2a sweep depends on it).
+        """
+        hops = tuple(
+            tuple(float(z.hop_cycles) for z in zones) for _ in zones
+        )
+        finite_links = any(math.isfinite(z.link_bandwidth) for z in zones)
+        links = None
+        if finite_links:
+            links = tuple(
+                tuple(
+                    math.inf if math.isinf(z.link_bandwidth)
+                    else z.link_bandwidth / 1e9
+                    for z in zones
+                )
+                for _ in zones
+            )
+        return cls(hop_cycles=hops, link_gbps=links)

@@ -17,11 +17,13 @@ ratios the paper quotes:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.core.errors import ConfigError
 from repro.core.units import GIB, PAGE_SIZE, gbps
+from repro.memory.distance import DistanceMatrix
 from repro.memory.dram import DDR4, GDDR5, HBM1, LPDDR4, WIO2, DramTechnology
 from repro.memory.zone import MemoryZone, ZoneKind
 
@@ -34,6 +36,10 @@ class SystemTopology:
     zones: tuple[MemoryZone, ...]
     #: zone_id of the GPU-local zone (target of the LOCAL policy).
     gpu_local_zone: int
+    #: pairwise interconnect description.  ``None`` derives the matrix
+    #: the per-zone ``hop_cycles``/``link_bandwidth`` scalars imply —
+    #: the legacy two-pool model, bit-identical by construction.
+    distance: Optional[DistanceMatrix] = None
 
     def __post_init__(self) -> None:
         if not self.zones:
@@ -44,6 +50,12 @@ class SystemTopology:
         if self.gpu_local_zone not in ids:
             raise ConfigError(
                 f"gpu_local_zone {self.gpu_local_zone} not in {ids}"
+            )
+        if self.distance is not None \
+                and self.distance.n_zones != len(self.zones):
+            raise ConfigError(
+                f"distance matrix covers {self.distance.n_zones} zones, "
+                f"topology {self.name} has {len(self.zones)}"
             )
         # Keep zones sorted by id so zone_id doubles as a tuple index.
         object.__setattr__(
@@ -58,10 +70,15 @@ class SystemTopology:
 
     def zone(self, zone_id: int) -> MemoryZone:
         """The zone with id ``zone_id``."""
+        # Reject negative ids explicitly: Python's negative indexing
+        # would silently hand back the *last* zone for -1.
         try:
-            return self.zones[zone_id]
-        except IndexError:
+            index = int(zone_id)
+        except (TypeError, ValueError):
+            raise ConfigError(f"no zone {zone_id!r} in topology {self.name}")
+        if index < 0 or index >= len(self.zones):
             raise ConfigError(f"no zone {zone_id} in topology {self.name}")
+        return self.zones[index]
 
     @property
     def local(self) -> MemoryZone:
@@ -84,6 +101,13 @@ class SystemTopology:
         ``f_B = b_B / (b_B + b_C)`` generalized to any zone count.
         """
         total = self.total_bandwidth
+        if not total > 0:
+            # Name the topology instead of letting the division raise a
+            # bare ZeroDivisionError with no context.
+            raise ConfigError(
+                f"topology {self.name} has zero total bandwidth; "
+                "cannot derive placement fractions"
+            )
         return tuple(zone.bandwidth / total for zone in self.zones)
 
     def bo_zones(self) -> tuple[MemoryZone, ...]:
@@ -105,11 +129,22 @@ class SystemTopology:
         return bo / co
 
     def replace_zone(self, zone: MemoryZone) -> "SystemTopology":
-        """A topology with the same shape but ``zone`` swapped in by id."""
+        """A topology with the same shape but ``zone`` swapped in by id.
+
+        Raises :class:`ConfigError` when ``zone.zone_id`` matches no
+        existing zone — silently returning the unchanged topology made
+        capacity-constraint misconfigurations invisible.
+        """
+        if all(z.zone_id != zone.zone_id for z in self.zones):
+            raise ConfigError(
+                f"replace_zone: no zone {zone.zone_id} in topology "
+                f"{self.name} (ids: {[z.zone_id for z in self.zones]})"
+            )
         zones = tuple(
             zone if z.zone_id == zone.zone_id else z for z in self.zones
         )
-        return SystemTopology(self.name, zones, self.gpu_local_zone)
+        return SystemTopology(self.name, zones, self.gpu_local_zone,
+                              distance=self.distance)
 
     def with_bo_capacity(self, capacity_bytes: int) -> "SystemTopology":
         """Shrink/grow the GPU-local BO zone to ``capacity_bytes``.
@@ -117,6 +152,68 @@ class SystemTopology:
         Convenience for the capacity-constraint experiments.
         """
         return self.replace_zone(self.local.resized(capacity_bytes))
+
+    # ------------------------------------------------------------------
+    # per-pair distances (N-pool generalization)
+    # ------------------------------------------------------------------
+
+    @property
+    def distances(self) -> DistanceMatrix:
+        """The effective inter-zone distance matrix.
+
+        Explicit when the topology carries one (chiplet systems);
+        otherwise derived from the per-zone ``hop_cycles`` /
+        ``link_bandwidth`` scalars — every observer pays the
+        destination zone's cost, exactly the legacy model.
+        """
+        if self.distance is not None:
+            return self.distance
+        return DistanceMatrix.from_zones(self.zones)
+
+    def access_latency_ns(self, zone_id: int, clock_ghz: float,
+                          from_zone: Optional[int] = None) -> float:
+        """Unloaded latency of ``from_zone`` reaching ``zone_id``, ns.
+
+        Device latency of the target pool plus the pairwise
+        interconnect hop converted from core cycles.  ``from_zone``
+        defaults to the GPU-local zone — the observer every engine
+        simulates from.
+        """
+        if clock_ghz <= 0:
+            raise ConfigError("clock_ghz must be positive")
+        if from_zone is None:
+            from_zone = self.gpu_local_zone
+        target = self.zone(zone_id)
+        hops = self.distances.hops(from_zone, zone_id)
+        return target.device_latency_ns + hops / clock_ghz
+
+    def gpu_latencies_ns(self, clock_ghz: float) -> tuple[float, ...]:
+        """Per-zone unloaded access latency from the GPU, by zone_id."""
+        return tuple(
+            self.access_latency_ns(zone.zone_id, clock_ghz)
+            for zone in self.zones
+        )
+
+    def usable_bandwidth_from(self, zone_id: int,
+                              from_zone: Optional[int] = None) -> float:
+        """Bandwidth of ``zone_id`` as seen from ``from_zone``, bytes/s.
+
+        The device pool capped by the zone's own link *and* the
+        pairwise path of the distance matrix; for derived matrices the
+        two caps coincide and this equals ``zone.usable_bandwidth``.
+        """
+        if from_zone is None:
+            from_zone = self.gpu_local_zone
+        target = self.zone(zone_id)
+        pair_link = self.distances.link_bandwidth(from_zone, zone_id)
+        return min(target.bandwidth, target.link_bandwidth, pair_link)
+
+    def gpu_usable_bandwidths(self) -> tuple[float, ...]:
+        """Per-zone usable bandwidth from the GPU, by zone_id."""
+        return tuple(
+            self.usable_bandwidth_from(zone.zone_id)
+            for zone in self.zones
+        )
 
 
 def _zone(zone_id: int, name: str, kind: ZoneKind, tech: DramTechnology,
@@ -250,6 +347,77 @@ def three_pool_topology() -> SystemTopology:
     )
 
 
+def chiplet_topology(n_chiplets: int = 2,
+                     hbm_gbps: float = 160.0,
+                     hbm_capacity_gib: float = 4.0,
+                     ddr_gbps: float = 80.0,
+                     ddr_capacity_gib: float = 64.0,
+                     xlink_cycles: int = 60,
+                     xlink_gbps: float = 128.0,
+                     ddr_hop_cycles: int = 100) -> SystemTopology:
+    """An N-chiplet GPU: per-chiplet HBM + far CPU DDR, explicit matrix.
+
+    Zones ``0..n_chiplets-1`` are the chiplets' local HBM stacks; zone
+    ``n_chiplets`` is the CPU's DDR4 pool.  The GPU-local zone is
+    chiplet 0's stack (the chiplet the simulated SMs sit on).  The
+    distance matrix is where this topology differs from everything the
+    scalar model could express:
+
+    * chiplet *i* reaches its own stack at 0 extra cycles,
+    * a *remote* chiplet's stack costs ``xlink_cycles`` and is capped
+      by the ``xlink_gbps`` cross-chiplet link,
+    * the DDR pool costs ``ddr_hop_cycles`` from every chiplet (the
+      package interconnect), uncapped like the paper's coherent fabric.
+
+    This is the local-HBM-plus-remote-chiplet shape of the chiplet-GEMM
+    paper in PAPERS.md, with Table 1-class constants.
+    """
+    if n_chiplets < 1:
+        raise ConfigError("chiplet_topology needs n_chiplets >= 1")
+    if xlink_cycles < 0 or ddr_hop_cycles < 0:
+        raise ConfigError("hop cycle counts must be >= 0")
+    zones = [
+        _zone(i, f"chiplet{i}-HBM", ZoneKind.BANDWIDTH_OPTIMIZED, HBM1,
+              hbm_capacity_gib, hbm_gbps, device_latency_ns=40.0,
+              hop_cycles=0 if i == 0 else xlink_cycles)
+        for i in range(n_chiplets)
+    ]
+    ddr_id = n_chiplets
+    zones.append(
+        _zone(ddr_id, "CPU-DDR4", ZoneKind.CAPACITY_OPTIMIZED, DDR4,
+              ddr_capacity_gib, ddr_gbps, device_latency_ns=36.0,
+              hop_cycles=ddr_hop_cycles)
+    )
+    n = n_chiplets + 1
+
+    def hop(i: int, j: int) -> float:
+        if i == j:
+            return 0.0
+        if ddr_id in (i, j):
+            return float(ddr_hop_cycles)
+        return float(xlink_cycles)
+
+    def link(i: int, j: int) -> float:
+        if i == j or ddr_id in (i, j):
+            return math.inf
+        return float(xlink_gbps)
+
+    distance = DistanceMatrix(
+        hop_cycles=tuple(
+            tuple(hop(i, j) for j in range(n)) for i in range(n)
+        ),
+        link_gbps=tuple(
+            tuple(link(i, j) for j in range(n)) for i in range(n)
+        ),
+    )
+    return SystemTopology(
+        name=f"chiplet-{n_chiplets}",
+        zones=tuple(zones),
+        gpu_local_zone=0,
+        distance=distance,
+    )
+
+
 def link_limited_baseline(link_gbps: float) -> SystemTopology:
     """The Table 1 system with the CPU pool behind a finite link.
 
@@ -278,6 +446,8 @@ NAMED_TOPOLOGIES = {
     "mobile": mobile_topology,
     "symmetric": symmetric_topology,
     "three-pool": three_pool_topology,
+    "chiplet-2": lambda: chiplet_topology(2),
+    "chiplet-4": lambda: chiplet_topology(4),
 }
 
 

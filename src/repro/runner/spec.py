@@ -158,6 +158,11 @@ def describe_topology(topology: Optional[SystemTopology]) -> Optional[dict]:
         "gpu_local_zone": topology.gpu_local_zone,
         "zones": [dataclasses.asdict(zone) for zone in topology.zones],
     }
+    # An explicit distance matrix is result-affecting, so it salts the
+    # cache key; the key is absent for scalar-derived topologies so
+    # pre-existing cached results keep their digests.
+    if topology.distance is not None:
+        description["distance"] = topology.distance.to_dict()
     # Round-trip through JSON (enums and other non-JSON leaves via str)
     # so the canonical form is plain data, not live objects.
     return json.loads(json.dumps(description, default=str))

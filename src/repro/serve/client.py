@@ -239,6 +239,37 @@ class ServeClient:
                 slept_s += delay
         raise AssertionError("unreachable")  # pragma: no cover
 
+    def autotune(self, workload: str, dataset: str = "default",
+                 topology: Optional[str] = None,
+                 engine: str = "throughput",
+                 epochs: Optional[int] = None,
+                 n_accesses: Optional[int] = None,
+                 seed: int = 0,
+                 controller: Optional[Mapping[str, float]] = None,
+                 force: bool = False) -> dict:
+        """``POST /v1/autotune`` — tune (or recall) an interleave ratio.
+
+        Returns ``{"profile_key", "cached", "profile": {...}}`` where
+        ``profile`` carries the tuned fractions, the closed-form SBIT
+        split, and the tuned-vs-static times.  ``force=True`` ignores
+        the persisted profile and re-tunes.
+        """
+        payload: dict[str, Any] = {
+            "workload": workload, "dataset": dataset, "seed": seed,
+            "engine": engine,
+        }
+        if topology is not None:
+            payload["topology"] = topology
+        if epochs is not None:
+            payload["epochs"] = int(epochs)
+        if n_accesses is not None:
+            payload["n_accesses"] = int(n_accesses)
+        if controller is not None:
+            payload["controller"] = dict(controller)
+        if force:
+            payload["force"] = True
+        return self._json("POST", "/v1/autotune", payload)
+
     def upload_trace(self, name: str,
                      data: Optional[bytes] = None,
                      path: Optional[str] = None,

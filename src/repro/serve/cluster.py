@@ -76,7 +76,11 @@ from repro.serve.http import (
     run as run_single,
 )
 from repro.serve.ring import HashRing
-from repro.serve.service import BadRequestError, parse_simulate_spec
+from repro.serve.service import (
+    BadRequestError,
+    autotune_job_key,
+    parse_simulate_spec,
+)
 
 #: headers the router forwards verbatim to the shard.  The deadline
 #: header is NOT forwarded raw — the router always sends the budget
@@ -560,12 +564,14 @@ class RouterApp:
             return "placement", "proxy"
         if path == "/v1/simulate" and method == "POST":
             return "simulate", "proxy"
+        if path == "/v1/autotune" and method == "POST":
+            return "autotune", "proxy"
         if path == "/v1/traces" and method in ("POST", "GET"):
             return "traces", "proxy"
         if path.startswith("/v1/profile/") and method == "GET":
             return "profile", "proxy"
         known = {"/healthz", "/metrics", "/v1/placement", "/v1/simulate",
-                 "/v1/traces"}
+                 "/v1/autotune", "/v1/traces"}
         if path in known or path.startswith("/v1/profile/"):
             return "other", None  # right path, wrong method
         return "other", False  # unknown path
@@ -647,6 +653,13 @@ class RouterApp:
                 raise ServeError(f"bad profile path {request.path!r}",
                                  status=404)
             return LANE_WARM, f"profile:{workload}"
+        if endpoint == "autotune":
+            # Warm lane: tuned profiles persist in the shard's result
+            # cache, so repeat requests are profile-store hits — and a
+            # first-time tuning run is epoch-bounded, nothing like a
+            # cold full-grid simulate.  Keyed by the profile digest so
+            # identical requests land on one shard's single-flight.
+            return LANE_WARM, f"autotune:{autotune_job_key(request.json())}"
         if endpoint == "traces":
             if request.method == "GET":
                 return LANE_WARM, "traces:list"

@@ -12,6 +12,7 @@ Routes::
     GET  /metrics                  Prometheus text exposition
     POST /v1/placement             GetAllocation hints (micro-batched)
     POST /v1/simulate              experiment via runner + cache + dedup
+    POST /v1/autotune              closed-loop interleave-ratio tuning
     GET  /v1/profile/<workload>    cached CDF/hotness profile
 
 Error contract: JSON ``{"error": ...}`` bodies; 400 for malformed
@@ -395,6 +396,8 @@ class ServeApp:
             return "placement", lambda: self._post_placement(request)
         if path == "/v1/simulate" and method == "POST":
             return "simulate", lambda: self._post_simulate(request)
+        if path == "/v1/autotune" and method == "POST":
+            return "autotune", lambda: self._post_autotune(request)
         if path == "/v1/traces" and method == "POST":
             return "traces", lambda: self._post_traces(request)
         if path == "/v1/traces" and method == "GET":
@@ -402,7 +405,7 @@ class ServeApp:
         if path.startswith("/v1/profile/") and method == "GET":
             return "profile", lambda: self._get_profile(request)
         known = {"/healthz", "/metrics", "/v1/placement", "/v1/simulate",
-                 "/v1/traces"}
+                 "/v1/autotune", "/v1/traces"}
         if path in known or path.startswith("/v1/profile/"):
             return "other", None  # right path, wrong method
         return "other", False  # unknown path
@@ -505,6 +508,12 @@ class ServeApp:
     async def _post_simulate(self, request: _HttpRequest
                              ) -> _HttpResponse:
         result = await self.service.simulate(
+            request.json(), deadline=request.deadline)
+        return _HttpResponse.json(result)
+
+    async def _post_autotune(self, request: _HttpRequest
+                             ) -> _HttpResponse:
+        result = await self.service.autotune(
             request.json(), deadline=request.deadline)
         return _HttpResponse.json(result)
 

@@ -74,6 +74,8 @@ from repro.runner.spec import RunSpec
 from repro.runtime.hints import get_allocation
 from repro.serve.batching import BatchSaturatedError, MicroBatcher, SingleFlight
 from repro.serve.config import ServeConfig
+from repro.tuning import AutotuneReport, RatioController, TunedProfileStore
+from repro.tuning.autotuner import autotune as run_autotune
 from repro.workloads import get_workload, workload_names
 
 
@@ -205,6 +207,73 @@ def parse_simulate_spec(payload: Mapping[str, Any]) -> RunSpec:
         raise BadRequestError(str(exc))
 
 
+def parse_autotune_request(payload: Mapping[str, Any]) -> dict:
+    """Validate a ``/v1/autotune`` payload into canonical parameters.
+
+    Module-level for the same reason as :func:`parse_simulate_spec`:
+    the cluster router derives the warm-lane job key from exactly the
+    parameters the shard will tune with.
+    """
+    workload = _require(payload, "workload")
+    if not isinstance(workload, str):
+        raise BadRequestError("'workload' must be a string")
+    try:
+        get_workload(workload)
+    except (WorkloadError, IngestError) as exc:
+        raise BadRequestError(str(exc))
+    topology_name = payload.get("topology", "baseline")
+    if not isinstance(topology_name, str):
+        raise BadRequestError(
+            "/v1/autotune 'topology' must be a registered name"
+        )
+    try:
+        topology = topology_by_name(topology_name)
+    except ReproError as exc:
+        raise BadRequestError(str(exc))
+    engine = payload.get("engine", "throughput")
+    if engine not in ("throughput", "detailed", "banked"):
+        raise BadRequestError(f"unknown engine {engine!r}")
+    controller_params = payload.get("controller", {})
+    if not isinstance(controller_params, Mapping):
+        raise BadRequestError("'controller' must be an object")
+    allowed = {"gain", "deadband", "max_step", "min_fraction"}
+    unknown = set(controller_params) - allowed
+    if unknown:
+        raise BadRequestError(
+            f"unknown controller fields {sorted(unknown)}; "
+            f"known: {sorted(allowed)}"
+        )
+    try:
+        controller = RatioController(**{
+            key: float(value) for key, value in controller_params.items()
+        })
+    except (TypeError, ValueError, ReproError) as exc:
+        raise BadRequestError(f"bad controller parameters: {exc}")
+    return {
+        "workload": workload,
+        "dataset": str(payload.get("dataset", "default")),
+        "topology_name": topology_name,
+        "topology": topology,
+        "engine": engine,
+        "seed": _int_field(payload, "seed", default=0) or 0,
+        "epochs": _int_field(payload, "epochs", default=16, minimum=2),
+        "n_accesses": _int_field(payload, "n_accesses", default=60_000,
+                                 minimum=1),
+        "controller": controller,
+        "force": bool(payload.get("force", False)),
+    }
+
+
+def autotune_job_key(payload: Mapping[str, Any]) -> str:
+    """The profile-store digest a ``/v1/autotune`` payload resolves to."""
+    request = parse_autotune_request(payload)
+    return TunedProfileStore.profile_key(
+        request["workload"], request["dataset"], request["topology"],
+        request["engine"], request["seed"], request["epochs"],
+        request["n_accesses"], request["controller"],
+    )
+
+
 class PlacementService:
     """All daemon behaviour that is independent of the wire protocol."""
 
@@ -252,6 +321,12 @@ class PlacementService:
         )
         self._flight = SingleFlight()
         self._profile_flight = SingleFlight()
+        self._autotune_flight = SingleFlight()
+        # Tuned profiles share the result-cache root (CLI-tuned
+        # profiles are warm here and vice versa); no cache root means
+        # tuning still runs, just without persistence.
+        self.profile_store = (TunedProfileStore(cache_dir)
+                              if cache_dir is not None else None)
         self._batcher = MicroBatcher(
             self._placement_batch,
             window_s=self.config.batch_window_ms / 1000.0,
@@ -367,6 +442,15 @@ class PlacementService:
         self.m_traces = m.gauge(
             "repro_serve_traces",
             "External traces currently registered.")
+        self.m_autotune_requests = m.counter(
+            "repro_serve_autotune_requests_total",
+            "Accepted /v1/autotune requests.")
+        self.m_autotune_profile_hits = m.counter(
+            "repro_serve_autotune_profile_hits_total",
+            "Autotune requests answered from the tuned-profile store.")
+        self.m_autotune_runs = m.counter(
+            "repro_serve_autotune_runs_total",
+            "Closed-loop tuning runs actually executed.")
         self.m_draining = m.gauge(
             "repro_serve_draining",
             "1 while the daemon is draining for shutdown.")
@@ -416,7 +500,8 @@ class PlacementService:
         """
         self._draining = True
         self.m_draining.set(1)
-        pending = self._flight.tasks() + self._profile_flight.tasks()
+        pending = (self._flight.tasks() + self._profile_flight.tasks()
+                   + self._autotune_flight.tasks())
         if pending and self.config.drain_timeout_s > 0:
             done, _ = await asyncio.wait(
                 pending, timeout=self.config.drain_timeout_s)
@@ -859,6 +944,84 @@ class PlacementService:
                             workload=workload_name, dataset=dataset):
             payload = await asyncio.shield(task)
         return dict(payload, cached=False)
+
+    # ------------------------------------------------------------------
+    # /v1/autotune
+    # ------------------------------------------------------------------
+
+    def _autotune_payload(self, request: Mapping[str, Any]) -> dict:
+        """Executor-thread body: one closed-loop tuning run."""
+        report = run_autotune(
+            request["workload"], request["topology"],
+            dataset=request["dataset"],
+            engine=request["engine"],
+            n_accesses=request["n_accesses"],
+            seed=request["seed"],
+            epochs=request["epochs"],
+            controller=request["controller"],
+        )
+        return report.to_dict()
+
+    async def autotune(self, payload: Mapping[str, Any],
+                       deadline: Optional[float] = None) -> dict:
+        """Tune (or recall) a workload's interleave ratio.
+
+        Per-workload tuned profiles persist in the result cache; a
+        repeat request is a profile-store hit unless ``force`` asks
+        for a fresh run.  Identical concurrent requests share one
+        tuning run through the single-flight map.
+        """
+        request = parse_autotune_request(payload)
+        key = TunedProfileStore.profile_key(
+            request["workload"], request["dataset"],
+            request["topology"], request["engine"], request["seed"],
+            request["epochs"], request["n_accesses"],
+            request["controller"],
+        )
+        self.m_autotune_requests.inc()
+        if self._draining:
+            raise ServiceUnavailableError(
+                "daemon is draining for shutdown",
+                retry_after=self.config.retry_after_s,
+            )
+        if not request["force"] and self.profile_store is not None:
+            stored = self.profile_store.load(key)
+            if stored is not None:
+                self.m_autotune_profile_hits.inc()
+                return {
+                    "profile_key": key,
+                    "cached": True,
+                    "profile": stored.to_dict(),
+                }
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceededError(
+                "request deadline passed before tuning started")
+        loop = asyncio.get_running_loop()
+
+        async def job() -> dict:
+            self.m_autotune_runs.inc()
+            ctx = contextvars.copy_context()
+            profile = await loop.run_in_executor(
+                self._executor,
+                lambda: ctx.run(self._autotune_payload, request),
+            )
+            if self.profile_store is not None:
+                self.profile_store.store(
+                    key, AutotuneReport.from_dict(profile))
+            return profile
+
+        task, joined = self._autotune_flight.join_or_start(key, job)
+        with obs_trace.span("serve.autotune", cat="serve",
+                            workload=request["workload"],
+                            topology=request["topology_name"]) as span:
+            span.annotate(deduplicated=joined)
+            profile = await asyncio.shield(task)
+        return {
+            "profile_key": key,
+            "cached": False,
+            "deduplicated": joined,
+            "profile": profile,
+        }
 
     # ------------------------------------------------------------------
     # /metrics

@@ -1,0 +1,282 @@
+"""Closed-loop autotuning of the per-pool interleave ratio.
+
+:func:`autotune` replays a workload trace epoch by epoch.  Pages are
+striped across zones by the current fraction vector; after each epoch
+the per-pool bandwidth counters (``SimResult.bytes_by_zone``) feed the
+:class:`~repro.tuning.controller.RatioController`, which adjusts the
+fractions for the next epoch.  The tuned run's total time *includes*
+the adaptation transient, so "tuned beats static" is an honest online
+claim, not an oracle one.
+
+Placement is a low-discrepancy stripe: page *p* lands at position
+``(p * φ) mod 1`` of the unit interval, partitioned by the cumulative
+fraction vector.  This is deterministic, spreads every zone's share
+uniformly across the footprint at any scale (hot leading pages do not
+all land in zone 0 the way contiguous block placement would), and —
+because positions never move — re-partitioning for new fractions only
+migrates pages near the moved boundaries, which is what makes the
+epoch-to-epoch placement *persistent* rather than a reshuffle.
+
+Tuned profiles persist as JSON under ``<cache-root>/autotune``, keyed
+by the same kind of canonical digest the sweep runner uses (including
+the code-version salt and the ``topology=`` description, so a chiplet
+profile can never be replayed onto the wrong fabric).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.atomicio import atomic_write_json
+from repro.core.cachedir import cache_root
+from repro.core.errors import ConfigError
+from repro.gpu.config import GpuConfig, table1_config
+from repro.gpu.simulator import EngineName, make_engine
+from repro.gpu.trace import DramTrace, WorkloadCharacteristics
+from repro.memory.topology import SystemTopology, simulated_baseline
+from repro.policies.base import validate_fractions
+from repro.runner.salt import code_version_salt
+from repro.runner.spec import describe_topology
+from repro.tuning.controller import RatioController
+from repro.workloads.base import TraceWorkload
+from repro.workloads.suite import get_workload
+
+#: golden-ratio conjugate for the low-discrepancy page stripe.
+_GOLDEN = 0.6180339887498949
+
+
+def place_fractions(fractions, footprint_pages: int) -> np.ndarray:
+    """Deterministic zone map striping pages by ``fractions``.
+
+    Page *p* occupies position ``(p * φ) mod 1``; the cumulative
+    fraction vector partitions [0, 1) into per-zone buckets.
+    """
+    fracs = validate_fractions(fractions)
+    if footprint_pages <= 0:
+        raise ConfigError("footprint_pages must be positive")
+    cum = np.cumsum(np.asarray(fracs, dtype=np.float64))
+    cum[-1] = 1.0  # absorb float drift so every position has a bucket
+    pos = (np.arange(footprint_pages, dtype=np.float64) * _GOLDEN) % 1.0
+    zone_map = np.searchsorted(cum, pos, side="right")
+    return np.minimum(zone_map, len(fracs) - 1).astype(np.int16)
+
+
+def _epoch_run(trace: DramTrace, topology: SystemTopology, engine,
+               chars: WorkloadCharacteristics,
+               fractions: tuple[float, ...],
+               controller: Optional[RatioController]
+               ) -> tuple[float, tuple[float, ...], list[tuple[float, ...]]]:
+    """Replay ``trace`` epoch by epoch; returns (time, final, history).
+
+    With a controller the fractions move at every epoch boundary; with
+    ``None`` the same static vector is applied throughout (the
+    baseline both the report and the experiment compare against).
+    """
+    usable_bw = np.asarray(topology.gpu_usable_bandwidths())
+    raw_per_epoch = max(1, trace.n_raw_accesses // trace.n_epochs)
+    total_ns = 0.0
+    history = [tuple(fractions)]
+    zone_map = place_fractions(fractions, trace.footprint_pages)
+    for epoch_slice in trace.epoch_slices():
+        pages = trace.page_indices[epoch_slice]
+        if not pages.size:
+            continue
+        sub_trace = DramTrace(
+            page_indices=pages,
+            footprint_pages=trace.footprint_pages,
+            n_raw_accesses=max(raw_per_epoch, pages.size),
+            n_epochs=1,
+            bytes_per_access=trace.bytes_per_access,
+            is_write=(trace.is_write[epoch_slice]
+                      if trace.is_write is not None else None),
+        )
+        result = engine.run(sub_trace, zone_map, topology, chars)
+        total_ns += result.total_time_ns
+        if controller is not None:
+            busy = tuple(np.asarray(result.bytes_by_zone) / usable_bw)
+            fractions = controller.update(fractions, busy)
+            history.append(tuple(fractions))
+            zone_map = place_fractions(fractions, trace.footprint_pages)
+    return total_ns, tuple(fractions), history
+
+
+def static_epoch_time_ns(trace: DramTrace, topology: SystemTopology,
+                         engine, chars: WorkloadCharacteristics,
+                         fractions) -> float:
+    """Epoch-summed runtime of one fixed fraction vector."""
+    total_ns, _, _ = _epoch_run(trace, topology, engine, chars,
+                                validate_fractions(fractions), None)
+    return total_ns
+
+
+@dataclass(frozen=True)
+class AutotuneReport:
+    """Outcome of one closed-loop tuning run."""
+
+    workload: str
+    dataset: str
+    topology: str
+    engine: str
+    seed: int
+    epochs: int
+    n_accesses: int
+    static_fractions: tuple[float, ...]
+    tuned_fractions: tuple[float, ...]
+    closed_form_fractions: tuple[float, ...]
+    static_time_ns: float
+    tuned_time_ns: float
+    #: per-epoch fraction trajectory (first entry is the start vector).
+    history: tuple[tuple[float, ...], ...]
+    controller: dict
+
+    @property
+    def speedup(self) -> float:
+        """Static time over tuned time; > 1 means tuning won."""
+        return self.static_time_ns / self.tuned_time_ns
+
+    @property
+    def closed_form_gap(self) -> float:
+        """Largest per-zone gap to the closed-form SBIT split."""
+        return max(
+            abs(t - c) for t, c in
+            zip(self.tuned_fractions, self.closed_form_fractions)
+        )
+
+    def to_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["speedup"] = self.speedup
+        payload["closed_form_gap"] = self.closed_form_gap
+        return json.loads(json.dumps(payload))
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AutotuneReport":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in payload.items() if k in fields}
+        for key in ("static_fractions", "tuned_fractions",
+                    "closed_form_fractions"):
+            kwargs[key] = tuple(kwargs[key])
+        kwargs["history"] = tuple(tuple(h) for h in kwargs["history"])
+        return cls(**kwargs)
+
+
+def autotune(workload: Union[str, TraceWorkload],
+             topology: Optional[SystemTopology] = None,
+             *,
+             dataset: str = "default",
+             engine: EngineName = "throughput",
+             n_accesses: int = 120_000,
+             seed: int = 0,
+             epochs: int = 16,
+             controller: Optional[RatioController] = None,
+             static_fractions=None,
+             config: Optional[GpuConfig] = None) -> AutotuneReport:
+    """Tune the interleave ratio online and race it against static.
+
+    The static baseline defaults to the uniform 1/N stripe — what an
+    operator gets from plain INTERLEAVE with no SBIT.  The tuned run
+    starts from the *same* vector, so every bit of its advantage was
+    learned from the bandwidth counters during the run.
+    """
+    if epochs < 2:
+        raise ConfigError("autotune needs at least 2 epochs to adapt")
+    model = (workload if isinstance(workload, TraceWorkload)
+             else get_workload(workload))
+    system = topology if topology is not None else simulated_baseline()
+    controller = controller if controller is not None else RatioController()
+    n_zones = len(system)
+    if static_fractions is None:
+        static_fractions = tuple(1.0 / n_zones for _ in range(n_zones))
+    static_fractions = validate_fractions(static_fractions)
+    if len(static_fractions) != n_zones:
+        raise ConfigError(
+            f"{len(static_fractions)} fractions for {n_zones} zones"
+        )
+
+    gpu = config if config is not None else table1_config()
+    engine_obj = make_engine(engine, gpu)
+    trace = model.dram_trace(dataset, n_accesses=n_accesses, seed=seed,
+                             n_epochs=epochs)
+    chars = model.characteristics(dataset)
+
+    tuned_ns, tuned_final, history = _epoch_run(
+        trace, system, engine_obj, chars, static_fractions, controller)
+    static_ns, _, _ = _epoch_run(
+        trace, system, engine_obj, chars, static_fractions, None)
+
+    return AutotuneReport(
+        workload=model.name,
+        dataset=dataset,
+        topology=system.name,
+        engine=engine,
+        seed=seed,
+        epochs=epochs,
+        n_accesses=n_accesses,
+        static_fractions=static_fractions,
+        tuned_fractions=tuned_final,
+        closed_form_fractions=system.bandwidth_fractions(),
+        static_time_ns=static_ns,
+        tuned_time_ns=tuned_ns,
+        history=tuple(history),
+        controller=dataclasses.asdict(controller),
+    )
+
+
+class TunedProfileStore:
+    """Per-workload tuned profiles persisted in the result cache.
+
+    Lives under ``<cache-root>/autotune`` next to the sweep runner's
+    result shards and resolves the root through the same
+    :func:`~repro.core.cachedir.cache_root` rule, so CLI-tuned profiles
+    are warm for the serve daemon and vice versa.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.directory = cache_root(root) / "autotune"
+
+    @staticmethod
+    def profile_key(workload: str, dataset: str,
+                    topology: Optional[SystemTopology],
+                    engine: str, seed: int, epochs: int,
+                    n_accesses: int, controller: RatioController) -> str:
+        """Canonical digest naming one tuning configuration."""
+        payload = {
+            "workload": workload,
+            "dataset": dataset,
+            "topology": describe_topology(topology),
+            "engine": engine,
+            "seed": seed,
+            "epochs": epochs,
+            "n_accesses": n_accesses,
+            "controller": dataclasses.asdict(controller),
+            "salt": code_version_salt(),
+        }
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> Optional[AutotuneReport]:
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        try:
+            return AutotuneReport.from_dict(payload)
+        except (KeyError, TypeError):
+            return None  # stale schema: treat as a miss
+
+    def store(self, key: str, report: AutotuneReport) -> Path:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(path, report.to_dict())
+        return path

@@ -1,0 +1,111 @@
+"""Epoch-level interleave-ratio controller with hysteresis.
+
+One instance owns one scalar decision: the per-zone placement fraction
+vector.  Each epoch it observes how long every pool was *busy*
+(``bytes_served / usable_bandwidth``) and nudges the fractions toward
+the split that equalizes pool busy-times — the Section 3.1 optimality
+condition, reached online instead of read from the SBIT.
+
+The update is multiplicative with three safeguards:
+
+* **deadband** — when the worst relative busy-time imbalance is below
+  the deadband the fractions do not move at all.  This is the
+  hysteresis that keeps a converged controller from chattering on
+  counter noise (and what bounds a "diverging controller": once inside
+  the deadband it is fixed).
+* **max_step** — no fraction moves more than ``max_step`` (absolute)
+  in one epoch, so a single wild epoch cannot slam the placement.
+* **min_fraction** — every zone keeps a floor share, so a pool that
+  saw zero traffic this epoch (busy time 0) can re-enter gracefully
+  instead of being starved forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RatioController:
+    """Multiplicative busy-time-equalizing ratio controller."""
+
+    #: exponent on the busy-time correction; 1.0 jumps straight to the
+    #: single-epoch estimate, smaller values damp counter noise.
+    gain: float = 0.5
+    #: relative busy-time imbalance below which nothing moves.
+    deadband: float = 0.01
+    #: largest absolute per-zone fraction change per epoch.
+    max_step: float = 0.15
+    #: floor share every zone keeps (re-entry path for idle pools).
+    min_fraction: float = 0.005
+
+    def __post_init__(self) -> None:
+        if not 0 < self.gain <= 1:
+            raise ConfigError(f"gain must be in (0, 1], got {self.gain}")
+        if not 0 <= self.deadband < 1:
+            raise ConfigError(
+                f"deadband must be in [0, 1), got {self.deadband}"
+            )
+        if not self.max_step > 0:
+            raise ConfigError(f"max_step must be positive, got {self.max_step}")
+        if not 0 <= self.min_fraction < 1:
+            raise ConfigError(
+                f"min_fraction must be in [0, 1), got {self.min_fraction}"
+            )
+
+    def update(self, fractions: Sequence[float],
+               busy_ns: Sequence[float]) -> tuple[float, ...]:
+        """One control step: fractions for the next epoch.
+
+        ``busy_ns[z]`` is how long zone *z*'s pool was busy serving its
+        share of the last epoch (bytes served / usable bandwidth).
+        Returns the input unchanged when the imbalance is inside the
+        deadband.
+        """
+        fracs = [float(f) for f in fractions]
+        busy = [float(b) for b in busy_ns]
+        if len(fracs) != len(busy):
+            raise ConfigError(
+                f"{len(fracs)} fractions for {len(busy)} busy counters"
+            )
+        n = len(fracs)
+        if n * self.min_fraction >= 1.0:
+            raise ConfigError(
+                f"min_fraction {self.min_fraction} infeasible for {n} zones"
+            )
+        if any(b < 0 for b in busy):
+            raise ConfigError(f"negative busy time in {busy}")
+        mean = sum(busy) / n
+        if mean <= 0:
+            return tuple(fracs)  # idle epoch: nothing to learn from
+        # Hysteresis: inside the deadband the controller holds still.
+        worst = max(abs(b - mean) / mean for b in busy)
+        if worst <= self.deadband:
+            return tuple(fracs)
+        floor = 1e-3 * mean  # zero-busy pools read as deeply underloaded
+        proposed = [
+            f * (mean / max(b, floor)) ** self.gain
+            for f, b in zip(fracs, busy)
+        ]
+        total = sum(proposed)
+        proposed = [p / total for p in proposed]
+        # Rate limit, then re-floor and renormalize.
+        stepped = [
+            f + max(-self.max_step, min(self.max_step, p - f))
+            for f, p in zip(fracs, proposed)
+        ]
+        # Re-floor, then renormalize only the above-floor mass so the
+        # floor survives normalization exactly (dividing the whole
+        # vector through would dip floored zones back below it).
+        stepped = [max(self.min_fraction, s) for s in stepped]
+        excess = [s - self.min_fraction for s in stepped]
+        excess_total = sum(excess)
+        spread = 1.0 - n * self.min_fraction
+        if excess_total <= 0:
+            return tuple(1.0 / n for _ in stepped)
+        return tuple(
+            self.min_fraction + e * spread / excess_total for e in excess
+        )

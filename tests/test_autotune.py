@@ -1,0 +1,348 @@
+"""The closed-loop interleave-ratio autotuner (repro.tuning).
+
+Covers the controller's safeguards (deadband hysteresis, step clamp,
+min-fraction floor), the low-discrepancy page stripe, the two ISSUE
+acceptance bars — convergence to within 2% of the closed-form
+``bandwidth_fractions()`` split on a stationary workload and beating
+the static ratio on ``phase_shift`` — plus the persistence layer, the
+``/v1/autotune`` endpoint, the cluster router's warm-lane
+classification, and the ``repro autotune`` CLI verb.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.errors import ConfigError, ServeError
+from repro.memory.topology import (
+    chiplet_topology,
+    simulated_baseline,
+    three_pool_topology,
+)
+from repro.serve import BackgroundServer, ServeClient, ServeConfig
+from repro.serve.service import BadRequestError, parse_autotune_request
+from repro.tuning import (
+    AutotuneReport,
+    RatioController,
+    TunedProfileStore,
+    autotune,
+    place_fractions,
+)
+
+#: small tuning problems keep every test well under a second.
+ACCESSES = 8_000
+EPOCHS = 6
+
+
+class TestRatioController:
+    def test_deadband_holds_converged_fractions(self):
+        controller = RatioController(deadband=0.05)
+        fractions = (0.6, 0.4)
+        # 4% imbalance — inside the deadband, nothing moves.
+        assert controller.update(fractions, (1000.0, 960.0)) == fractions
+
+    def test_outside_deadband_shifts_toward_idle_pool(self):
+        controller = RatioController(deadband=0.01)
+        updated = controller.update((0.5, 0.5), (2000.0, 500.0))
+        assert updated[0] < 0.5 < updated[1]
+        assert sum(updated) == pytest.approx(1.0)
+
+    def test_idle_epoch_is_a_noop(self):
+        controller = RatioController()
+        assert controller.update((0.7, 0.3), (0.0, 0.0)) == (0.7, 0.3)
+
+    def test_max_step_clamps_single_epoch_swing(self):
+        controller = RatioController(gain=1.0, deadband=0.0,
+                                     max_step=0.1, min_fraction=0.0)
+        updated = controller.update((0.5, 0.5), (1000.0, 1.0))
+        # The raw proposal would slam zone 0 to ~0.03; the clamp caps
+        # the move at 0.1 per zone.
+        assert updated == pytest.approx((0.4, 0.6))
+
+    def test_min_fraction_keeps_starved_pool_alive(self):
+        controller = RatioController(gain=1.0, deadband=0.0,
+                                     max_step=1.0, min_fraction=0.05)
+        updated = controller.update((0.3, 0.7), (1e9, 1.0))
+        assert updated[0] >= 0.05 - 1e-12
+        assert sum(updated) == pytest.approx(1.0)
+
+    def test_zero_busy_pool_reenters(self):
+        controller = RatioController(deadband=0.0)
+        updated = controller.update((0.01, 0.99), (0.0, 1000.0))
+        # the idle pool reads as deeply underloaded and gains share.
+        assert updated[0] > 0.01
+
+    def test_update_validation(self):
+        controller = RatioController()
+        with pytest.raises(ConfigError):
+            controller.update((0.5, 0.5), (1.0,))
+        with pytest.raises(ConfigError):
+            controller.update((0.5, 0.5), (1.0, -1.0))
+        with pytest.raises(ConfigError):
+            RatioController(min_fraction=0.4).update(
+                (0.25,) * 4, (1.0, 2.0, 3.0, 4.0))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"gain": 0.0}, {"gain": 1.5}, {"deadband": 1.0},
+        {"deadband": -0.1}, {"max_step": 0.0}, {"min_fraction": 1.0},
+    ])
+    def test_constructor_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            RatioController(**kwargs)
+
+    def test_repeated_updates_stay_normalized(self):
+        controller = RatioController(deadband=0.0)
+        fractions = (0.25, 0.25, 0.25, 0.25)
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            busy = tuple(rng.uniform(0.0, 100.0, size=4))
+            fractions = controller.update(fractions, busy)
+            assert sum(fractions) == pytest.approx(1.0)
+            assert all(f > 0 for f in fractions)
+
+
+class TestPlaceFractions:
+    def test_counts_track_fractions(self):
+        zone_map = place_fractions((0.7, 0.3), 1000)
+        counts = np.bincount(zone_map, minlength=2)
+        # golden-ratio stripes have logarithmic discrepancy.
+        assert abs(counts[0] - 700) <= 5
+        assert abs(counts[1] - 300) <= 5
+
+    def test_values_are_valid_zone_ids(self):
+        zone_map = place_fractions((0.2, 0.3, 0.5), 257)
+        assert zone_map.min() >= 0
+        assert zone_map.max() <= 2
+        assert zone_map.dtype == np.int16
+
+    def test_deterministic(self):
+        a = place_fractions((0.4, 0.6), 512)
+        b = place_fractions((0.4, 0.6), 512)
+        assert np.array_equal(a, b)
+
+    def test_repartition_moves_only_boundary_pages(self):
+        before = place_fractions((0.50, 0.50), 1000)
+        after = place_fractions((0.52, 0.48), 1000)
+        moved = int(np.sum(before != after))
+        # a 2% boundary shift should migrate ~2% of pages, not reshuffle.
+        assert moved <= 40
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            place_fractions((0.5, 0.5), 0)
+
+
+class TestAutotune:
+    def test_converges_within_2pct_of_closed_form_when_stationary(self):
+        """ISSUE acceptance: stationary workload → the controller finds
+        the Section 3.1 split without ever reading the SBIT."""
+        report = autotune("xsbench", simulated_baseline(),
+                          n_accesses=30_000, epochs=12)
+        assert report.closed_form_gap < 0.02
+        assert report.speedup > 1.0
+
+    def test_beats_static_on_phase_shift(self):
+        """ISSUE acceptance: tuned beats the static 1/N ratio on the
+        phase-changing workload, adaptation transient included."""
+        report = autotune("phase_shift", chiplet_topology(2),
+                          n_accesses=ACCESSES, epochs=EPOCHS)
+        assert report.speedup > 1.0
+
+    def test_three_pool_history_tracks_every_epoch(self):
+        report = autotune("xsbench", three_pool_topology(),
+                          n_accesses=ACCESSES, epochs=EPOCHS)
+        assert len(report.tuned_fractions) == 3
+        # start vector + one entry per completed epoch.
+        assert len(report.history) == EPOCHS + 1
+        assert report.history[0] == report.static_fractions
+        for entry in report.history:
+            assert sum(entry) == pytest.approx(1.0)
+
+    def test_needs_two_epochs(self):
+        with pytest.raises(ConfigError):
+            autotune("xsbench", epochs=1)
+
+    def test_report_round_trips_through_json(self):
+        report = autotune("xsbench", n_accesses=ACCESSES, epochs=EPOCHS)
+        payload = json.loads(json.dumps(report.to_dict()))
+        again = AutotuneReport.from_dict(payload)
+        assert again.tuned_fractions == report.tuned_fractions
+        assert again.history == report.history
+        assert again.speedup == pytest.approx(report.speedup)
+
+
+class TestTunedProfileStore:
+    def make_report(self):
+        return autotune("xsbench", n_accesses=ACCESSES, epochs=EPOCHS)
+
+    def test_store_load_round_trip(self, tmp_path):
+        store = TunedProfileStore(tmp_path)
+        report = self.make_report()
+        key = store.profile_key(
+            report.workload, report.dataset, simulated_baseline(),
+            report.engine, report.seed, report.epochs,
+            report.n_accesses, RatioController())
+        path = store.store(key, report)
+        assert path.exists()
+        loaded = store.load(key)
+        assert loaded is not None
+        assert loaded.tuned_fractions == report.tuned_fractions
+
+    def test_load_missing_is_none(self, tmp_path):
+        assert TunedProfileStore(tmp_path).load("0" * 32) is None
+
+    def test_load_corrupt_is_none(self, tmp_path):
+        store = TunedProfileStore(tmp_path)
+        store.directory.mkdir(parents=True, exist_ok=True)
+        store.path_for("deadbeef").write_text("{not json")
+        assert store.load("deadbeef") is None
+        store.path_for("cafecafe").write_text('{"workload": "x"}')
+        assert store.load("cafecafe") is None
+
+    def test_key_separates_topologies_and_configs(self):
+        base = dict(workload="xsbench", dataset="default",
+                    engine="throughput", seed=0, epochs=8,
+                    n_accesses=1000, controller=RatioController())
+        k1 = TunedProfileStore.profile_key(
+            topology=simulated_baseline(), **base)
+        k2 = TunedProfileStore.profile_key(
+            topology=chiplet_topology(2), **base)
+        k3 = TunedProfileStore.profile_key(
+            topology=simulated_baseline(), **{**base, "epochs": 9})
+        again = TunedProfileStore.profile_key(
+            topology=simulated_baseline(), **base)
+        assert k1 == again
+        assert len({k1, k2, k3}) == 3
+
+
+class TestParseAutotuneRequest:
+    def test_defaults(self):
+        parsed = parse_autotune_request({"workload": "xsbench"})
+        assert parsed["workload"] == "xsbench"
+        assert parsed["topology_name"] == "baseline"
+        assert parsed["epochs"] == 16
+        assert isinstance(parsed["controller"], RatioController)
+
+    def test_rejections(self):
+        with pytest.raises(BadRequestError):
+            parse_autotune_request({})
+        with pytest.raises(BadRequestError):
+            parse_autotune_request({"workload": "no-such-workload"})
+        with pytest.raises(BadRequestError):
+            parse_autotune_request({"workload": "xsbench",
+                                    "topology": "no-such-topology"})
+        with pytest.raises(BadRequestError):
+            parse_autotune_request({"workload": "xsbench", "epochs": 1})
+        with pytest.raises(BadRequestError):
+            parse_autotune_request({"workload": "xsbench",
+                                    "controller": {"bogus_knob": 1.0}})
+        with pytest.raises(BadRequestError):
+            parse_autotune_request({"workload": "xsbench",
+                                    "engine": "warp-drive"})
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    config = ServeConfig(
+        port=0,
+        cache_dir=tmp_path_factory.mktemp("autotune-cache"),
+        simulate_workers=2,
+        max_pending_jobs=8,
+    )
+    with BackgroundServer(config) as background:
+        yield background
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    client = ServeClient(server.base_url)
+    client.wait_until_ready()
+    return client
+
+
+class TestServeAutotune:
+    def test_tune_then_profile_hit(self, client):
+        first = client.autotune("xsbench", topology="chiplet-2",
+                                epochs=4, n_accesses=4_000)
+        assert first["cached"] is False
+        profile = first["profile"]
+        assert len(profile["tuned_fractions"]) == 3
+        assert profile["speedup"] > 0
+
+        second = client.autotune("xsbench", topology="chiplet-2",
+                                 epochs=4, n_accesses=4_000)
+        assert second["cached"] is True
+        assert second["profile_key"] == first["profile_key"]
+        assert second["profile"]["tuned_fractions"] \
+            == profile["tuned_fractions"]
+
+    def test_bad_workload_is_400(self, client):
+        with pytest.raises(ServeError) as err:
+            client.autotune("no-such-workload")
+        assert err.value.status == 400
+
+    def test_bad_controller_knob_is_400(self, client):
+        with pytest.raises(ServeError) as err:
+            client.autotune("xsbench", controller={"warp": 9})
+        assert err.value.status == 400
+
+
+class TestClusterClassification:
+    def make_request(self, payload):
+        from repro.serve.http import _HttpRequest
+
+        return _HttpRequest("POST", "/v1/autotune", {},
+                            json.dumps(payload).encode())
+
+    def test_autotune_routes_to_warm_lane(self):
+        from repro.serve.cluster import LANE_WARM, RouterApp
+
+        router = RouterApp(ServeConfig(shards=2, port=0))
+        request = self.make_request(
+            {"workload": "xsbench", "topology": "chiplet-2"})
+        endpoint, _ = router._route(request)
+        assert endpoint == "autotune"
+        lane, key = router._classify("autotune", request)
+        assert lane == LANE_WARM
+        assert key.startswith("autotune:")
+        # identical payloads share a key (single-flight on one shard);
+        # different configs must not collide.
+        _, again = router._classify("autotune", request)
+        assert again == key
+        _, other = router._classify("autotune", self.make_request(
+            {"workload": "xsbench", "topology": "chiplet-4"}))
+        assert other != key
+
+
+class TestCliAutotune:
+    def test_autotune_verb(self, capsys, tmp_path):
+        code = cli_main([
+            "autotune", "-w", "xsbench", "-t", "chiplet-2",
+            "--epochs", "4", "-n", "4000",
+            "--cache-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tuned fractions" in out
+        assert "speedup over static" in out
+        assert "profile saved" in out
+        saved = list((tmp_path / "autotune").glob("*.json"))
+        assert len(saved) == 1
+
+    def test_no_save_skips_persistence(self, capsys, tmp_path):
+        code = cli_main([
+            "autotune", "-w", "phase_shift", "-t", "chiplet-2",
+            "--epochs", "4", "-n", "4000",
+            "--cache-dir", str(tmp_path), "--no-save",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "profile saved" not in out
+        assert not (tmp_path / "autotune").exists()
+
+    def test_unknown_workload_exits(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(["autotune", "-w", "definitely-not-a-workload",
+                      "--cache-dir", str(tmp_path)])
